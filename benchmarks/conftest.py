@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy objects (worlds) are session-scoped.  GA-driver benchmarks use
+``benchmark.pedantic`` with one round: they are end-to-end reproductions
+whose *output shape* is asserted, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synthetic import get_profile
+
+
+@pytest.fixture(scope="session")
+def tiny_profile():
+    return get_profile("tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_world(tiny_profile):
+    return tiny_profile.build_world()
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return get_profile("small").build_world()

@@ -1,0 +1,76 @@
+"""Benchmarks for the extension layers: PIPE accuracy evaluation,
+specificity scanning, binding-site extraction, mutational scanning and the
+multi-rack performance model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.landscape import mutational_scan
+from repro.analysis.specificity import specificity_scan
+from repro.cluster.multirack import MultiRackConfig, simulate_multirack_generation
+from repro.cluster.workload import POPULATION_PRESETS
+from repro.ga.fitness import SerialScoreProvider
+from repro.ppi.evaluation import evaluate_pipe
+from repro.ppi.sites import predict_binding_sites
+
+
+@pytest.fixture(scope="module")
+def candidate():
+    return np.random.default_rng(9).integers(0, 20, size=48).astype(np.uint8)
+
+
+def test_bench_pipe_accuracy_evaluation(benchmark, tiny_world):
+    """Leave-one-out accuracy sweep over known edges + sampled non-edges."""
+    evaluation = benchmark.pedantic(
+        lambda: evaluate_pipe(
+            tiny_world.engine, max_positive=40, num_negative=40, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # PIPE must discriminate, or the fitness function is meaningless.
+    assert evaluation.auc() > 0.7
+
+
+def test_bench_specificity_scan(benchmark, tiny_world, candidate):
+    report = benchmark(
+        specificity_scan, tiny_world.engine, candidate, "YBL051C"
+    )
+    assert len(report.off_target_names) == len(tiny_world.graph) - 1
+
+
+def test_bench_binding_sites(benchmark, tiny_world, candidate):
+    engine = tiny_world.engine
+    res = engine.evaluate(candidate, "YBL051C", keep_matrix=True)
+    sites = benchmark(
+        predict_binding_sites, res.result_matrix, engine.config.window_size
+    )
+    assert isinstance(sites, list)
+
+
+def test_bench_mutational_scan(benchmark, tiny_world):
+    target = "YBL051C"
+    nts = tiny_world.non_targets_for(target, limit=4)
+    provider = SerialScoreProvider(tiny_world.engine, target, nts)
+    seq = np.random.default_rng(2).integers(0, 20, size=24).astype(np.uint8)
+    scan = benchmark.pedantic(
+        lambda: mutational_scan(provider, seq, positions=list(range(0, 24, 4))),
+        rounds=1,
+        iterations=1,
+    )
+    assert scan.fitness_matrix.shape == (24, 20)
+
+
+def test_bench_multirack_model(benchmark):
+    """The Sec. 3 multi-rack sketch: sync overhead stays negligible while
+    per-rack granularity sets the scaling limit."""
+    workloads = POPULATION_PRESETS["generation-250"].sample(1500, seed=0)
+    cfg = MultiRackConfig(processes_per_rack=256)
+
+    def sweep():
+        return {r: simulate_multirack_generation(workloads, r, cfg) for r in (1, 2, 4, 8)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = {r: res.total_time for r, res in results.items()}
+    assert times[1] > times[2] > times[4] > times[8]
+    assert results[8].sync_fraction < 0.01  # "the synchronization overhead would be small"

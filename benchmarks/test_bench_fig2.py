@@ -1,0 +1,13 @@
+"""Benchmark: Figure 2 — fitness-function heat map."""
+
+from repro.experiments.fig2_fitness_heatmap import run_fig2
+
+
+def test_fig2_fitness_heatmap(benchmark):
+    result = benchmark(run_fig2, resolution=201)
+    assert result.data["peak_value"] == 1.0
+    assert result.data["monotone_in_target"]
+    assert result.data["monotone_in_non_target"]
+    # The rendered map shows the bright corner at the lower right.
+    rows = [l for l in result.artifacts["heatmap"].split("\n") if l.startswith("|")]
+    assert rows[-1].rstrip()[-1] == "@"

@@ -1,0 +1,39 @@
+"""Benchmark: Figures 3–4 — threads/worker scaling on one BGQ node.
+
+Regenerates the paper's runtime and speedup series and asserts the
+published curve shape: linear speedup to 16 threads, near-linear to 32,
+still improving (but clearly sub-linear) to the 64-thread limit, with the
+five sequences ordered easiest → hardest.
+"""
+
+from repro.experiments.fig3_fig4_thread_scaling import (
+    PERFORMANCE_SEQUENCES,
+    THREAD_COUNTS,
+    run_fig3_fig4,
+)
+
+
+def test_fig3_fig4_thread_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3_fig4(profile="tiny", seed=0), rounds=1, iterations=1
+    )
+    speedups = result.data["speedups"]
+    runtimes = result.data["runtimes"]
+
+    idx16 = THREAD_COUNTS.index(16)
+    idx32 = THREAD_COUNTS.index(32)
+    for name in PERFORMANCE_SEQUENCES:
+        s = speedups[name]
+        # Paper: "perfectly linear speedup when using 16 threads".
+        assert abs(s[idx16] - 16.0) < 1.0
+        # Paper: "close to linear speedup when using up to 32 threads".
+        assert s[idx32] > 24.0
+        # Paper: "still see an improvement ... up to 64 threads".
+        assert s[-1] > s[idx32]
+        assert s[-1] < 48.0
+
+    # Difficulty ordering of Figure 3 (single-thread runtimes).
+    t1 = [runtimes[n][0] for n in PERFORMANCE_SEQUENCES]
+    assert t1 == sorted(t1)
+    # Magnitude calibration: hardest ~47000 s at one thread (paper axis).
+    assert 40_000 < t1[-1] < 55_000

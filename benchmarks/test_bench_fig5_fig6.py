@@ -1,0 +1,38 @@
+"""Benchmark: Figures 5–6 — worker-process scaling of a GA generation.
+
+Regenerates the runtime/speedup curves for the three benchmark
+populations (after 1 / 100 / 250 generations) on 64–1024 simulated
+processes and asserts the published shape: near-linear at moderate node
+counts, ~12x of the ideal 16x at 1024, converged populations scaling
+best.
+"""
+
+from repro.experiments.fig5_fig6_worker_scaling import (
+    PROCESS_COUNTS,
+    run_fig5_fig6,
+)
+
+
+def test_fig5_fig6_worker_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5_fig6(seed=0), rounds=1, iterations=1
+    )
+    runtimes = result.data["runtimes"]
+    speedups = result.data["speedups"]
+
+    # Figure 5 magnitudes at the 64-process baseline.
+    assert 500 < runtimes["generation-1"][0] < 2000
+    assert 2500 < runtimes["generation-250"][0] < 4000
+
+    # Figure 6 shape at 1024 processes.
+    final = {k: v[-1] for k, v in speedups.items()}
+    assert 9.0 < final["generation-250"] < 14.0  # paper: ~12x of ideal 16x
+    assert final["generation-250"] > final["generation-100"] > final["generation-1"]
+
+    # Near-linear at moderate scale (256 processes, ideal 4.05x).
+    idx = PROCESS_COUNTS.index(256)
+    assert speedups["generation-250"][idx] > 3.2
+
+    # Monotone improvement with more processes for every population.
+    for curve in runtimes.values():
+        assert all(b < a for a, b in zip(curve, curve[1:]))

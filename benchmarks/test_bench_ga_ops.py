@@ -1,0 +1,68 @@
+"""Microbenchmarks of the GA machinery (the master's responsibilities)."""
+
+import numpy as np
+import pytest
+
+from repro.ga.config import WETLAB_PARAMS
+from repro.ga.engine import InSiPSEngine
+from repro.ga.fitness import ScoreProvider, ScoreSet
+from repro.ga.operators import crossover, mutate
+from repro.ga.selection import roulette_select
+
+
+class _FastProvider(ScoreProvider):
+    def scores(self, sequences):
+        return [
+            ScoreSet(float((np.asarray(s) == 0).mean()), (0.1,))
+            for s in sequences
+        ]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InSiPSEngine(
+        _FastProvider(),
+        WETLAB_PARAMS,
+        population_size=200,
+        candidate_length=120,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluated_population(engine):
+    pop = engine.initial_population()
+    engine.evaluate_population(pop)
+    return pop
+
+
+def test_bench_initial_population(benchmark, engine):
+    pop = benchmark(engine.initial_population)
+    assert len(pop) == 200
+
+
+def test_bench_next_generation(benchmark, engine, evaluated_population):
+    """One full next-generation construction (selection + operators)."""
+    nxt = benchmark(engine.next_generation, evaluated_population)
+    assert len(nxt) == 200
+
+
+def test_bench_roulette_selection(benchmark, evaluated_population):
+    rng = np.random.default_rng(3)
+    picks = benchmark(roulette_select, evaluated_population, rng, 200)
+    assert len(picks) == 200
+
+
+def test_bench_mutate(benchmark):
+    rng = np.random.default_rng(4)
+    seq = rng.integers(0, 20, size=1000).astype(np.uint8)
+    out = benchmark(mutate, seq, 0.05, rng)
+    assert out.size == 1000
+
+
+def test_bench_crossover(benchmark):
+    rng = np.random.default_rng(5)
+    a = rng.integers(0, 20, size=1000).astype(np.uint8)
+    b = rng.integers(0, 20, size=1000).astype(np.uint8)
+    c1, c2 = benchmark(crossover, a, b, 0.1, rng)
+    assert c1.size + c2.size == 2000

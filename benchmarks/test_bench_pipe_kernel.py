@@ -1,0 +1,55 @@
+"""Microbenchmarks of the PIPE kernels (the workload the BGQ ran)."""
+
+import numpy as np
+import pytest
+
+from repro.ppi.similarity import exact_threshold, window_similarity_scores
+from repro.sequences.random_gen import RandomSequenceGenerator
+from repro.substitution import PAM120
+
+
+@pytest.fixture(scope="module")
+def candidate():
+    return RandomSequenceGenerator(64, 64, seed=1).encoded()
+
+
+def test_bench_similarity_sweep(benchmark, small_world, candidate):
+    """The worker-side 'build sequence_similarity' step: one candidate
+    against the whole proteome."""
+    db = small_world.engine.database
+    sim = benchmark(db.sequence_similarity, candidate)
+    assert sim.num_windows == 64 - db.window_size + 1
+
+
+def test_bench_pipe_score_pair(benchmark, small_world, candidate):
+    """One PIPE(A, B) evaluation with a warm known-protein cache."""
+    engine = small_world.engine
+    engine.database.precompute(["YBL051C"])
+    score = benchmark(engine.score, candidate, "YBL051C")
+    assert 0.0 <= score < 1.0
+
+
+def test_bench_score_against_problem(benchmark, small_world, candidate):
+    """The full worker work unit: candidate vs target + non-targets
+    (Algorithm 2's inner loop)."""
+    engine = small_world.engine
+    target = "YBL051C"
+    nts = small_world.non_targets_for(target, limit=16)
+    engine.database.precompute([target, *nts])
+    scores = benchmark(engine.score_against, candidate, [target, *nts])
+    assert len(scores) == 17
+
+
+def test_bench_window_scores(benchmark):
+    """Raw window-similarity kernel: 200x400 residue pair."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 20, size=200).astype(np.uint8)
+    b = rng.integers(0, 20, size=400).astype(np.uint8)
+    out = benchmark(window_similarity_scores, a, b, 6, PAM120)
+    assert out.shape == (195, 395)
+
+
+def test_bench_threshold_calibration(benchmark):
+    """Exact PMF-based threshold calibration (database build step)."""
+    thr = benchmark(exact_threshold, PAM120, 20, match_rate=1e-7)
+    assert thr > 0

@@ -1,0 +1,41 @@
+"""Benchmark: Tables 1–3 — GA parameter tuning.
+
+Runs the full 5-parameter-set x 3-seed grid for one target at the tiny
+profile (the full three-target grid is the ``table1 table2 table3``
+experiment driver) and asserts the paper's robustness findings: no
+parameter set collapses, and variability across sets is comparable to
+variability across seeds.
+"""
+
+import numpy as np
+
+from repro.experiments.tables1_3_param_tuning import run_param_tuning
+
+
+def test_tables1_3_param_tuning(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_param_tuning(
+            profile="tiny",
+            seed=0,
+            targets=("YAL054C",),
+            seeds=(1, 2, 3),
+            generations=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    matrix = np.array(result.data["fitness_tables"]["YAL054C"])
+    assert matrix.shape == (5, 3)
+    assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    # Robustness: no setting collapses to zero, and the best/worst set
+    # means differ by far less than the fitness scale (paper Sec. 4.1).
+    set_means = matrix.mean(axis=1)
+    assert set_means.min() > 0.0
+    assert set_means.max() - set_means.min() < 0.25
+
+    # Seed-to-seed variability is of the same order as set-to-set
+    # variability (the paper's headline observation).
+    across_sets = result.data["std_across_parameter_sets"]
+    across_seeds = result.data["std_across_seeds"]
+    assert across_sets < 5 * max(across_seeds, 1e-6) + 0.1

@@ -1,0 +1,46 @@
+"""Benchmark: Tables 4–5 and Figures 8–10 — wet-lab validation pipeline.
+
+Designs inhibitors for YBL051C and YAL017W and runs the in-silico
+conditional-sensitivity protocol, asserting the paper's comparison
+structure: WT ≈ WT+ (controls), WT+InSiPS clearly sensitised, knockout
+most sensitive.
+"""
+
+from repro.experiments.tables4_5_wetlab import run_wetlab_validation
+
+
+def test_tables4_5_wetlab_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_wetlab_validation(
+            profile="tiny",
+            seed=0,
+            runs=5,
+            design_seeds=(1, 2),
+            min_generations=20,
+            stall=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Table 4: cycloheximide assay against YBL051C (paper: 90/91/56/27).
+    t4 = result.data["YBL051C"]["averages"]
+    wt, wt_plus, inhibitor, knockout = t4.values()
+    assert 80 < wt < 100
+    assert abs(wt - wt_plus) < 8
+    assert knockout < 40
+    assert knockout <= inhibitor <= wt
+
+    # Table 5: UV assay against YAL017W (paper: 55/54/14/10).
+    t5 = result.data["YAL017W"]["averages"]
+    wt, wt_plus, inhibitor, knockout = t5.values()
+    assert 45 < wt < 70
+    assert abs(wt - wt_plus) < 8
+    assert knockout < 20
+    assert inhibitor < wt  # expression of the inhibitor sensitises cells
+
+    # Figure 10: the spot test fades down the dilution series.
+    grid = result.data["fig10_intensity"]
+    for col in range(4):
+        series = [grid[row][col] for row in range(4)]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Blue Gene/Q scaling study (the paper's Sec. 3, Figures 3-6).
+
+Runs both performance benchmarks on the discrete-event cluster model:
+
+* Performance Test 1 — one candidate sequence on one node, 1-64 threads,
+  five sequences of measured difficulty (Figures 3-4);
+* Performance Test 2 — one full GA generation (1500 sequences) on 64-1024
+  MPI processes for three population states (Figures 5-6).
+
+Run:  python examples/cluster_scaling.py
+"""
+
+import argparse
+
+from repro.experiments.fig3_fig4_thread_scaling import run_fig3_fig4
+from repro.experiments.fig5_fig6_worker_scaling import run_fig5_fig6
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sequences", type=int, default=1500, help="sequences per generation"
+    )
+    args = parser.parse_args()
+
+    print(run_fig3_fig4(profile=args.profile, seed=args.seed).render())
+    print()
+    print(run_fig5_fig6(seed=args.seed, sequences=args.sequences).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Post-design analysis: understand *why* a designed inhibitor works.
+
+After InSiPS produces an anti-target sequence, three analyses characterise
+it before anyone would synthesise it:
+
+1. a proteome-wide **specificity scan** (does it prefer its target over
+   every other protein?),
+2. **binding-site localisation** from the PIPE result matrix (which part
+   of the design carries the interaction evidence — the evolved motif),
+3. an in-silico **deep mutational scan** (which residues are load-bearing,
+   is the design a local optimum, how mutationally robust is it?).
+
+Run:  python examples/design_analysis.py [--target YBL051C]
+"""
+
+import argparse
+
+from repro import InhibitorDesigner, get_profile
+from repro.analysis.landscape import mutational_scan
+from repro.analysis.specificity import specificity_scan
+from repro.ga.fitness import SerialScoreProvider
+from repro.ppi.sites import predict_binding_sites
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny")
+    parser.add_argument("--target", default="YBL051C")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--generations", type=int, default=30)
+    args = parser.parse_args()
+
+    prof = get_profile(args.profile)
+    designer = InhibitorDesigner.from_profile(prof, seed=args.seed)
+    world = designer.world
+    print(f"Designing anti-{args.target} ({args.generations} generations) ...")
+    result = designer.design(
+        args.target, seed=args.seed + 1, termination=args.generations
+    )
+    seq = result.best.encoded
+    print(f"  fitness {result.fitness:.4f}, "
+          f"PIPE(target) {result.best.target_score:.4f}\n")
+
+    # 1. Specificity scan over the whole proteome.
+    report = specificity_scan(world.engine, seq, args.target)
+    print(report.top_table(8))
+    print(f"target rank: {report.rank_of_target()} of "
+          f"{len(report.off_target_names) + 1}; "
+          f"specificity margin {report.specificity_margin:+.4f}\n")
+
+    # 2. Binding-site localisation.
+    evaluated = world.engine.evaluate(seq, args.target, keep_matrix=True)
+    sites = predict_binding_sites(
+        evaluated.result_matrix, world.config.pipe.window_size
+    )
+    if sites:
+        print("Predicted binding sites (design residues -> target residues):")
+        for i, s in enumerate(sites, 1):
+            print(
+                f"  site {i}: design[{s.a_start}:{s.a_end}] <-> "
+                f"{args.target}[{s.b_start}:{s.b_end}]  "
+                f"(peak evidence {s.peak_evidence:.1f})"
+            )
+    else:
+        print("No binding site above the evidence floor.")
+    print()
+
+    # 3. Deep mutational scan (restricted to every 2nd position for speed).
+    provider = SerialScoreProvider(
+        world.engine, args.target, result.non_targets
+    )
+    positions = list(range(0, len(seq), 2))
+    scan = mutational_scan(provider, seq, positions=positions)
+    critical = scan.critical_positions(5)
+    sens = scan.position_sensitivity()
+    print("Mutational scan:")
+    print(f"  robustness (fraction of single mutants >= 90% fitness): "
+          f"{scan.robustness():.2f}")
+    print(f"  most load-bearing positions: "
+          + ", ".join(f"{p} (loss {sens[p]:.3f})" for p in critical))
+    gains = scan.beneficial_mutations()
+    if gains:
+        p, r, g = gains[0]
+        print(f"  best available improvement: position {p} -> {r} (+{g:.4f})")
+        print("  (the design is not yet a local optimum; more generations "
+              "would keep climbing)")
+    else:
+        print("  no single mutation improves the design: local optimum "
+              "reached")
+
+    if sites and critical:
+        inside = sum(1 for p in critical if sites[0].a_start <= p < sites[0].a_end)
+        print(
+            f"\n{inside} of the top-5 critical positions fall inside the "
+            "primary predicted binding site — the fitness is carried by "
+            "the evolved interface, as the paper's model predicts."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Interactome discovery: PIPE's original job.
+
+Before powering InSiPS, the PIPE engine was built to scan proteomes for
+*novel* protein-protein interactions.  This example runs that workflow on
+the synthetic world:
+
+1. score every protein pair (leave-one-out for known pairs),
+2. check how many known interactions PIPE recovers at the acceptance
+   threshold,
+3. list the strongest novel predictions and check them against the
+   world's latent ground truth (complementary motif pairs the noisy
+   "experimental" database failed to record).
+
+Run:  python examples/interactome_discovery.py [--profile tiny]
+"""
+
+import argparse
+
+from repro import get_profile
+from repro.analysis import format_table
+from repro.ppi.batch import predict_interactome
+from repro.ppi.evaluation import evaluate_pipe
+
+
+def _motif_roles(world, name):
+    tags = world.protein(name).annotations.get("motifs", [])
+    locks = {t.split(":")[1] for t in tags if str(t).startswith("lock:")}
+    keys = {t.split(":")[1] for t in tags if str(t).startswith("key:")}
+    return locks, keys
+
+
+def _complementary(world, a, b):
+    la, ka = _motif_roles(world, a)
+    lb, kb = _motif_roles(world, b)
+    return bool((la & kb) | (lb & ka))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=10)
+    args = parser.parse_args()
+
+    world = get_profile(args.profile).build_world(seed=args.seed)
+    engine = world.engine
+    threshold = world.config.pipe.decision_threshold
+    print(
+        f"World: {len(world.graph)} proteins, {world.graph.num_edges} known "
+        f"interactions; acceptance threshold {threshold}\n"
+    )
+
+    print("Step 1: PIPE accuracy on known data (leave-one-out) ...")
+    evaluation = evaluate_pipe(engine, max_positive=60, num_negative=60, seed=args.seed)
+    print(f"  ROC AUC {evaluation.auc():.3f}; at threshold {threshold}: "
+          f"TPR {evaluation.true_positive_rate(threshold):.2f}, "
+          f"FPR {evaluation.false_positive_rate(threshold):.3f}\n")
+
+    print("Step 2: all-vs-all proteome scan ...")
+    prediction = predict_interactome(engine, max_pairs=20_000)
+    recovery = prediction.recovery_rate(threshold)
+    print(f"  scored {len(prediction)} pairs; "
+          f"recovered {recovery * 100:.0f}% of known interactions\n")
+
+    novel = prediction.novel_predictions(threshold)[: args.top]
+    if not novel:
+        print("No novel interactions above the threshold.")
+        return
+    rows = []
+    hits = 0
+    for (a, b), score in novel:
+        latent = _complementary(world, a, b)
+        hits += latent
+        rows.append([f"{a} - {b}", float(score), "yes" if latent else "no"])
+    print(
+        format_table(
+            ["Predicted novel pair", "PIPE score", "Latent ground truth?"],
+            rows,
+            title=f"Top {len(novel)} novel predictions",
+        )
+    )
+    unknown_pairs = [
+        p for p, k in zip(prediction.pairs, prediction.known) if not k
+    ]
+    base = sum(1 for a, b in unknown_pairs if _complementary(world, a, b))
+    base_rate = base / len(unknown_pairs)
+    top_rate = hits / len(novel)
+    print(
+        f"\n{hits}/{len(novel)} of the top predictions are latent "
+        f"ground-truth interactions (base rate {base_rate * 100:.1f}% -> "
+        f"{top_rate * 100:.0f}% in the top list). The rest are mostly "
+        "motif-rich hub proteins scoring high against each other — the "
+        "same promiscuity the non-target term of InSiPS' fitness function "
+        "exists to penalise."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for legacy editable installs (offline environment)."""
+from setuptools import setup
+
+setup()

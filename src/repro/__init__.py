@@ -1,0 +1,46 @@
+"""InSiPS — the In-Silico Protein Synthesizer (SC '15) reproduction.
+
+A complete, pure-Python reimplementation of the paper's system:
+
+* the PIPE sequence-based interaction prediction engine (:mod:`repro.ppi`),
+* the InSiPS genetic algorithm and fitness function (:mod:`repro.ga`),
+* the master/worker parallel runtime (:mod:`repro.parallel`),
+* a Blue Gene/Q discrete-event performance model (:mod:`repro.cluster`),
+* a synthetic yeast-like proteome/interactome (:mod:`repro.synthetic`),
+* an in-silico wet-lab validation pipeline (:mod:`repro.wetlab`),
+* experiment drivers reproducing every table and figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import InhibitorDesigner, get_profile
+
+    designer = InhibitorDesigner.from_profile(get_profile("tiny"), seed=0)
+    result = designer.design("YBL051C", seed=1, termination=20)
+    print(result.fitness, result.designed_protein())
+"""
+
+from repro.core import DesignResult, InhibitorDesigner
+from repro.ga import GAParams, InSiPSEngine, SerialScoreProvider, WETLAB_PARAMS
+from repro.ppi import InteractionGraph, PipeConfig, PipeEngine
+from repro.sequences import Protein
+from repro.synthetic import PROFILES, build_world, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignResult",
+    "GAParams",
+    "InSiPSEngine",
+    "InhibitorDesigner",
+    "InteractionGraph",
+    "PROFILES",
+    "PipeConfig",
+    "PipeEngine",
+    "Protein",
+    "SerialScoreProvider",
+    "WETLAB_PARAMS",
+    "build_world",
+    "get_profile",
+    "__version__",
+]

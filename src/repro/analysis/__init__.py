@@ -1,0 +1,35 @@
+"""Analysis and text rendering: tables, bar charts, line plots, heat maps.
+
+All paper artefacts are rendered as plain text so the experiment harness
+can print the same rows/series the paper reports without a plotting
+dependency.
+"""
+
+from repro.analysis.heatmap import fitness_heatmap, render_heatmap
+from repro.analysis.learning_curve import (
+    acceptance_crossing,
+    downsample_curve,
+    summarize_history,
+)
+from repro.analysis.reporting import (
+    ascii_bar_chart,
+    ascii_line_plot,
+    format_table,
+)
+from repro.analysis.landscape import MutationalScan, mutational_scan
+from repro.analysis.specificity import SpecificityReport, specificity_scan
+
+__all__ = [
+    "acceptance_crossing",
+    "ascii_bar_chart",
+    "ascii_line_plot",
+    "downsample_curve",
+    "MutationalScan",
+    "SpecificityReport",
+    "mutational_scan",
+    "fitness_heatmap",
+    "format_table",
+    "render_heatmap",
+    "specificity_scan",
+    "summarize_history",
+]

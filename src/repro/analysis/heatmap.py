@@ -1,0 +1,53 @@
+"""The Figure 2 fitness-function heat map."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fitness_heatmap", "render_heatmap"]
+
+
+def fitness_heatmap(resolution: int = 51) -> dict[str, np.ndarray]:
+    """Evaluate ``fitness = (1 - max_nt) * target`` on a regular grid.
+
+    Returns ``{"target", "max_non_target", "fitness"}`` where ``fitness``
+    has shape (resolution, resolution) indexed [max_nt_axis, target_axis]
+    — the orientation of the paper's Figure 2 (x: PIPE(seq, target),
+    y: MAX(PIPE(seq, non-targets)), peak of 1 in the lower-right corner).
+    """
+    if resolution < 2:
+        raise ValueError(f"resolution must be >= 2, got {resolution}")
+    target = np.linspace(0.0, 1.0, resolution)
+    max_nt = np.linspace(0.0, 1.0, resolution)
+    fitness = (1.0 - max_nt[:, None]) * target[None, :]
+    return {"target": target, "max_non_target": max_nt, "fitness": fitness}
+
+
+def render_heatmap(
+    fitness: np.ndarray,
+    *,
+    glyphs: str = " .:-=+*#%@",
+    max_rows: int = 24,
+    max_cols: int = 64,
+) -> str:
+    """ASCII density rendering of the fitness grid.
+
+    The y axis (max non-target score) increases upward as in the paper, so
+    the bright corner (fitness → 1) appears at the lower right.
+    """
+    f = np.asarray(fitness, dtype=float)
+    if f.ndim != 2:
+        raise ValueError(f"fitness must be 2-D, got shape {f.shape}")
+    rows = min(max_rows, f.shape[0])
+    cols = min(max_cols, f.shape[1])
+    row_idx = np.linspace(0, f.shape[0] - 1, rows).astype(int)
+    col_idx = np.linspace(0, f.shape[1] - 1, cols).astype(int)
+    sampled = f[np.ix_(row_idx, col_idx)]
+    levels = np.clip(
+        (sampled * (len(glyphs) - 1)).round().astype(int), 0, len(glyphs) - 1
+    )
+    lines = ["MAX(PIPE(seq, non-targets)) ↑"]
+    for r in range(rows - 1, -1, -1):
+        lines.append("|" + "".join(glyphs[v] for v in levels[r]))
+    lines.append("+" + "-" * cols + "→ PIPE(seq, target)")
+    return "\n".join(lines)

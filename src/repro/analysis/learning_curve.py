@@ -1,0 +1,58 @@
+"""Learning-curve analysis for Figure 7."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ga.stats import RunHistory
+
+__all__ = ["acceptance_crossing", "downsample_curve", "summarize_history"]
+
+
+def acceptance_crossing(
+    history: RunHistory, threshold: float
+) -> int | None:
+    """First generation whose best individual's target score reaches the
+    PIPE acceptance threshold (the paper's black line in Figure 7), or
+    None if it never does."""
+    curves = history.learning_curves()
+    above = np.nonzero(curves["target"] >= threshold)[0]
+    if above.size == 0:
+        return None
+    return int(curves["generation"][above[0]])
+
+
+def downsample_curve(
+    x: np.ndarray, y: np.ndarray, max_points: int = 100
+) -> tuple[np.ndarray, np.ndarray]:
+    """Thin a curve to at most ``max_points`` while keeping both ends."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if max_points < 2:
+        raise ValueError(f"max_points must be >= 2, got {max_points}")
+    if x.size <= max_points:
+        return x, y
+    idx = np.unique(np.linspace(0, x.size - 1, max_points).astype(int))
+    return x[idx], y[idx]
+
+
+def summarize_history(history: RunHistory) -> dict[str, float]:
+    """Headline numbers of one run: final/initial values of each Figure 7
+    series plus the total improvement."""
+    if len(history) == 0:
+        raise ValueError("empty history")
+    curves = history.learning_curves()
+    best_idx = int(np.argmax(curves["best_fitness"]))
+    return {
+        "generations": float(len(history)),
+        "initial_fitness": float(curves["best_fitness"][0]),
+        "final_fitness": float(history.final_best_fitness),
+        "improvement": float(
+            history.final_best_fitness - curves["best_fitness"][0]
+        ),
+        "best_target_score": float(curves["target"][best_idx]),
+        "best_max_non_target": float(curves["max_non_target"][best_idx]),
+        "best_avg_non_target": float(curves["avg_non_target"][best_idx]),
+    }

@@ -1,0 +1,161 @@
+"""Plain-text table, bar-chart and line-plot rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_bar_chart", "ascii_line_plot"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  The first column is left-aligned (row labels), the rest
+    right-aligned (values), matching the paper's table style.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float) and not isinstance(value, bool):
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+        for j in range(len(headers))
+    ]
+
+    def line(row: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(row):
+            parts.append(cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    errors: Sequence[float] | None = None,
+    width: int = 50,
+    max_value: float | None = None,
+    unit: str = "%",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart (used for the Figure 8/9 colony-count bars).
+
+    Error bars render as a ``|---|`` whisker centred on the bar end.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if errors is not None and len(errors) != len(values):
+        raise ValueError("errors must match values in length")
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    vmax = max_value if max_value is not None else max(max(values), 1e-9)
+    label_w = max(len(str(l)) for l in labels)
+    out = [] if title is None else [title]
+    for i, (label, value) in enumerate(zip(labels, values)):
+        frac = min(1.0, max(0.0, value / vmax))
+        bar = "█" * int(round(frac * width))
+        suffix = f" {value:.1f}{unit}"
+        if errors is not None:
+            suffix += f" ± {errors[i]:.1f}"
+        out.append(f"{str(label).ljust(label_w)} |{bar}{suffix}")
+    return "\n".join(out)
+
+
+def ascii_line_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Multi-series ASCII line plot (Figures 3–7 renderings).
+
+    Each series gets the first letter of its name as glyph (disambiguated
+    by digits on collision).  Later series draw over earlier ones.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if width < 20 or height < 5:
+        raise ValueError("plot must be at least 20x5")
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs: dict[str, str] = {}
+    used: set[str] = set()
+    for name in series:
+        g = name[0].upper()
+        if g in used:
+            for d in "0123456789":
+                if d not in used:
+                    g = d
+                    break
+        used.add(g)
+        glyphs[name] = g
+
+    for name, (x, y) in series.items():
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"series {name!r}: x and y shapes differ")
+        cols = np.clip(
+            ((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((y - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyphs[name]
+
+    out = [] if title is None else [title]
+    out.append(f"{y_label} ({y_lo:.3g} .. {y_hi:.3g})")
+    out.extend("|" + "".join(row) for row in grid)
+    out.append("+" + "-" * width)
+    out.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(f"{g}={name}" for name, g in glyphs.items())
+    out.append(" legend: " + legend)
+    return "\n".join(out)

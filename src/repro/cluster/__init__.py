@@ -1,0 +1,68 @@
+"""Discrete-event model of the SciNet Blue Gene/Q deployment.
+
+The paper's performance evaluation (Sec. 3, Figures 3–6) ran on hardware
+we cannot access: a one-rack IBM Blue Gene/Q (1024 nodes x 16 cores x
+4-way SMT).  This package substitutes a calibrated discrete-event
+simulation:
+
+* :mod:`repro.cluster.simulator` — a minimal deterministic DES core;
+* :mod:`repro.cluster.throughput` — the memory-bound thread-throughput
+  model of a BGQ node (linear to 16 threads, diminishing through the SMT
+  region, exactly the behaviour Sec. 3.1 explains);
+* :mod:`repro.cluster.workload` — per-sequence PIPE work models, either
+  synthetic (population-state presets) or *measured* from the real PIPE
+  engine in this package;
+* :mod:`repro.cluster.bgq` — the two benchmark harnesses: threads-per-
+  worker scaling on a single node (Figures 3–4) and master/worker
+  generation scaling across nodes (Figures 5–6), including the master
+  service-time queueing and Amdahl serial fraction the paper identifies
+  as the sources of the 12x-of-16x speedup at 1024 nodes.
+"""
+
+from repro.cluster.bgq import (
+    BGQClusterConfig,
+    GenerationSimResult,
+    simulate_generation,
+    simulate_worker_node,
+)
+from repro.cluster.multirack import (
+    MultiRackConfig,
+    MultiRackSimResult,
+    simulate_multirack_generation,
+)
+from repro.cluster.projection import (
+    GenerationProjection,
+    project_generation_time,
+    validate_projection,
+)
+from repro.cluster.simulator import Simulator
+from repro.cluster.tracing import ExecutionTrace, TraceEvent, render_timeline
+from repro.cluster.throughput import MemoryBoundThroughput
+from repro.cluster.workload import (
+    POPULATION_PRESETS,
+    PopulationWorkloadModel,
+    SequenceWorkload,
+    measure_workload,
+)
+
+__all__ = [
+    "BGQClusterConfig",
+    "GenerationProjection",
+    "GenerationSimResult",
+    "MemoryBoundThroughput",
+    "MultiRackConfig",
+    "MultiRackSimResult",
+    "POPULATION_PRESETS",
+    "simulate_multirack_generation",
+    "PopulationWorkloadModel",
+    "SequenceWorkload",
+    "ExecutionTrace",
+    "Simulator",
+    "TraceEvent",
+    "render_timeline",
+    "measure_workload",
+    "simulate_generation",
+    "simulate_worker_node",
+    "project_generation_time",
+    "validate_projection",
+]

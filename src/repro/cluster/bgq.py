@@ -1,0 +1,250 @@
+"""The two Sec. 3 performance benchmarks as discrete-event simulations.
+
+* :func:`simulate_worker_node` — Performance Test 1 (Figures 3–4): one
+  candidate sequence processed by one worker node with 1–64 threads.
+* :func:`simulate_generation` — Performance Test 2 (Figures 5–6): one full
+  GA generation on ``num_processes`` MPI ranks (1 master + N-1 workers),
+  with on-demand dispatch, master request-service queueing, network
+  latency, and the master-side end-of-generation work (fitness
+  combination + next-generation construction) that forms the Amdahl
+  serial fraction.
+
+The three effects the paper names as limiting scale — request queueing at
+the master, the serial fraction, and (dominantly, at 1024 nodes) work
+granularity of 1500 sequences over 1023 workers — all emerge from the
+event model rather than being painted onto the curves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.simulator import Simulator
+from repro.cluster.throughput import MemoryBoundThroughput
+from repro.cluster.workload import SequenceWorkload
+
+__all__ = [
+    "BGQClusterConfig",
+    "GenerationSimResult",
+    "simulate_worker_node",
+    "simulate_generation",
+]
+
+
+@dataclass(frozen=True)
+class BGQClusterConfig:
+    """Cluster-level simulation parameters."""
+
+    node: MemoryBoundThroughput = field(default_factory=MemoryBoundThroughput)
+    #: Threads used inside each worker process (paper: the full node).
+    threads_per_worker: int = 64
+    #: Threads available to the multithreaded master for its own work.
+    master_threads: int = 64
+    #: Master CPU time to serve one work request (receive previous result,
+    #: pick next sequence, send).
+    request_service_time: float = 0.004
+    #: One-way network latency for master <-> worker messages.
+    network_latency: float = 0.001
+    #: Master-side core-seconds per sequence for the fitness calculation
+    #: plus next-generation construction (parallel within the master node
+    #: but not across the cluster — the Amdahl term).
+    master_work_per_sequence: float = 0.05
+    #: Dispatch policy: "ondemand" (the paper's) or "static" (ablation).
+    dispatch: str = "ondemand"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.threads_per_worker <= self.node.max_threads:
+            raise ValueError(
+                f"threads_per_worker must be in [1, {self.node.max_threads}]"
+            )
+        if not 1 <= self.master_threads <= self.node.max_threads:
+            raise ValueError(
+                f"master_threads must be in [1, {self.node.max_threads}]"
+            )
+        for name in (
+            "request_service_time",
+            "network_latency",
+            "master_work_per_sequence",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.dispatch not in ("ondemand", "static"):
+            raise ValueError(f"dispatch must be 'ondemand' or 'static', got {self.dispatch!r}")
+
+
+def simulate_worker_node(
+    workload: SequenceWorkload,
+    threads: int,
+    *,
+    node: MemoryBoundThroughput | None = None,
+) -> float:
+    """Performance Test 1: wall time for one worker to receive a sequence,
+    build the similarity structure and predict against the whole proteome.
+
+    The parallelisable work scales with the thread-throughput model; the
+    fixed receive/setup overhead does not, so easier sequences flatten out
+    slightly earlier — visible in the paper's Figure 4 as the easiest
+    sequences' speedup curves sitting marginally lower at 64 threads.
+    """
+    model = node or MemoryBoundThroughput()
+    return workload.fixed_overhead + model.time(workload.parallel_work, threads)
+
+
+@dataclass
+class GenerationSimResult:
+    """Outcome of one simulated GA generation."""
+
+    total_time: float
+    num_workers: int
+    worker_busy: np.ndarray
+    master_busy: float
+    sequences: int
+    end_phase_time: float
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Mean fraction of the generation each worker spent computing."""
+        if self.total_time <= 0:
+            return 0.0
+        return float(self.worker_busy.mean() / self.total_time)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean busy-time ratio (1.0 = perfectly balanced)."""
+        mean = self.worker_busy.mean()
+        return float(self.worker_busy.max() / mean) if mean > 0 else 0.0
+
+
+class _MasterServer:
+    """Single-server FIFO queue for work-request handling."""
+
+    def __init__(self, sim: Simulator, service_time: float) -> None:
+        self.sim = sim
+        self.service_time = service_time
+        self.queue: deque = deque()
+        self.busy = False
+        self.busy_time = 0.0
+
+    def submit(self, callback) -> None:
+        self.queue.append(callback)
+        self._serve()
+
+    def _serve(self) -> None:
+        if self.busy or not self.queue:
+            return
+        self.busy = True
+        callback = self.queue.popleft()
+
+        def done() -> None:
+            self.busy = False
+            self.busy_time += self.service_time
+            callback()
+            self._serve()
+
+        self.sim.schedule(self.service_time, done)
+
+
+def simulate_generation(
+    workloads: list[SequenceWorkload],
+    num_processes: int,
+    config: BGQClusterConfig | None = None,
+    *,
+    trace=None,
+) -> GenerationSimResult:
+    """Performance Test 2: simulate one full generation.
+
+    ``num_processes`` counts MPI ranks: 1 master + (num_processes - 1)
+    workers, matching the paper's "64 nodes = 1 master process, 63 worker
+    processes" baseline.  Pass an
+    :class:`~repro.cluster.tracing.ExecutionTrace` as ``trace`` to record
+    per-worker busy intervals for timeline rendering.
+    """
+    cfg = config or BGQClusterConfig()
+    if num_processes < 2:
+        raise ValueError(f"need at least 2 processes (1 master + 1 worker)")
+    if not workloads:
+        raise ValueError("need at least one sequence workload")
+    num_workers = num_processes - 1
+
+    sim = Simulator()
+    master = _MasterServer(sim, cfg.request_service_time)
+    worker_busy = np.zeros(num_workers, dtype=np.float64)
+    state = {
+        "completed": 0,
+        "workers_finished": 0,
+        "end_time": None,
+        "end_phase": 0.0,
+    }
+
+    if cfg.dispatch == "ondemand":
+        pending: deque[SequenceWorkload] = deque(workloads)
+
+        def next_item(wid: int) -> SequenceWorkload | None:
+            return pending.popleft() if pending else None
+
+    else:  # static round-robin pre-assignment
+        assigned: list[deque[SequenceWorkload]] = [deque() for _ in range(num_workers)]
+        for i, w in enumerate(workloads):
+            assigned[i % num_workers].append(w)
+
+        def next_item(wid: int) -> SequenceWorkload | None:
+            return assigned[wid].popleft() if assigned[wid] else None
+
+    throughput = cfg.node.throughput(cfg.threads_per_worker)
+
+    def master_end_phase() -> None:
+        end_work = cfg.master_work_per_sequence * len(workloads)
+        duration = end_work / cfg.node.throughput(cfg.master_threads)
+        state["end_phase"] = duration
+
+        def finish() -> None:
+            state["end_time"] = sim.now
+
+        sim.schedule(duration, finish)
+
+    def grant(wid: int) -> None:
+        item = next_item(wid)
+        if item is None:
+            state["workers_finished"] += 1
+            if state["workers_finished"] == num_workers:
+                # All results are in (each rode in on its worker's final
+                # request); the master now computes fitness and builds the
+                # next generation.
+                master_end_phase()
+            return
+        sim.schedule(cfg.network_latency, lambda: process(wid, item))
+
+    def process(wid: int, item: SequenceWorkload) -> None:
+        duration = item.fixed_overhead + item.parallel_work / throughput
+        worker_busy[wid] += duration
+        if trace is not None:
+            trace.record(wid, sim.now, sim.now + duration, item.name)
+
+        def finished() -> None:
+            state["completed"] += 1
+            request(wid)
+
+        sim.schedule(duration, finished)
+
+    def request(wid: int) -> None:
+        sim.schedule(
+            cfg.network_latency, lambda: master.submit(lambda: grant(wid))
+        )
+
+    for wid in range(num_workers):
+        request(wid)
+    sim.run()
+
+    if state["end_time"] is None:
+        raise RuntimeError("generation simulation did not complete")
+    return GenerationSimResult(
+        total_time=float(state["end_time"]),
+        num_workers=num_workers,
+        worker_busy=worker_busy,
+        master_busy=master.busy_time,
+        sequences=len(workloads),
+        end_phase_time=float(state["end_phase"]),
+    )

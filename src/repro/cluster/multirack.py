@@ -1,0 +1,116 @@
+"""Performance model of the multi-rack scaling sketch (Sec. 3).
+
+"To scale to multiple racks, we would set one master process per rack and
+sync between masters after each round of the genetic algorithm.  Since
+each master's state information is small and the number of racks would
+also be relatively small (less than 100), the synchronization overhead
+would be small.  This would also allow the initial loading of data to be
+done in parallel."
+
+This module models a multi-rack generation: each rack runs the
+single-rack generation DES over its share of the population, then the
+masters synchronise (a small all-reduce over the rack count).  It answers
+the paper's implied question — how far does the sketch scale before sync
+and per-rack granularity bite?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.bgq import BGQClusterConfig, simulate_generation
+from repro.cluster.workload import SequenceWorkload
+
+__all__ = ["MultiRackConfig", "MultiRackSimResult", "simulate_multirack_generation"]
+
+
+@dataclass(frozen=True)
+class MultiRackConfig:
+    """Multi-rack timing parameters on top of the per-rack cluster model."""
+
+    rack: BGQClusterConfig = field(default_factory=BGQClusterConfig)
+    #: Processes (nodes) per rack, including that rack's master.
+    processes_per_rack: int = 1024
+    #: Base latency of one master-to-master message.
+    sync_latency: float = 0.002
+    #: Bytes-independent per-rack cost of the elite exchange; the
+    #: all-reduce runs in ceil(log2(R)) rounds.
+    sync_round_cost: float = 0.001
+    #: One-off data-load time per rack (paper: loading parallelises across
+    #: racks, so this does not grow with R).
+    initial_load_time: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.processes_per_rack < 2:
+            raise ValueError("processes_per_rack must be >= 2")
+        for name in ("sync_latency", "sync_round_cost", "initial_load_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def sync_time(self, num_racks: int) -> float:
+        """Master synchronisation time for one generation.
+
+        A tree all-reduce over ``num_racks`` masters: ceil(log2 R) rounds
+        of one small message each.
+        """
+        if num_racks < 1:
+            raise ValueError("num_racks must be >= 1")
+        if num_racks == 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(num_racks)))
+        return rounds * (self.sync_latency + self.sync_round_cost)
+
+
+@dataclass
+class MultiRackSimResult:
+    """Outcome of one simulated multi-rack generation."""
+
+    total_time: float
+    num_racks: int
+    rack_times: np.ndarray
+    sync_time: float
+
+    @property
+    def sync_fraction(self) -> float:
+        """Fraction of the generation spent synchronising masters."""
+        return self.sync_time / self.total_time if self.total_time > 0 else 0.0
+
+
+def simulate_multirack_generation(
+    workloads: list[SequenceWorkload],
+    num_racks: int,
+    config: MultiRackConfig | None = None,
+) -> MultiRackSimResult:
+    """Simulate one generation on ``num_racks`` racks.
+
+    The population is split round-robin across racks (each rack's master
+    dispatches its share on demand); the generation completes when the
+    slowest rack finishes and the masters have synchronised.
+    """
+    cfg = config or MultiRackConfig()
+    if num_racks < 1:
+        raise ValueError(f"num_racks must be >= 1, got {num_racks}")
+    if not workloads:
+        raise ValueError("need at least one sequence workload")
+    if num_racks > len(workloads):
+        raise ValueError("more racks than sequences: shrink the rack count")
+
+    shares: list[list[SequenceWorkload]] = [[] for _ in range(num_racks)]
+    for i, w in enumerate(workloads):
+        shares[i % num_racks].append(w)
+
+    rack_times = np.array(
+        [
+            simulate_generation(share, cfg.processes_per_rack, cfg.rack).total_time
+            for share in shares
+        ]
+    )
+    sync = cfg.sync_time(num_racks)
+    return MultiRackSimResult(
+        total_time=float(rack_times.max() + sync),
+        num_racks=num_racks,
+        rack_times=rack_times,
+        sync_time=sync,
+    )

@@ -1,0 +1,88 @@
+"""A minimal deterministic discrete-event simulation core.
+
+Events are ``(time, sequence_number, callback)`` triples on a heap; ties in
+time resolve in scheduling order, which makes every simulation fully
+deterministic — a property the scaling experiments rely on for
+reproducible speedup tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparable by (time, seq) for the heap."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Run callbacks in virtual time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.now = 0.0
+        self.processed_events = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        event = Event(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed_events += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, *, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run to quiescence (or to virtual time ``until``); returns the
+        final virtual time.  ``max_events`` guards against runaway models.
+        """
+        events = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                break
+            if not self.step():
+                break
+            events += 1
+            if events > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "the model is probably not terminating"
+                )
+        return self.now

@@ -1,0 +1,95 @@
+"""Execution tracing for the cluster simulations.
+
+Collects per-worker busy intervals during a simulated generation and
+renders an ASCII utilisation timeline — the view that makes the paper's
+load-balancing story (on-demand dispatch, idle tails at scale) visible
+rather than just asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceEvent", "ExecutionTrace", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One busy interval of one worker."""
+
+    worker: int
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be >= 0")
+        if not 0 <= self.start <= self.end:
+            raise ValueError(f"invalid interval [{self.start}, {self.end}]")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulates busy intervals during a simulation run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, worker: int, start: float, end: float, label: str = "") -> None:
+        self.events.append(TraceEvent(worker, start, end, label))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def workers(self) -> list[int]:
+        return sorted({e.worker for e in self.events})
+
+    def busy_time(self, worker: int) -> float:
+        return sum(e.duration for e in self.events if e.worker == worker)
+
+    def utilisation(self, worker: int) -> float:
+        """Busy fraction of the makespan for one worker."""
+        span = self.makespan
+        return self.busy_time(worker) / span if span > 0 else 0.0
+
+    def idle_tail(self, worker: int) -> float:
+        """Time between the worker's last completion and the makespan —
+        the idle tail that grows when work granularity bites."""
+        ends = [e.end for e in self.events if e.worker == worker]
+        return self.makespan - max(ends) if ends else self.makespan
+
+
+def render_timeline(
+    trace: ExecutionTrace, *, width: int = 72, max_workers: int = 16
+) -> str:
+    """ASCII gantt view: one row per worker, '#' busy, '.' idle."""
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    span = trace.makespan
+    if span <= 0 or not trace.events:
+        return "(empty trace)"
+    workers = trace.workers()[:max_workers]
+    lines = [f"time 0 .. {span:.1f}  ({len(trace)} intervals)"]
+    for w in workers:
+        row = np.zeros(width, dtype=bool)
+        for e in trace.events:
+            if e.worker != w:
+                continue
+            lo = int(e.start / span * (width - 1))
+            hi = max(lo + 1, int(np.ceil(e.end / span * (width - 1))))
+            row[lo:hi] = True
+        bar = "".join("#" if b else "." for b in row)
+        lines.append(f"w{w:<4d} |{bar}| {trace.utilisation(w) * 100:5.1f}%")
+    if len(trace.workers()) > max_workers:
+        lines.append(f"... {len(trace.workers()) - max_workers} more workers")
+    return "\n".join(lines)

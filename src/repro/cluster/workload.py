@@ -1,0 +1,156 @@
+"""Per-sequence PIPE work models for the cluster simulation.
+
+Sec. 3.1: "The computational difficulty of a given sequence depends largely
+on how many proteins within the PIPE database contain matching
+subsequences."  Two sources of work are modelled:
+
+* ``similarity_work`` — building the candidate's ``sequence_similarity``
+  structure (proportional to candidate length x proteome residues);
+* ``prediction_work`` — running PIPE against the target/non-target list
+  (proportional to the matching-protein evidence that must be chased
+  through the interaction graph).
+
+:func:`measure_workload` extracts both quantities from a *real* PIPE
+evaluation in this package, so the five Figure-3 benchmark sequences get
+their relative difficulty from actual algorithm behaviour rather than
+hand-picked constants; only the conversion to BGQ core-seconds is a
+calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppi.pipe import PipeEngine
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "SequenceWorkload",
+    "measure_workload",
+    "PopulationWorkloadModel",
+    "POPULATION_PRESETS",
+]
+
+
+@dataclass(frozen=True)
+class SequenceWorkload:
+    """Work (in abstract core-seconds) to process one candidate sequence."""
+
+    name: str
+    similarity_work: float
+    prediction_work: float
+    #: Non-parallelisable per-sequence overhead (message receive, setup).
+    fixed_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("similarity_work", "prediction_work", "fixed_overhead"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    @property
+    def parallel_work(self) -> float:
+        return self.similarity_work + self.prediction_work
+
+    @property
+    def total_work(self) -> float:
+        return self.parallel_work + self.fixed_overhead
+
+
+def measure_workload(
+    engine: PipeEngine,
+    encoded: np.ndarray,
+    protein_names: list[str],
+    *,
+    name: str = "sequence",
+    core_seconds_per_unit: float = 1.0,
+    fixed_overhead: float = 0.0,
+) -> SequenceWorkload:
+    """Derive a workload from a real PIPE evaluation.
+
+    Work units: the similarity sweep touches ``len(seq) x proteome
+    residues`` score cells; prediction chases every (matched protein ->
+    neighbour) evidence pair for each of the ``protein_names``.  Both are
+    counted from the actual data structures, then scaled by
+    ``core_seconds_per_unit``.
+    """
+    seq = np.asarray(encoded, dtype=np.uint8)
+    db = engine.database
+    sim = engine.similarity_of(seq)
+    proteome_residues = int(db.valid_columns.size)
+    sim_units = float(seq.size) * proteome_residues
+
+    matched = sim.matched_protein_indices()
+    adjacency = db.adjacency
+    # Evidence edges reachable from the matched proteins: the amount of
+    # known-interaction structure PIPE must examine per prediction.
+    evidence = float(adjacency[matched].sum()) if matched.size else 0.0
+    predict_units = (evidence + 1.0) * len(protein_names) * float(seq.size)
+
+    return SequenceWorkload(
+        name=name,
+        similarity_work=sim_units * core_seconds_per_unit,
+        prediction_work=predict_units * core_seconds_per_unit,
+        fixed_overhead=fixed_overhead,
+    )
+
+
+@dataclass(frozen=True)
+class PopulationWorkloadModel:
+    """Distribution of per-sequence work for a GA population state.
+
+    The paper benchmarks three populations (after 1, 100 and 250
+    generations): early random populations are dominated by cheap,
+    unsuitable sequences; converged populations contain expensive,
+    database-similar sequences — "the individual sequences are becoming
+    more difficult to process giving the worker processes more work to do,
+    leading to a reduction in idle time".
+
+    Work is log-normal: ``exp(N(log(mean) - sigma^2/2, sigma))`` so the
+    configured mean is the true mean.
+    """
+
+    label: str
+    mean_work: float
+    sigma: float
+    fixed_overhead: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_work <= 0:
+            raise ValueError(f"mean_work must be > 0, got {self.mean_work}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def sample(self, count: int, *, seed: int = 0) -> list[SequenceWorkload]:
+        """Draw ``count`` per-sequence workloads."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = derive_rng(seed, "population-workload", self.label)
+        mu = np.log(self.mean_work) - 0.5 * self.sigma**2
+        draws = rng.lognormal(mu, self.sigma, size=count)
+        return [
+            SequenceWorkload(
+                name=f"{self.label}[{i}]",
+                similarity_work=float(w) * 0.35,
+                prediction_work=float(w) * 0.65,
+                fixed_overhead=self.fixed_overhead,
+            )
+            for i, w in enumerate(draws)
+        ]
+
+
+#: Work is in core-seconds (one dedicated BGQ core).  A full 64-thread node
+#: delivers ~34.6 core-equivalents under the default throughput model, so
+#: these means land the 63-worker generation times near the paper's
+#: Figure 5 (roughly 1000 s / 2300 s / 3500 s for the populations after
+#: 1 / 100 / 250 generations with 1500 sequences).  The early random
+#: population has the heaviest tail (most sequences are cheap and
+#: unsuitable, a few are accidentally expensive), which is what degrades
+#: its scaling relative to converged populations — the paper's Sec. 3.2
+#: observation.
+POPULATION_PRESETS: dict[str, PopulationWorkloadModel] = {
+    "generation-1": PopulationWorkloadModel("generation-1", 1450.0, 0.28),
+    "generation-100": PopulationWorkloadModel("generation-100", 3340.0, 0.18),
+    "generation-250": PopulationWorkloadModel("generation-250", 5100.0, 0.08),
+}

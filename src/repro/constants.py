@@ -1,0 +1,87 @@
+"""Shared constants for the InSiPS reproduction.
+
+The 20 standard amino acids are indexed in the canonical PAM/BLOSUM
+publication order (``ARNDCQEGHILKMFPSTWYV``).  All numeric kernels in the
+package encode sequences as ``uint8`` arrays of indices into this alphabet;
+the substitution matrices in :mod:`repro.substitution` are laid out in the
+same order so a pair of encoded residues indexes directly into the matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical residue order used by every encoded array and score matrix.
+AMINO_ACIDS: str = "ARNDCQEGHILKMFPSTWYV"
+
+#: Number of standard amino acids.
+NUM_AMINO_ACIDS: int = len(AMINO_ACIDS)
+
+#: Map residue letter -> alphabet index.
+AA_TO_INDEX: dict[str, int] = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+
+#: Map alphabet index -> residue letter.
+INDEX_TO_AA: dict[int, str] = {i: aa for i, aa in enumerate(AMINO_ACIDS)}
+
+# ---------------------------------------------------------------------------
+# Background composition
+# ---------------------------------------------------------------------------
+# Amino-acid frequencies of the S. cerevisiae proteome (order ARNDCQEGHILKMF
+# PSTWYV).  Used by the random-sequence generator so that synthetic candidate
+# sequences and the synthetic proteome share the composition statistics of
+# the organism the paper targets, and by the Dayhoff log-odds computation as
+# the stationary background distribution.
+YEAST_AA_FREQUENCIES: np.ndarray = np.array(
+    [
+        0.0550,  # A
+        0.0445,  # R
+        0.0615,  # N
+        0.0580,  # D
+        0.0130,  # C
+        0.0395,  # Q
+        0.0645,  # E
+        0.0500,  # G
+        0.0215,  # H
+        0.0655,  # I
+        0.0955,  # L
+        0.0730,  # K
+        0.0210,  # M
+        0.0450,  # F
+        0.0440,  # P
+        0.0900,  # S
+        0.0590,  # T
+        0.0105,  # W
+        0.0340,  # Y
+        0.0550,  # V
+    ],
+    dtype=np.float64,
+)
+YEAST_AA_FREQUENCIES /= YEAST_AA_FREQUENCIES.sum()
+
+#: Uniform residue distribution, handy for unbiased random populations.
+UNIFORM_AA_FREQUENCIES: np.ndarray = np.full(NUM_AMINO_ACIDS, 1.0 / NUM_AMINO_ACIDS)
+
+# ---------------------------------------------------------------------------
+# Paper-level facts used as defaults across the package
+# ---------------------------------------------------------------------------
+#: Size of the yeast proteome used in the paper's Performance Test 1.
+YEAST_PROTEOME_SIZE: int = 6707
+
+#: Number of cytoplasmic non-target proteins in the wet-lab experiments.
+CYTOPLASMIC_NON_TARGETS: int = 1701
+
+#: PIPE false-positive rate quoted in the paper (Sec. 2.2).
+PIPE_FALSE_POSITIVE_RATE: float = 0.0005
+
+#: Default GA operator probabilities used for the wet-lab runs (Sec. 4.2).
+DEFAULT_P_CROSSOVER: float = 0.5
+DEFAULT_P_MUTATE: float = 0.4
+DEFAULT_P_COPY: float = 0.1
+DEFAULT_P_MUTATE_AA: float = 0.05
+
+#: BGQ node geometry (SciNet BGQ, Sec. 3).
+BGQ_CORES_PER_NODE: int = 16
+BGQ_THREADS_PER_CORE: int = 4
+BGQ_MAX_THREADS: int = BGQ_CORES_PER_NODE * BGQ_THREADS_PER_CORE
+BGQ_MIN_JOB_NODES: int = 64
+BGQ_RACK_NODES: int = 1024

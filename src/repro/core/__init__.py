@@ -1,0 +1,12 @@
+"""High-level InSiPS API: the paper's primary contribution as a library.
+
+:class:`InhibitorDesigner` wires a synthetic (or user-supplied) world, the
+PIPE engine, the GA and optionally the parallel runtime into the
+one-call workflow of the paper: *given a target protein and a set of
+non-target proteins, produce a novel protein sequence predicted to
+interact with the target and not with the non-targets.*
+"""
+
+from repro.core.designer import DesignResult, InhibitorDesigner
+
+__all__ = ["DesignResult", "InhibitorDesigner"]

@@ -1,0 +1,192 @@
+"""The :class:`InhibitorDesigner` facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ga.config import GAParams, WETLAB_PARAMS
+from repro.ga.engine import GAResult, InSiPSEngine
+from repro.ga.fitness import ScoreProvider, SerialScoreProvider
+from repro.ga.population import Individual
+from repro.ga.stats import RunHistory
+from repro.ga.termination import PaperTermination, TerminationCriterion
+from repro.sequences.protein import Protein
+from repro.synthetic.world import SyntheticWorld
+from repro.wetlab.binding import InhibitionProfile
+
+__all__ = ["DesignResult", "InhibitorDesigner"]
+
+
+@dataclass
+class DesignResult:
+    """Outcome of one inhibitor design run."""
+
+    target: str
+    non_targets: list[str]
+    best: Individual
+    history: RunHistory
+    generations: int
+    evaluations: int
+    seed: int | None = None
+
+    @property
+    def fitness(self) -> float:
+        return float(self.best.fitness)
+
+    def inhibition_profile(self) -> InhibitionProfile:
+        """The design's predicted interaction profile, as the paper reports
+        it (target score, maximum and average off-target score)."""
+        return InhibitionProfile(
+            target=self.target,
+            target_score=float(self.best.target_score),
+            max_off_target_score=float(self.best.max_non_target),
+            avg_off_target_score=float(self.best.avg_non_target),
+        )
+
+    def designed_protein(self) -> Protein:
+        """The designed sequence as a named protein (``anti-<target>``)."""
+        return Protein(
+            f"anti-{self.target}",
+            self.best.sequence,
+            {
+                "designed": True,
+                "target": self.target,
+                "fitness": self.fitness,
+            },
+        )
+
+    def synthesis_order(self, *, seed: int = 0) -> dict[str, object]:
+        """Everything a DNA-synthesis vendor needs (the paper's Sec. 4.2
+        step: "the coding DNA ... was commercially synthesized").
+
+        Returns the yeast-codon-sampled coding DNA, its GC content, the
+        protein's physicochemical summary and any synthesisability red
+        flags.
+        """
+        from repro.sequences.codon import gc_content, reverse_translate
+        from repro.sequences.properties import (
+            gravy,
+            molecular_weight,
+            net_charge,
+            synthesis_flags,
+        )
+
+        protein = self.best.sequence
+        dna = reverse_translate(protein, mode="sampled", seed=seed)
+        return {
+            "name": f"anti-{self.target}",
+            "protein": protein,
+            "coding_dna": dna,
+            "gc_content": gc_content(dna),
+            "molecular_weight_da": molecular_weight(protein),
+            "net_charge": net_charge(protein),
+            "gravy": gravy(protein),
+            "flags": synthesis_flags(protein),
+        }
+
+
+@dataclass
+class InhibitorDesigner:
+    """Design inhibitory proteins against targets in a world.
+
+    Parameters
+    ----------
+    world:
+        The proteome + interactome the PIPE engine mines.
+    params:
+        GA operator probabilities (defaults to the paper's wet-lab set).
+    population_size, candidate_length:
+        GA scale; default to the world profile's values when built through
+        :meth:`from_profile`, else to modest stand-alone defaults.
+    non_target_limit:
+        Cap on the same-component non-target list (None = all, as in the
+        paper).
+    provider_factory:
+        Optional callable ``(engine, target, non_targets) -> ScoreProvider``
+        to swap in the multiprocessing runtime; default is the serial
+        reference provider.
+    """
+
+    world: SyntheticWorld
+    params: GAParams = field(default_factory=lambda: WETLAB_PARAMS)
+    population_size: int = 60
+    candidate_length: int = 64
+    non_target_limit: int | None = None
+    provider_factory: object | None = None
+
+    @classmethod
+    def from_profile(cls, profile, *, seed: int | None = None, **overrides):
+        """Build designer + world from a :class:`repro.synthetic.Profile`."""
+        world = profile.build_world(seed=seed)
+        kwargs = dict(
+            population_size=profile.population_size,
+            candidate_length=profile.candidate_length,
+            non_target_limit=profile.non_target_limit,
+        )
+        kwargs.update(overrides)
+        return cls(world, **kwargs)
+
+    def non_targets_for(self, target: str) -> list[str]:
+        return self.world.non_targets_for(target, limit=self.non_target_limit)
+
+    def _provider(self, target: str, non_targets: list[str]) -> ScoreProvider:
+        if self.provider_factory is not None:
+            return self.provider_factory(self.world.engine, target, non_targets)
+        return SerialScoreProvider(self.world.engine, target, non_targets)
+
+    def design(
+        self,
+        target: str,
+        *,
+        seed: int | None = None,
+        termination: TerminationCriterion | int | None = None,
+        non_targets: list[str] | None = None,
+        on_generation=None,
+    ) -> DesignResult:
+        """Run InSiPS against ``target``.
+
+        ``termination`` defaults to the paper's rule (min generations +
+        stall window) scaled down hard for interactive use; pass an int for
+        a fixed generation budget.
+        """
+        nts = non_targets if non_targets is not None else self.non_targets_for(target)
+        if termination is None:
+            termination = PaperTermination(min_generations=30, stall=10, hard_limit=120)
+        provider = self._provider(target, nts)
+        try:
+            engine = InSiPSEngine(
+                provider,
+                self.params,
+                population_size=self.population_size,
+                candidate_length=self.candidate_length,
+                seed=seed,
+            )
+            result: GAResult = engine.run(termination, on_generation=on_generation)
+        finally:
+            provider.close()
+        return DesignResult(
+            target=target,
+            non_targets=nts,
+            best=result.best,
+            history=result.history,
+            generations=result.generations,
+            evaluations=result.evaluations,
+            seed=seed,
+        )
+
+    def design_many(
+        self,
+        target: str,
+        seeds: list[int],
+        *,
+        termination: TerminationCriterion | int | None = None,
+    ) -> DesignResult:
+        """The paper's restart protocol: rerun with several random seeds
+        and keep the best design (Sec. 4.2 reruns the top candidates three
+        times)."""
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        results = [
+            self.design(target, seed=s, termination=termination) for s in seeds
+        ]
+        return max(results, key=lambda r: r.fitness)

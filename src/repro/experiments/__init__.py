@@ -1,0 +1,29 @@
+"""Experiment drivers: one per table and figure of the paper.
+
+Every driver is a function ``run_*(profile="...", seed=...)`` returning an
+:class:`~repro.experiments.base.ExperimentResult` whose ``render()`` prints
+the same rows/series the paper reports.  The registry maps paper artefact
+ids ("fig3", "table1", ...) to drivers; ``python -m repro.experiments``
+runs any subset from the command line.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig2_fitness_heatmap import run_fig2
+from repro.experiments.fig3_fig4_thread_scaling import run_fig3_fig4
+from repro.experiments.fig5_fig6_worker_scaling import run_fig5_fig6
+from repro.experiments.fig7_learning_curves import run_fig7
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.tables1_3_param_tuning import run_param_tuning
+from repro.experiments.tables4_5_wetlab import run_wetlab_validation
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_fig2",
+    "run_fig3_fig4",
+    "run_fig5_fig6",
+    "run_fig7",
+    "run_param_tuning",
+    "run_wetlab_validation",
+]

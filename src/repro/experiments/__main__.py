@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+Runs the requested paper artefacts (all of them by default) and prints
+each rendered report.  Shared drivers are deduplicated so ``fig3 fig4``
+computes once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the InSiPS paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=[],
+        help="artefact ids (fig2..fig10, table1..table5); default: all",
+    )
+    parser.add_argument("--profile", default="tiny", help="scale profile")
+    parser.add_argument("--seed", type=int, default=0, help="world seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list known artefact ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+
+    ids = [i.lower() for i in (args.ids or sorted(EXPERIMENTS))]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+
+    seen = set()
+    for artefact_id in ids:
+        driver = EXPERIMENTS[artefact_id]
+        if driver in seen:
+            continue
+        seen.add(driver)
+        start = time.perf_counter()
+        result = driver(profile=args.profile, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"\n[{result.experiment_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

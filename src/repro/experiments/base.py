@@ -1,0 +1,47 @@
+"""Common experiment-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered + raw output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artefact id(s), e.g. ``"fig3+fig4"`` or ``"table1"``.
+    title:
+        Human-readable caption.
+    artifacts:
+        Ordered mapping of section name → rendered text block.
+    data:
+        Raw numbers for programmatic consumption (benchmark assertions,
+        EXPERIMENTS.md generation).
+    notes:
+        Free-form commentary (calibration constants, paper-vs-measured).
+    """
+
+    experiment_id: str
+    title: str
+    artifacts: dict[str, str] = field(default_factory=dict)
+    data: dict[str, object] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The full printable report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for name, text in self.artifacts.items():
+            parts.append(f"\n-- {name} --")
+            parts.append(text)
+        if self.notes:
+            parts.append("\nNotes:")
+            parts.extend(f"  * {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,45 @@
+"""Figure 2: heat-map representation of the InSiPS fitness function."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.heatmap import fitness_heatmap, render_heatmap
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run_fig2"]
+
+
+def run_fig2(*, resolution: int = 51, **_ignored) -> ExperimentResult:
+    """Evaluate and render the fitness surface.
+
+    Reproduces the two qualitative properties the paper reads off the
+    figure: fitness increases towards the lower-right corner
+    (high target score, low max non-target score) where it peaks at 1, and
+    iso-fitness curves are smooth hyperbola-like bands.
+    """
+    grid = fitness_heatmap(resolution)
+    fitness = grid["fitness"]
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="Heat map of fitness(seq) = (1 - MAX(PIPE(seq, nt))) * PIPE(seq, target)",
+    )
+    result.artifacts["heatmap"] = render_heatmap(fitness)
+    corner = float(fitness[0, -1])
+    result.data.update(
+        target_axis=grid["target"],
+        max_non_target_axis=grid["max_non_target"],
+        fitness=fitness,
+        peak_value=corner,
+        peak_location="target=1, max_non_target=0",
+    )
+    result.notes.append(
+        f"peak fitness {corner:.3f} at PIPE(target)=1, MAX(PIPE(nt))=0 "
+        "(paper: value 1 in the lower-right corner)"
+    )
+    # Monotonicity summary along both axes.
+    mono_target = bool(np.all(np.diff(fitness[0, :]) >= 0))
+    mono_nt = bool(np.all(np.diff(fitness[:, -1]) <= 0))
+    result.data["monotone_in_target"] = mono_target
+    result.data["monotone_in_non_target"] = mono_nt
+    return result

@@ -1,0 +1,145 @@
+"""Figures 3–4: threads-per-worker scaling on a single BGQ node.
+
+Performance Test 1 measures "the entire time it takes the worker process to
+receive the sequence from the master, build the necessary similarity data
+structure and carry out protein-protein interaction predictions between
+this sequence and all 6707 yeast proteins" for five sequences of
+increasing computational difficulty (YPL108W … YHR214C-B), on 1–64
+threads.
+
+Here the five sequences' *relative* difficulty is measured from the real
+PIPE engine running in this package (the designated performance-test
+proteins carry increasing numbers of planted motifs, so they match
+increasing numbers of database proteins); a single calibration constant
+converts work units to BGQ core-seconds so the hardest sequence lands near
+the paper's ~47000 s single-thread time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_line_plot, format_table
+from repro.cluster.bgq import simulate_worker_node
+from repro.cluster.throughput import MemoryBoundThroughput
+from repro.cluster.workload import SequenceWorkload, measure_workload
+from repro.experiments.base import ExperimentResult
+from repro.synthetic.profiles import get_profile
+
+__all__ = ["run_fig3_fig4", "PERFORMANCE_SEQUENCES", "THREAD_COUNTS"]
+
+#: The paper's five benchmark sequences, easiest to hardest.
+PERFORMANCE_SEQUENCES: tuple[str, ...] = (
+    "YPL108W",
+    "YPL158C",
+    "YJR151C",
+    "YCL019W",
+    "YHR214C-B",
+)
+
+#: Thread counts of Figures 3–4 (x axis ticks).
+THREAD_COUNTS: tuple[int, ...] = (1, 8, 16, 24, 32, 40, 48, 56, 64)
+
+#: The paper's hardest single-thread runtime (s), used for calibration.
+PAPER_HARDEST_SINGLE_THREAD_SECONDS = 47_000.0
+
+#: Per-sequence fixed receive/setup overhead (s) on the worker.
+FIXED_OVERHEAD_SECONDS = 6.0
+
+
+def measured_workloads(world, *, names=PERFORMANCE_SEQUENCES) -> list[SequenceWorkload]:
+    """Measure the five sequences' PIPE work from the real engine and
+    calibrate to BGQ core-seconds."""
+    engine = world.engine
+    proteome = world.graph.names
+    raw = [
+        measure_workload(
+            engine,
+            world.protein(name).encoded,
+            proteome,
+            name=name,
+        )
+        for name in names
+    ]
+    # The paper *selected* its five sequences to span difficulty and lists
+    # them easiest -> hardest; we do the same, assigning the canonical
+    # names to the measured workloads in difficulty order.
+    raw.sort(key=lambda w: w.parallel_work)
+    hardest = max(w.parallel_work for w in raw)
+    scale = PAPER_HARDEST_SINGLE_THREAD_SECONDS / hardest
+    return [
+        SequenceWorkload(
+            name=name,
+            similarity_work=w.similarity_work * scale,
+            prediction_work=w.prediction_work * scale,
+            fixed_overhead=FIXED_OVERHEAD_SECONDS,
+        )
+        for name, w in zip(names, raw)
+    ]
+
+
+def run_fig3_fig4(
+    *, profile: str = "tiny", seed: int = 0, **_ignored
+) -> ExperimentResult:
+    """Reproduce the runtime (Fig 3) and speedup (Fig 4) curves."""
+    prof = get_profile(profile)
+    world = prof.build_world(seed=seed)
+    node = MemoryBoundThroughput()
+    workloads = measured_workloads(world)
+
+    runtimes = {
+        w.name: np.array(
+            [simulate_worker_node(w, t, node=node) for t in THREAD_COUNTS]
+        )
+        for w in workloads
+    }
+    speedups = {name: r[0] / r for name, r in runtimes.items()}
+
+    result = ExperimentResult(
+        experiment_id="fig3+fig4",
+        title="InSiPS threads/worker scaling on one BGQ node (DES model, "
+        "difficulty measured from the real PIPE engine)",
+    )
+    headers = ["Sequence"] + [f"t={t}" for t in THREAD_COUNTS]
+    result.artifacts["fig3: runtime (s)"] = format_table(
+        headers,
+        [
+            [name] + [float(v) for v in runtimes[name]]
+            for name in (w.name for w in workloads)
+        ],
+        float_format="{:.0f}",
+    )
+    result.artifacts["fig4: speedup"] = format_table(
+        headers,
+        [
+            [name] + [float(v) for v in speedups[name]]
+            for name in (w.name for w in workloads)
+        ],
+        float_format="{:.1f}",
+    )
+    threads_axis = np.array(THREAD_COUNTS, dtype=float)
+    result.artifacts["fig4: speedup plot"] = ascii_line_plot(
+        {name: (threads_axis, s) for name, s in speedups.items()},
+        x_label="threads",
+        y_label="speedup",
+        height=16,
+    )
+    result.data.update(
+        thread_counts=THREAD_COUNTS,
+        runtimes={k: v.tolist() for k, v in runtimes.items()},
+        speedups={k: v.tolist() for k, v in speedups.items()},
+        workloads={w.name: w.parallel_work for w in workloads},
+    )
+    hardest = workloads[-1]
+    s16 = speedups[hardest.name][THREAD_COUNTS.index(16)]
+    s64 = speedups[hardest.name][-1]
+    result.notes.append(
+        f"hardest sequence: speedup {s16:.1f}x at 16 threads "
+        f"(paper: perfectly linear, 16x) and {s64:.1f}x at 64 threads "
+        "(paper: continued but sub-linear improvement)"
+    )
+    result.notes.append(
+        "difficulty order measured from PIPE evidence volume: "
+        + " < ".join(w.name for w in sorted(workloads, key=lambda w: w.parallel_work))
+    )
+    return result

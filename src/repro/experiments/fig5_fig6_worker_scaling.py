@@ -1,0 +1,97 @@
+"""Figures 5–6: worker-process scaling of a full GA generation.
+
+Performance Test 2: "the entire time it took for a generation to be
+computed", for 1500 sequences against 250 targets/non-targets, on 64–1024
+MPI processes (the 64-node SciNet minimum job is the speedup baseline), for
+three populations taken after 1, 100 and 250 generations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_line_plot, format_table
+from repro.cluster.bgq import BGQClusterConfig, simulate_generation
+from repro.cluster.workload import POPULATION_PRESETS
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run_fig5_fig6", "PROCESS_COUNTS"]
+
+#: Process counts of Figures 5–6 (multiples of the 64-node minimum job).
+PROCESS_COUNTS: tuple[int, ...] = (64, 128, 256, 384, 512, 640, 768, 896, 1024)
+
+#: Sequences per generation in the paper's test problem.
+SEQUENCES_PER_GENERATION = 1500
+
+
+def run_fig5_fig6(
+    *,
+    seed: int = 0,
+    sequences: int = SEQUENCES_PER_GENERATION,
+    process_counts: tuple[int, ...] = PROCESS_COUNTS,
+    config: BGQClusterConfig | None = None,
+    **_ignored,
+) -> ExperimentResult:
+    """Reproduce the generation-runtime (Fig 5) and speedup (Fig 6) curves."""
+    cfg = config or BGQClusterConfig()
+    runtimes: dict[str, np.ndarray] = {}
+    utilisation: dict[str, list[float]] = {}
+    for label, model in POPULATION_PRESETS.items():
+        workloads = model.sample(sequences, seed=seed)
+        times = []
+        utils = []
+        for procs in process_counts:
+            sim = simulate_generation(workloads, procs, cfg)
+            times.append(sim.total_time)
+            utils.append(sim.mean_utilisation)
+        runtimes[label] = np.array(times)
+        utilisation[label] = utils
+
+    baseline_procs = process_counts[0]
+    speedups = {label: r[0] / r for label, r in runtimes.items()}
+
+    result = ExperimentResult(
+        experiment_id="fig5+fig6",
+        title=f"InSiPS worker-process scaling: one generation, {sequences} "
+        f"sequences (DES model, baseline {baseline_procs} processes)",
+    )
+    headers = ["Population"] + [f"p={p}" for p in process_counts]
+    result.artifacts["fig5: generation runtime (s)"] = format_table(
+        headers,
+        [[label] + [float(v) for v in runtimes[label]] for label in runtimes],
+        float_format="{:.0f}",
+    )
+    result.artifacts["fig6: speedup vs 64 processes"] = format_table(
+        headers,
+        [[label] + [float(v) for v in speedups[label]] for label in speedups],
+        float_format="{:.1f}",
+    )
+    procs_axis = np.array(process_counts, dtype=float)
+    result.artifacts["fig6: speedup plot"] = ascii_line_plot(
+        {label: (procs_axis, s) for label, s in speedups.items()},
+        x_label="processes",
+        y_label="speedup",
+        height=14,
+    )
+    result.data.update(
+        process_counts=process_counts,
+        runtimes={k: v.tolist() for k, v in runtimes.items()},
+        speedups={k: v.tolist() for k, v in speedups.items()},
+        utilisation=utilisation,
+        ideal_speedup_at_max=float(process_counts[-1] - 1)
+        / float(baseline_procs - 1),
+    )
+    last = process_counts[-1]
+    converged = speedups["generation-250"][-1]
+    random_pop = speedups["generation-1"][-1]
+    result.notes.append(
+        f"speedup at {last} processes: {converged:.1f}x for the converged "
+        f"population vs {random_pop:.1f}x for the random one "
+        "(paper: ~12x of an ideal 16x, converged populations scale best)"
+    )
+    result.notes.append(
+        "sub-linear sources in the model: 1500-sequence granularity over "
+        "1023 workers, master request-service queueing, and the Amdahl "
+        "end-of-generation master phase — the same three the paper names"
+    )
+    return result

@@ -1,0 +1,51 @@
+"""Registry mapping paper artefact ids to experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig2_fitness_heatmap import run_fig2
+from repro.experiments.fig3_fig4_thread_scaling import run_fig3_fig4
+from repro.experiments.fig5_fig6_worker_scaling import run_fig5_fig6
+from repro.experiments.fig7_learning_curves import run_fig7
+from repro.experiments.tables1_3_param_tuning import run_param_tuning
+from repro.experiments.tables4_5_wetlab import run_wetlab_validation
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: Every reproducible paper artefact, keyed by id.  Several artefacts share
+#: a driver (a figure and its table come from the same computation).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": run_fig2,
+    "fig3": run_fig3_fig4,
+    "fig4": run_fig3_fig4,
+    "fig5": run_fig5_fig6,
+    "fig6": run_fig5_fig6,
+    "fig7": run_fig7,
+    "fig8": run_wetlab_validation,
+    "fig9": run_wetlab_validation,
+    "fig10": run_wetlab_validation,
+    "table1": run_param_tuning,
+    "table2": run_param_tuning,
+    "table3": run_param_tuning,
+    "table4": run_wetlab_validation,
+    "table5": run_wetlab_validation,
+    # Not a paper artefact: quantifies the paper's prose design arguments.
+    "ablations": run_ablations,
+}
+
+
+def run_experiment(
+    experiment_id: str, *, profile: str = "tiny", seed: int = 0, **kwargs
+) -> ExperimentResult:
+    """Run the driver for a paper artefact id (e.g. ``"fig3"``)."""
+    try:
+        driver = EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+    return driver(profile=profile, seed=seed, **kwargs)

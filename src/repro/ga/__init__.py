@@ -1,0 +1,82 @@
+"""The InSiPS genetic algorithm (the paper's core contribution).
+
+``InSiPSEngine`` (:mod:`repro.ga.engine`) implements the main loop of
+Figure 1: evaluate the population with the PIPE-based fitness of Sec. 2.2,
+then build the next generation by fitness-proportional selection of the
+copy / mutate / crossover operations.  Evaluation is delegated through the
+:class:`~repro.ga.fitness.ScoreProvider` interface so the serial reference
+path and the master/worker parallel runtime (:mod:`repro.parallel`) share
+the exact same GA code.
+"""
+
+from repro.ga.adaptive import AdaptiveInSiPSEngine, AdaptiveOperatorController
+from repro.ga.config import (
+    GAParams,
+    PAPER_PARAMETER_SETS,
+    WETLAB_PARAMS,
+)
+from repro.ga.engine import GAResult, InSiPSEngine
+from repro.ga.fitness import (
+    FitnessFunction,
+    ScoreProvider,
+    ScoreSet,
+    SerialScoreProvider,
+    combine_scores,
+)
+from repro.ga.operators import crossover, mutate, point_copy
+from repro.ga.population import Individual, Population
+from repro.ga.seeding import (
+    PopulationInitializer,
+    ProteinFragmentInitializer,
+    RandomInitializer,
+    WarmStartInitializer,
+)
+from repro.ga.diversity import (
+    diversity_report,
+    mean_pairwise_hamming,
+    positional_entropy,
+    unique_fraction,
+)
+from repro.ga.selection import roulette_select
+from repro.ga.stats import GenerationStats, RunHistory
+from repro.ga.termination import (
+    MaxGenerations,
+    PaperTermination,
+    StallGenerations,
+    TerminationCriterion,
+)
+
+__all__ = [
+    "AdaptiveInSiPSEngine",
+    "AdaptiveOperatorController",
+    "FitnessFunction",
+    "GAParams",
+    "GAResult",
+    "GenerationStats",
+    "InSiPSEngine",
+    "Individual",
+    "MaxGenerations",
+    "PAPER_PARAMETER_SETS",
+    "PaperTermination",
+    "Population",
+    "PopulationInitializer",
+    "ProteinFragmentInitializer",
+    "RandomInitializer",
+    "WarmStartInitializer",
+    "RunHistory",
+    "ScoreProvider",
+    "ScoreSet",
+    "SerialScoreProvider",
+    "StallGenerations",
+    "TerminationCriterion",
+    "WETLAB_PARAMS",
+    "combine_scores",
+    "crossover",
+    "diversity_report",
+    "mean_pairwise_hamming",
+    "positional_entropy",
+    "unique_fraction",
+    "mutate",
+    "point_copy",
+    "roulette_select",
+]

@@ -1,0 +1,159 @@
+"""Adaptive operator probabilities (an InSiPS extension).
+
+Sec. 4.1 shows InSiPS is robust across fixed operator mixes but leaves the
+mix static.  A natural extension — and the reason the paper can skip
+tuning — is to adapt the mutate/crossover balance online from operator
+*success rates* (the fraction of children that beat their parents).  The
+copy probability stays fixed (the paper: "this operation doesn't add
+anything new to the next population"), and the adaptive shares are bounded
+away from zero so no operator is ever starved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.ga.config import GAParams
+from repro.ga.engine import InSiPSEngine
+from repro.ga.population import Individual, Population
+
+__all__ = ["AdaptiveOperatorController", "AdaptiveInSiPSEngine"]
+
+
+@dataclass
+class AdaptiveOperatorController:
+    """Tracks per-operator success and re-balances the probabilities.
+
+    Success rates are exponential moving averages; after each generation
+    the mutate/crossover shares are set proportional to
+    ``floor + rate`` and renormalised to ``1 - p_copy``.
+    """
+
+    base: GAParams
+    #: EMA smoothing for the per-generation success rates.
+    smoothing: float = 0.3
+    #: Additive floor keeping every operator alive.
+    floor: float = 0.1
+    #: Minimum share of the adaptive mass per operator.
+    min_share: float = 0.15
+    _rates: dict[str, float] = field(default_factory=dict)
+    _params: GAParams | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if self.floor <= 0:
+            raise ValueError("floor must be > 0")
+        if not 0.0 < self.min_share < 0.5:
+            raise ValueError("min_share must be in (0, 0.5)")
+        self._rates = {"mutate": 0.5, "crossover": 0.5}
+        self._params = self.base
+
+    @property
+    def params(self) -> GAParams:
+        return self._params if self._params is not None else self.base
+
+    def observe(self, outcomes: dict[str, tuple[int, int]]) -> GAParams:
+        """Feed one generation of ``op -> (improved, total)`` counts and
+        return the re-balanced parameters."""
+        for op in ("mutate", "crossover"):
+            improved, total = outcomes.get(op, (0, 0))
+            if total > 0:
+                rate = improved / total
+                self._rates[op] = (
+                    (1 - self.smoothing) * self._rates[op] + self.smoothing * rate
+                )
+        adaptive_mass = 1.0 - self.base.p_copy
+        weights = {
+            op: self.floor + self._rates[op] for op in ("mutate", "crossover")
+        }
+        total_w = sum(weights.values())
+        shares = {op: w / total_w for op, w in weights.items()}
+        lo = self.min_share
+        shares = {op: min(max(s, lo), 1.0 - lo) for op, s in shares.items()}
+        norm = sum(shares.values())
+        p_mutate = adaptive_mass * shares["mutate"] / norm
+        p_crossover = adaptive_mass * shares["crossover"] / norm
+        self._params = replace(
+            self.base, p_mutate=p_mutate, p_crossover=p_crossover
+        )
+        return self._params
+
+    def success_rates(self) -> dict[str, float]:
+        return dict(self._rates)
+
+
+class AdaptiveInSiPSEngine(InSiPSEngine):
+    """InSiPS with online operator-probability adaptation.
+
+    Children are tagged with their origin operator and the parent's
+    fitness; after each evaluation the controller sees which operators
+    produced improvements and re-balances ``params`` for the next
+    generation.
+    """
+
+    def __init__(self, *args, controller: AdaptiveOperatorController | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.controller = controller or AdaptiveOperatorController(self.params)
+        self.params = self.controller.params
+        self.params_history: list[GAParams] = [self.params]
+
+    def next_generation(self, current: Population) -> Population:
+        nxt = Population(generation=current.generation + 1)
+        probs = np.array(self.params.operation_probabilities)
+        from repro.ga.operators import crossover, mutate, point_copy
+        from repro.ga.selection import roulette_select
+
+        while len(nxt) < self.population_size:
+            op = ("copy", "mutate", "crossover")[int(self._rng.choice(3, p=probs))]
+            if op == "copy":
+                (i,) = roulette_select(current, self._rng, 1)
+                parent = current[i]
+                child = Individual(point_copy(parent.encoded))
+                child.fitness = parent.fitness
+                child.target_score = parent.target_score
+                child.max_non_target = parent.max_non_target
+                child.avg_non_target = parent.avg_non_target
+                nxt.append(child)
+            elif op == "mutate":
+                (i,) = roulette_select(current, self._rng, 1)
+                child = Individual(
+                    mutate(current[i].encoded, self.params.p_mutate_aa, self._rng)
+                )
+                child.__dict__["origin"] = ("mutate", float(current[i].fitness))
+                nxt.append(child)
+            else:
+                i, j = roulette_select(current, self._rng, 2)
+                parent_fit = max(float(current[i].fitness), float(current[j].fitness))
+                c1, c2 = crossover(
+                    current[i].encoded,
+                    current[j].encoded,
+                    self.params.crossover_margin,
+                    self._rng,
+                )
+                for c in (c1, c2):
+                    if len(nxt) >= self.population_size:
+                        break
+                    child = Individual(c)
+                    child.__dict__["origin"] = ("crossover", parent_fit)
+                    nxt.append(child)
+        return nxt
+
+    def evaluate_population(self, population: Population) -> int:
+        evals = super().evaluate_population(population)
+        outcomes: dict[str, list[bool]] = {"mutate": [], "crossover": []}
+        for member in population:
+            origin = member.__dict__.get("origin")
+            if origin is None:
+                continue
+            op, parent_fitness = origin
+            outcomes[op].append(float(member.fitness) > parent_fitness)
+        counted = {
+            op: (sum(flags), len(flags)) for op, flags in outcomes.items()
+        }
+        if any(total for _, total in counted.values()):
+            self.params = self.controller.observe(counted)
+            self.params_history.append(self.params)
+        return evals

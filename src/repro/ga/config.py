@@ -1,0 +1,78 @@
+"""GA operator parameters.
+
+"The key input parameters p_copy, p_mutate and p_crossover shape the way
+InSiPS builds new sequences ... The only restriction on these parameters is
+that they must sum to 1.0" (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    DEFAULT_P_COPY,
+    DEFAULT_P_CROSSOVER,
+    DEFAULT_P_MUTATE,
+    DEFAULT_P_MUTATE_AA,
+)
+from repro.util.validation import check_fraction, check_probability_simplex
+
+__all__ = ["GAParams", "PAPER_PARAMETER_SETS", "WETLAB_PARAMS"]
+
+
+@dataclass(frozen=True)
+class GAParams:
+    """Operator probabilities of the InSiPS genetic algorithm.
+
+    Attributes
+    ----------
+    p_copy, p_mutate, p_crossover:
+        Probability that the respective operation builds the next new
+        sequence(s); must sum to 1.
+    p_mutate_aa:
+        Per-residue mutation probability once the mutate operation is
+        chosen ("each amino acid in the chosen sequence would be randomly
+        switched to another amino acid with a probability of 0.05").
+    crossover_margin:
+        Minimum fraction of a sequence on either side of the crossover cut
+        point ("ensuring it is not too close to either end").
+    """
+
+    p_copy: float = DEFAULT_P_COPY
+    p_mutate: float = DEFAULT_P_MUTATE
+    p_crossover: float = DEFAULT_P_CROSSOVER
+    p_mutate_aa: float = DEFAULT_P_MUTATE_AA
+    crossover_margin: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_probability_simplex(
+            (self.p_copy, self.p_mutate, self.p_crossover),
+            ("p_copy", "p_mutate", "p_crossover"),
+        )
+        check_fraction(self.p_mutate_aa, "p_mutate_aa")
+        if not 0.0 <= self.crossover_margin < 0.5:
+            raise ValueError(
+                f"crossover_margin must be in [0, 0.5), got {self.crossover_margin}"
+            )
+
+    @property
+    def operation_probabilities(self) -> tuple[float, float, float]:
+        """(copy, mutate, crossover) in the order used by the engine."""
+        return (self.p_copy, self.p_mutate, self.p_crossover)
+
+
+#: The five parameter settings benchmarked in Sec. 4.1 (Tables 1–3).
+#: p_copy is held at 0.10 throughout ("since this operation doesn't add
+#: anything new") and p_mutate_aa at 0.05.
+PAPER_PARAMETER_SETS: dict[str, GAParams] = {
+    "Set 1": GAParams(p_copy=0.10, p_crossover=0.45, p_mutate=0.45),
+    "Set 2": GAParams(p_copy=0.10, p_crossover=0.30, p_mutate=0.60),
+    "Set 3": GAParams(p_copy=0.10, p_crossover=0.60, p_mutate=0.30),
+    "Set 4": GAParams(p_copy=0.10, p_crossover=0.75, p_mutate=0.15),
+    "Set 5": GAParams(p_copy=0.10, p_crossover=0.15, p_mutate=0.75),
+}
+
+#: Parameters of the wet-lab design runs (Sec. 4.2).
+WETLAB_PARAMS = GAParams(
+    p_copy=0.1, p_mutate=0.4, p_crossover=0.5, p_mutate_aa=0.05
+)

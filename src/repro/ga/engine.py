@@ -1,0 +1,199 @@
+"""The InSiPS main loop (Figure 1 / Algorithm 1's GA responsibilities).
+
+The engine owns exactly what the paper's master process owns: initial
+population generation, fitness combination, operator application and the
+termination decision.  PIPE scoring is delegated to a
+:class:`~repro.ga.fitness.ScoreProvider`, which is either in-process
+(serial reference) or the multiprocessing master/worker runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ga.config import GAParams
+from repro.ga.fitness import FitnessFunction, ScoreProvider
+from repro.ga.operators import crossover, mutate, point_copy
+from repro.ga.population import Individual, Population
+from repro.ga.selection import roulette_select
+from repro.ga.stats import GenerationStats, RunHistory
+from repro.ga.termination import MaxGenerations, TerminationCriterion
+from repro.sequences.random_gen import RandomSequenceGenerator
+from repro.util.rng import derive_rng
+
+__all__ = ["GAResult", "InSiPSEngine"]
+
+_OPERATIONS = ("copy", "mutate", "crossover")
+
+
+@dataclass
+class GAResult:
+    """Outcome of one InSiPS run."""
+
+    best: Individual
+    history: RunHistory
+    generations: int
+    evaluations: int
+
+    @property
+    def best_fitness(self) -> float:
+        return float(self.best.fitness)
+
+
+class InSiPSEngine:
+    """Runs the InSiPS genetic algorithm for one design problem.
+
+    Parameters
+    ----------
+    provider:
+        Score provider bound to a (target, non-targets) problem.
+    params:
+        GA operator probabilities.
+    population_size:
+        Number of sequences per generation (paper: 1000–1500).
+    candidate_length:
+        Length of generated candidate sequences.
+    seed:
+        Run seed; two runs with the same seed and problem are identical
+        (the Sec. 4.1 "Seed 1/2/3" columns).
+    """
+
+    def __init__(
+        self,
+        provider: ScoreProvider,
+        params: GAParams,
+        *,
+        population_size: int,
+        candidate_length: int,
+        seed: int | np.random.Generator | None = None,
+        initializer=None,
+    ) -> None:
+        if population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {population_size}")
+        if candidate_length < 2:
+            raise ValueError(f"candidate_length must be >= 2, got {candidate_length}")
+        self.provider = provider
+        self.fitness = FitnessFunction(provider)
+        self.params = params
+        self.population_size = int(population_size)
+        self.candidate_length = int(candidate_length)
+        self._rng = derive_rng(seed, "insips-engine")
+        self._init_rng = derive_rng(self._rng, "init-pop")
+        self._initializer = initializer
+        self.evaluations = 0
+
+    # -- population construction ------------------------------------------------
+
+    def initial_population(self) -> Population:
+        """The starting population: random by default (the paper's
+        bias-free recommendation), or whatever
+        :class:`~repro.ga.seeding.PopulationInitializer` was configured."""
+        if self._initializer is not None:
+            pop = self._initializer.population(
+                self.population_size, self.candidate_length, self._init_rng
+            )
+            if len(pop) != self.population_size:
+                raise ValueError(
+                    f"initializer produced {len(pop)} members, "
+                    f"expected {self.population_size}"
+                )
+            return pop
+        generator = RandomSequenceGenerator(
+            self.candidate_length, self.candidate_length, seed=self._init_rng
+        )
+        members = [
+            Individual(seq) for seq in generator.population(self.population_size)
+        ]
+        return Population(members, generation=0)
+
+    def next_generation(self, current: Population) -> Population:
+        """Build the next generation from an evaluated population.
+
+        Each step draws an operation according to the configured
+        probabilities, selects parent(s) fitness-proportionally, applies
+        the operation, and appends the new sequence(s); crossover can
+        overshoot the population size by one, in which case the surplus
+        child is dropped (keeping generations exactly equal-sized).
+        """
+        nxt = Population(generation=current.generation + 1)
+        probs = np.array(self.params.operation_probabilities)
+        while len(nxt) < self.population_size:
+            op = _OPERATIONS[int(self._rng.choice(3, p=probs))]
+            if op == "copy":
+                (i,) = roulette_select(current, self._rng, 1)
+                parent = current[i]
+                child = Individual(point_copy(parent.encoded))
+                # A verbatim copy keeps its scores; no re-evaluation needed.
+                child.fitness = parent.fitness
+                child.target_score = parent.target_score
+                child.max_non_target = parent.max_non_target
+                child.avg_non_target = parent.avg_non_target
+                nxt.append(child)
+            elif op == "mutate":
+                (i,) = roulette_select(current, self._rng, 1)
+                nxt.append(
+                    Individual(
+                        mutate(current[i].encoded, self.params.p_mutate_aa, self._rng)
+                    )
+                )
+            else:  # crossover
+                i, j = roulette_select(current, self._rng, 2)
+                child1, child2 = crossover(
+                    current[i].encoded,
+                    current[j].encoded,
+                    self.params.crossover_margin,
+                    self._rng,
+                )
+                nxt.append(Individual(child1))
+                if len(nxt) < self.population_size:
+                    nxt.append(Individual(child2))
+        return nxt
+
+    # -- main loop ---------------------------------------------------------------
+
+    def evaluate_population(self, population: Population) -> int:
+        """Evaluate all unevaluated members; returns evaluation count."""
+        pending = len(population.unevaluated_members())
+        self.fitness.evaluate(population.members)
+        self.evaluations += pending
+        return pending
+
+    def run(
+        self,
+        termination: TerminationCriterion | int,
+        *,
+        on_generation=None,
+    ) -> GAResult:
+        """Execute the main GA loop until the termination criterion fires.
+
+        ``termination`` may be an integer (max generations) for
+        convenience.  ``on_generation`` is an optional callback
+        ``(population, stats) -> None`` invoked after each evaluation,
+        used by the experiment drivers to stream learning curves.
+        """
+        if isinstance(termination, int):
+            termination = MaxGenerations(termination)
+        history = RunHistory()
+        population = self.initial_population()
+        best: Individual | None = None
+        while True:
+            evals = self.evaluate_population(population)
+            stats = GenerationStats.from_population(population, evaluations=evals)
+            history.append(stats)
+            gen_best = population.best()
+            if best is None or gen_best.fitness > best.fitness:
+                best = gen_best
+            if on_generation is not None:
+                on_generation(population, stats)
+            if termination.should_stop(history):
+                break
+            population = self.next_generation(population)
+        assert best is not None
+        return GAResult(
+            best=best,
+            history=history,
+            generations=len(history),
+            evaluations=self.evaluations,
+        )

@@ -1,0 +1,165 @@
+"""The InSiPS fitness function (Sec. 2.2) and score-provider interface.
+
+``fitness(seq) = (1 - MAX_k PIPE(seq, nt_k)) * PIPE(seq, target)``
+
+The division of labour mirrors the paper exactly: *score providers*
+(worker processes in the parallel runtime, a direct PIPE call in the
+serial path) return the raw PIPE scores of a candidate against the target
+and every non-target; the master-side :func:`combine_scores` folds them
+into the scalar fitness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ga.population import Individual
+from repro.ppi.pipe import PipeEngine
+
+__all__ = [
+    "ScoreSet",
+    "combine_scores",
+    "ScoreProvider",
+    "SerialScoreProvider",
+    "FitnessFunction",
+]
+
+
+@dataclass(frozen=True)
+class ScoreSet:
+    """Raw PIPE scores of one candidate: target + all non-targets."""
+
+    target_score: float
+    non_target_scores: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_score <= 1.0:
+            raise ValueError(f"target_score must be in [0, 1], got {self.target_score}")
+        for s in self.non_target_scores:
+            if not 0.0 <= s <= 1.0:
+                raise ValueError(f"non-target score out of [0, 1]: {s}")
+
+    @property
+    def max_non_target(self) -> float:
+        """MAX(PIPE(seq, non-targets)); 0 when there are no non-targets."""
+        return max(self.non_target_scores) if self.non_target_scores else 0.0
+
+    @property
+    def avg_non_target(self) -> float:
+        return (
+            float(np.mean(self.non_target_scores)) if self.non_target_scores else 0.0
+        )
+
+
+def combine_scores(scores: ScoreSet) -> float:
+    """The Sec. 2.2 fitness: ``(1 - MAX(non-targets)) * target``."""
+    return (1.0 - scores.max_non_target) * scores.target_score
+
+
+class ScoreProvider(ABC):
+    """Something that can produce PIPE score sets for candidate sequences.
+
+    Implementations: :class:`SerialScoreProvider` (direct, in-process) and
+    :class:`repro.parallel.mp_backend.MultiprocessScoreProvider` (the
+    paper's master/worker on-demand dispatch).
+    """
+
+    @abstractmethod
+    def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
+        """PIPE score sets for each sequence, in input order."""
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "ScoreProvider":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialScoreProvider(ScoreProvider):
+    """In-process provider: the reference implementation of Algorithm 2's
+    per-candidate work, with a cross-generation score cache.
+
+    The cache is exact (keyed by sequence bytes) and bounded; it models the
+    fact that the paper's ``copy`` operation re-submits identical sequences
+    every generation.
+    """
+
+    def __init__(
+        self,
+        engine: PipeEngine,
+        target: str,
+        non_targets: list[str],
+        *,
+        cache_size: int = 100_000,
+    ) -> None:
+        if target in non_targets:
+            raise ValueError(f"target {target!r} also appears in the non-target list")
+        # Validate all names up front: a typo should fail fast, not mid-run.
+        engine.database.graph.index_of(target)
+        for nt in non_targets:
+            engine.database.graph.index_of(nt)
+        self.engine = engine
+        self.target = target
+        self.non_targets = list(non_targets)
+        self.cache_size = int(cache_size)
+        self._cache: dict[bytes, ScoreSet] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _score_one(self, sequence: np.ndarray) -> ScoreSet:
+        key = sequence.tobytes()
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        names = [self.target, *self.non_targets]
+        scored = self.engine.score_against(sequence, names)
+        result = ScoreSet(
+            target_score=scored[self.target],
+            non_target_scores=tuple(scored[nt] for nt in self.non_targets),
+        )
+        if len(self._cache) >= self.cache_size:
+            self._cache.clear()  # simple epoch eviction; exactness preserved
+        self._cache[key] = result
+        return result
+
+    def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
+        return [self._score_one(np.asarray(s, dtype=np.uint8)) for s in sequences]
+
+
+class FitnessFunction:
+    """Convenience wrapper: evaluate individuals in place.
+
+    Binds a :class:`ScoreProvider` and writes ``fitness`` plus the three
+    Figure-7 statistics onto each :class:`Individual`.
+    """
+
+    def __init__(self, provider: ScoreProvider) -> None:
+        self.provider = provider
+
+    def evaluate(self, individuals: list[Individual]) -> None:
+        """Evaluate all unevaluated individuals (batch, provider-ordered)."""
+        pending = [ind for ind in individuals if not ind.evaluated]
+        if not pending:
+            return
+        score_sets = self.provider.scores([ind.encoded for ind in pending])
+        if len(score_sets) != len(pending):
+            raise RuntimeError(
+                f"score provider returned {len(score_sets)} results "
+                f"for {len(pending)} sequences"
+            )
+        for ind, scores in zip(pending, score_sets):
+            ind.target_score = scores.target_score
+            ind.max_non_target = scores.max_non_target
+            ind.avg_non_target = scores.avg_non_target
+            ind.fitness = combine_scores(scores)
+
+    def __call__(self, individuals: list[Individual]) -> None:
+        self.evaluate(individuals)

@@ -1,0 +1,82 @@
+"""The three GA operations of Sec. 2.1: copy, mutate, crossover."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NUM_AMINO_ACIDS
+
+__all__ = ["point_copy", "mutate", "crossover", "crossover_cut_range"]
+
+
+def point_copy(sequence: np.ndarray) -> np.ndarray:
+    """Copy: "the chosen sequence is simply copied into the next
+    generation"."""
+    return np.array(sequence, dtype=np.uint8)
+
+
+def mutate(
+    sequence: np.ndarray,
+    p_mutate_aa: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mutate: each residue is independently switched to one of the other 19
+    amino acids with probability ``p_mutate_aa``.
+
+    "While each amino acid has the same initial mutation probability, the
+    final mutation probabilities are different due to fitness selection"
+    — the operator itself is uniform; selection does the shaping.
+    """
+    if not 0.0 <= p_mutate_aa <= 1.0:
+        raise ValueError(f"p_mutate_aa must be in [0, 1], got {p_mutate_aa}")
+    out = np.array(sequence, dtype=np.uint8)
+    hits = np.nonzero(rng.random(out.size) < p_mutate_aa)[0]
+    if hits.size:
+        # Draw from the 19 *other* residues: offset by 1..19 modulo 20.
+        offsets = rng.integers(1, NUM_AMINO_ACIDS, size=hits.size)
+        out[hits] = (out[hits].astype(np.int64) + offsets) % NUM_AMINO_ACIDS
+    return out
+
+
+def crossover_cut_range(length: int, margin: float) -> tuple[int, int]:
+    """Valid cut positions (inclusive, exclusive) for a sequence.
+
+    A cut at position c splits ``seq[:c]`` / ``seq[c:]``; the margin keeps
+    the cut "not too close to either end".  Always leaves at least one
+    residue on each side even for very short sequences.
+    """
+    if length < 2:
+        raise ValueError(f"cannot cross over a length-{length} sequence")
+    lo = max(1, int(np.ceil(length * margin)))
+    hi = min(length - 1, int(np.floor(length * (1.0 - margin))))
+    if hi < lo:
+        lo, hi = 1, length - 1
+    return lo, hi + 1
+
+
+def crossover(
+    a: np.ndarray,
+    b: np.ndarray,
+    margin: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Crossover: cut both sequences and exchange tails.
+
+    "The first portion of sequence A is then joined with the second portion
+    of sequence B, and the first portion of sequence B is joined to the
+    second portion of protein A."  A single fractional cut point is drawn
+    and applied to both sequences, so equal-length parents produce
+    equal-length children while unequal parents exchange proportional
+    tails.
+    """
+    la, lb = int(np.size(a)), int(np.size(b))
+    lo_a, hi_a = crossover_cut_range(la, margin)
+    frac = rng.uniform()
+    cut_a = min(hi_a - 1, max(lo_a, lo_a + int(frac * (hi_a - lo_a))))
+    lo_b, hi_b = crossover_cut_range(lb, margin)
+    cut_b = min(hi_b - 1, max(lo_b, lo_b + int(frac * (hi_b - lo_b))))
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    child1 = np.concatenate([a[:cut_a], b[cut_b:]])
+    child2 = np.concatenate([b[:cut_b], a[cut_a:]])
+    return child1, child2

@@ -1,0 +1,92 @@
+"""Population containers for the InSiPS GA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences.encoding import decode
+
+__all__ = ["Individual", "Population"]
+
+
+@dataclass
+class Individual:
+    """One candidate synthetic protein sequence with its evaluation.
+
+    ``target_score``, ``max_non_target`` and ``avg_non_target`` are the
+    three PIPE statistics the paper tracks per fittest individual
+    (Figure 7); ``fitness`` is their Sec. 2.2 combination.
+    """
+
+    encoded: np.ndarray
+    fitness: float | None = None
+    target_score: float | None = None
+    max_non_target: float | None = None
+    avg_non_target: float | None = None
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.encoded, dtype=np.uint8)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("individual sequence must be a non-empty 1-D array")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self.encoded = arr
+
+    @property
+    def key(self) -> bytes:
+        """Hashable identity of the sequence (used for score caching)."""
+        return self.encoded.tobytes()
+
+    @property
+    def sequence(self) -> str:
+        return decode(self.encoded)
+
+    @property
+    def evaluated(self) -> bool:
+        return self.fitness is not None
+
+    def __len__(self) -> int:
+        return int(self.encoded.size)
+
+
+@dataclass
+class Population:
+    """An ordered generation of individuals."""
+
+    members: list[Individual] = field(default_factory=list)
+    generation: int = 0
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __getitem__(self, index: int) -> Individual:
+        return self.members[index]
+
+    def append(self, individual: Individual) -> None:
+        self.members.append(individual)
+
+    @property
+    def evaluated(self) -> bool:
+        return bool(self.members) and all(m.evaluated for m in self.members)
+
+    def fitness_array(self) -> np.ndarray:
+        """Vector of fitness values; raises if any member is unevaluated."""
+        if not self.evaluated:
+            raise ValueError("population contains unevaluated individuals")
+        return np.array([m.fitness for m in self.members], dtype=np.float64)
+
+    def best(self) -> Individual:
+        """The fittest member (ties broken by earliest position)."""
+        fitness = self.fitness_array()
+        return self.members[int(np.argmax(fitness))]
+
+    def mean_fitness(self) -> float:
+        return float(self.fitness_array().mean())
+
+    def unevaluated_members(self) -> list[Individual]:
+        return [m for m in self.members if not m.evaluated]

@@ -1,0 +1,87 @@
+"""Termination criteria for the InSiPS main loop.
+
+The wet-lab runs in Sec. 4.2 use the composite rule implemented by
+:class:`PaperTermination`: "InSiPS was run for a minimum of 250
+generations.  Once this was achieved, it continued running until a new
+best sequence wasn't found for 50 generations."
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.ga.stats import RunHistory
+
+__all__ = [
+    "TerminationCriterion",
+    "MaxGenerations",
+    "StallGenerations",
+    "PaperTermination",
+]
+
+
+class TerminationCriterion(ABC):
+    """Decides, after each completed generation, whether to stop."""
+
+    @abstractmethod
+    def should_stop(self, history: RunHistory) -> bool:
+        """True when the run is finished; called with >= 1 generation."""
+
+
+@dataclass(frozen=True)
+class MaxGenerations(TerminationCriterion):
+    """Stop after a fixed number of generations (the Sec. 4.1 tuning runs
+    use exactly 50)."""
+
+    generations: int
+
+    def __post_init__(self) -> None:
+        if self.generations < 1:
+            raise ValueError(f"generations must be >= 1, got {self.generations}")
+
+    def should_stop(self, history: RunHistory) -> bool:
+        return len(history) >= self.generations
+
+
+@dataclass(frozen=True)
+class StallGenerations(TerminationCriterion):
+    """Stop when the best fitness has not improved for ``stall``
+    consecutive generations."""
+
+    stall: int
+    min_improvement: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stall < 1:
+            raise ValueError(f"stall must be >= 1, got {self.stall}")
+        if self.min_improvement < 0:
+            raise ValueError("min_improvement must be >= 0")
+
+    def should_stop(self, history: RunHistory) -> bool:
+        return history.generations_since_improvement(self.min_improvement) >= self.stall
+
+
+@dataclass(frozen=True)
+class PaperTermination(TerminationCriterion):
+    """The Sec. 4.2 rule: at least ``min_generations``, then stop on a
+    ``stall``-generation streak without a new best; ``hard_limit`` bounds
+    pathological runs."""
+
+    min_generations: int = 250
+    stall: int = 50
+    hard_limit: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.min_generations < 1 or self.stall < 1:
+            raise ValueError("min_generations and stall must be >= 1")
+        if self.hard_limit < self.min_generations:
+            raise ValueError("hard_limit must be >= min_generations")
+
+    def should_stop(self, history: RunHistory) -> bool:
+        n = len(history)
+        if n >= self.hard_limit:
+            return True
+        if n < self.min_generations:
+            return False
+        return history.generations_since_improvement(0.0) >= self.stall

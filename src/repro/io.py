@@ -1,0 +1,125 @@
+"""Persistence: interactome databases and design results.
+
+The paper's master "loads all required data from disk"; this module
+defines that on-disk form for the reproduction — a JSON interactome
+(proteins + annotations + known interactions) and a JSON design-result
+record — so worlds can be shared between runs and designed sequences
+archived with their provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.designer import DesignResult
+from repro.ga.population import Individual
+from repro.ga.stats import GenerationStats, RunHistory
+from repro.ppi.graph import InteractionGraph
+from repro.sequences.encoding import encode
+from repro.sequences.protein import Protein
+
+__all__ = [
+    "save_interactome",
+    "load_interactome",
+    "save_design_result",
+    "load_design_result",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_interactome(graph: InteractionGraph, path: str | Path) -> None:
+    """Write a proteome + interaction database as JSON."""
+    payload = {
+        "format": "repro-interactome",
+        "version": _FORMAT_VERSION,
+        "proteins": [
+            {
+                "name": p.name,
+                "sequence": p.sequence,
+                "annotations": p.annotations,
+            }
+            for p in graph.proteins
+        ],
+        "interactions": [list(edge) for edge in graph.edges()],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_interactome(path: str | Path) -> InteractionGraph:
+    """Read an interactome saved by :func:`save_interactome`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-interactome":
+        raise ValueError(f"{path}: not a repro interactome file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    proteins = [
+        Protein(p["name"], p["sequence"], dict(p.get("annotations", {})))
+        for p in payload["proteins"]
+    ]
+    return InteractionGraph(
+        proteins, [tuple(e) for e in payload["interactions"]]
+    )
+
+
+def save_design_result(result: DesignResult, path: str | Path) -> None:
+    """Archive a design run: sequence, scores, history, provenance."""
+    payload = {
+        "format": "repro-design",
+        "version": _FORMAT_VERSION,
+        "target": result.target,
+        "non_targets": list(result.non_targets),
+        "seed": result.seed,
+        "generations": result.generations,
+        "evaluations": result.evaluations,
+        "best": {
+            "sequence": result.best.sequence,
+            "fitness": result.best.fitness,
+            "target_score": result.best.target_score,
+            "max_non_target": result.best.max_non_target,
+            "avg_non_target": result.best.avg_non_target,
+        },
+        "history": [
+            {
+                "generation": s.generation,
+                "best_fitness": s.best_fitness,
+                "mean_fitness": s.mean_fitness,
+                "best_target_score": s.best_target_score,
+                "best_max_non_target": s.best_max_non_target,
+                "best_avg_non_target": s.best_avg_non_target,
+                "evaluations": s.evaluations,
+            }
+            for s in result.history
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_design_result(path: str | Path) -> DesignResult:
+    """Read a design result saved by :func:`save_design_result`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-design":
+        raise ValueError(f"{path}: not a repro design file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported version {payload.get('version')!r}")
+    b = payload["best"]
+    best = Individual(encode(b["sequence"]))
+    best.fitness = b["fitness"]
+    best.target_score = b["target_score"]
+    best.max_non_target = b["max_non_target"]
+    best.avg_non_target = b["avg_non_target"]
+    history = RunHistory()
+    for s in payload["history"]:
+        history.append(GenerationStats(**s))
+    return DesignResult(
+        target=payload["target"],
+        non_targets=list(payload["non_targets"]),
+        best=best,
+        history=history,
+        generations=payload["generations"],
+        evaluations=payload["evaluations"],
+        seed=payload["seed"],
+    )

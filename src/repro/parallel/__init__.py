@@ -1,0 +1,46 @@
+"""The InSiPS parallel runtime (Algorithms 1 and 2).
+
+The paper runs a two-level master-worker / all-workers scheme: an MPI
+master owns the GA and dispatches candidate sequences *on demand* to worker
+processes, which compute the PIPE scores against the target and non-targets
+and send them back.  This package reproduces that architecture on
+:mod:`multiprocessing`:
+
+* :mod:`repro.parallel.messages` — the wire protocol;
+* :mod:`repro.parallel.scheduler` — master-side on-demand (and, for
+  ablation, static) work scheduling, testable without processes;
+* :mod:`repro.parallel.worker` — the worker main loop (Algorithm 2);
+* :mod:`repro.parallel.mp_backend` — the
+  :class:`~repro.ga.fitness.ScoreProvider` implementation that the GA
+  engine plugs in unchanged;
+* :mod:`repro.parallel.multirack` — the paper's proposed multi-rack
+  extension (one master per rack, elite synchronisation each generation).
+
+Python threads cannot reproduce the paper's *intra-worker* OpenMP
+parallelism (GIL); that level is modelled by the Blue Gene/Q discrete-event
+simulator in :mod:`repro.cluster` instead.
+"""
+
+from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+from repro.parallel.mp_backend import MultiprocessScoreProvider
+from repro.parallel.multirack import MultiRackGA, RackResult
+from repro.parallel.scheduler import (
+    OnDemandScheduler,
+    Scheduler,
+    StaticScheduler,
+)
+from repro.parallel.worker import WorkerContext, score_candidate
+
+__all__ = [
+    "EndSignal",
+    "MultiRackGA",
+    "MultiprocessScoreProvider",
+    "OnDemandScheduler",
+    "RackResult",
+    "Scheduler",
+    "StaticScheduler",
+    "WorkItem",
+    "WorkResult",
+    "WorkerContext",
+    "score_candidate",
+]

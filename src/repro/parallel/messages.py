@@ -1,0 +1,57 @@
+"""Wire protocol between the InSiPS master and workers.
+
+Mirrors the MPI message flow of Algorithms 1–2: the master answers each
+work request with either a candidate sequence to analyse or an END signal;
+workers attach the result of their previous assignment to the next request.
+With :mod:`multiprocessing` queues the request/response pair collapses into
+a shared task queue (the queue *is* the on-demand dispatcher), but the
+message payloads are kept explicit so the scheduler logic stays testable
+and transport-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ga.fitness import ScoreSet
+
+__all__ = ["WorkItem", "WorkResult", "EndSignal"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One candidate sequence dispatched for PIPE analysis."""
+
+    sequence_id: int
+    payload: bytes  # encoded (uint8) sequence bytes; cheap to pickle
+
+    def __post_init__(self) -> None:
+        if self.sequence_id < 0:
+            raise ValueError(f"sequence_id must be >= 0, got {self.sequence_id}")
+        if not self.payload:
+            raise ValueError("payload must be non-empty")
+
+    @classmethod
+    def from_encoded(cls, sequence_id: int, encoded: np.ndarray) -> "WorkItem":
+        return cls(sequence_id, np.asarray(encoded, dtype=np.uint8).tobytes())
+
+    def decode(self) -> np.ndarray:
+        return np.frombuffer(self.payload, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class WorkResult:
+    """PIPE scores returned by a worker for one candidate."""
+
+    sequence_id: int
+    worker_id: int
+    scores: ScoreSet
+
+
+@dataclass(frozen=True)
+class EndSignal:
+    """Master → worker: no more work (Algorithm 1's END)."""
+
+    reason: str = "complete"

@@ -1,0 +1,147 @@
+"""Multiprocessing realisation of the master/worker runtime.
+
+:class:`MultiprocessScoreProvider` plugs into the GA engine through the
+:class:`~repro.ga.fitness.ScoreProvider` interface, so
+``InSiPSEngine(provider, ...)`` runs the identical GA whether scores come
+from this parallel backend or the serial reference path — the property the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+
+import numpy as np
+
+from repro.ga.fitness import ScoreProvider, ScoreSet
+from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+from repro.parallel.worker import WorkerContext, worker_loop
+from repro.ppi.pipe import PipeEngine
+
+__all__ = ["MultiprocessScoreProvider"]
+
+
+def _worker_entry(worker_id, context, task_queue, result_queue):
+    """Top-level function so it pickles under any start method."""
+    worker_loop(worker_id, context, task_queue, result_queue)
+
+
+class MultiprocessScoreProvider(ScoreProvider):
+    """Master-side score provider dispatching candidates to worker
+    processes on demand.
+
+    Parameters
+    ----------
+    engine:
+        The broadcast PIPE engine (pickled to each worker at spawn — the
+    	paper's "broadcast all loaded data to worker processes").
+    target, non_targets:
+        The design problem.
+    num_workers:
+        Worker process count (paper: nodes - 1; default: available CPUs).
+    timeout:
+        Per-result collection timeout in seconds; a worker death surfaces
+        as a timeout error rather than a hang.
+    """
+
+    def __init__(
+        self,
+        engine: PipeEngine,
+        target: str,
+        non_targets: list[str],
+        *,
+        num_workers: int | None = None,
+        timeout: float = 300.0,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.context = WorkerContext(engine, target, list(non_targets))
+        self.num_workers = num_workers or max(1, os.cpu_count() or 1)
+        self.timeout = float(timeout)
+        method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else None)
+        self._ctx = mp.get_context(method)
+        self._task_queue = None
+        self._result_queue = None
+        self._workers: list[mp.Process] = []
+        self._cache: dict[bytes, ScoreSet] = {}
+        self.dispatched = 0
+        self.cache_hits = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._workers:
+            return
+        # Warm the shared engine cache *before* forking so every worker
+        # inherits the preprocessed target/non-target structures instead of
+        # recomputing them (the paper's offline preprocessing + broadcast).
+        self.context.warm_cache()
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        for wid in range(self.num_workers):
+            proc = self._ctx.Process(
+                target=_worker_entry,
+                args=(wid, self.context, self._task_queue, self._result_queue),
+                daemon=True,
+            )
+            proc.start()
+            self._workers.append(proc)
+
+    def close(self) -> None:
+        if not self._workers:
+            return
+        self._task_queue.put(EndSignal())
+        for proc in self._workers:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._workers = []
+        self._task_queue = None
+        self._result_queue = None
+
+    # -- scoring -----------------------------------------------------------
+
+    def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
+        arrays = [np.asarray(s, dtype=np.uint8) for s in sequences]
+        results: list[ScoreSet | None] = [None] * len(arrays)
+        pending: list[tuple[int, bytes]] = []
+        for i, arr in enumerate(arrays):
+            key = arr.tobytes()
+            cached = self._cache.get(key)
+            if cached is not None:
+                results[i] = cached
+                self.cache_hits += 1
+            else:
+                pending.append((i, key))
+        if pending:
+            self._ensure_started()
+            # Distinct sequence ids even for duplicate payloads within the
+            # batch: the first completed instance fills all duplicates.
+            for sid, (i, key) in enumerate(pending):
+                self._task_queue.put(WorkItem(sid, key))
+                self.dispatched += 1
+            received = 0
+            while received < len(pending):
+                try:
+                    msg = self._result_queue.get(timeout=self.timeout)
+                except queue_mod.Empty:
+                    raise RuntimeError(
+                        f"timed out waiting for worker results "
+                        f"({received}/{len(pending)} received)"
+                    ) from None
+                if not isinstance(msg, WorkResult):  # pragma: no cover
+                    raise TypeError(f"unexpected result {type(msg).__name__}")
+                i, key = pending[msg.sequence_id]
+                results[i] = msg.scores
+                self._cache[key] = msg.scores
+                received += 1
+            # Fill any duplicates that were dispatched separately but share
+            # a payload with an earlier entry.
+            for i, key in pending:
+                if results[i] is None:  # pragma: no cover - defensive
+                    results[i] = self._cache[key]
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

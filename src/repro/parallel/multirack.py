@@ -1,0 +1,157 @@
+"""Multi-rack InSiPS: the scaling extension sketched in Sec. 3.
+
+"To scale to multiple racks, we would set one master process per rack and
+sync between masters after each round of the genetic algorithm.  Since each
+master's state information is small ... the synchronization overhead would
+be small."
+
+Each rack runs its own full InSiPS master (population, selection,
+operators); after every generation the masters synchronise by exchanging
+their fittest individuals — each rack replaces its worst member with the
+global best (an island-model GA with per-generation elite migration).  The
+corresponding DES cost model lives in :mod:`repro.cluster`; this module is
+the *algorithmic* realisation, used to study the quality effect of the
+island structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ga.config import GAParams
+from repro.ga.engine import InSiPSEngine
+from repro.ga.fitness import ScoreProvider
+from repro.ga.population import Individual, Population
+from repro.ga.stats import GenerationStats, RunHistory
+from repro.util.rng import derive_rng
+
+__all__ = ["MultiRackGA", "RackResult", "MultiRackResult"]
+
+
+@dataclass
+class RackResult:
+    """Per-rack outcome of a multi-rack run."""
+
+    rack_id: int
+    best: Individual
+    history: RunHistory
+
+
+@dataclass
+class MultiRackResult:
+    """Outcome of a multi-rack InSiPS run."""
+
+    best: Individual
+    racks: list[RackResult]
+    generations: int
+    migrations: int
+
+    @property
+    def best_fitness(self) -> float:
+        return float(self.best.fitness)
+
+
+@dataclass
+class MultiRackGA:
+    """Island-model InSiPS with one master per rack.
+
+    Parameters
+    ----------
+    provider:
+        Shared score provider (all racks solve the same design problem
+        against the same broadcast database).
+    params, population_size, candidate_length:
+        Per-rack GA configuration; the per-rack population is
+        ``population_size`` (the paper keeps the rack workload constant
+        and adds racks).
+    num_racks:
+        Number of master processes / islands.
+    seed:
+        Base seed; rack r runs with child stream (seed, "rack", r).
+    migrate_every:
+        Synchronise masters every this many generations (paper: 1).
+    """
+
+    provider: ScoreProvider
+    params: GAParams
+    population_size: int
+    candidate_length: int
+    num_racks: int = 2
+    seed: int | None = None
+    migrate_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_racks < 1:
+            raise ValueError(f"num_racks must be >= 1, got {self.num_racks}")
+        if self.migrate_every < 1:
+            raise ValueError(f"migrate_every must be >= 1, got {self.migrate_every}")
+
+    def run(self, generations: int) -> MultiRackResult:
+        """Run all racks for ``generations`` with elite synchronisation."""
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
+        engines = [
+            InSiPSEngine(
+                self.provider,
+                self.params,
+                population_size=self.population_size,
+                candidate_length=self.candidate_length,
+                seed=derive_rng(self.seed, "rack", r),
+            )
+            for r in range(self.num_racks)
+        ]
+        populations: list[Population] = [e.initial_population() for e in engines]
+        histories = [RunHistory() for _ in engines]
+        champions: list[Individual | None] = [None] * self.num_racks
+        migrations = 0
+
+        for gen in range(generations):
+            for r, (e, pop, hist) in enumerate(zip(engines, populations, histories)):
+                evals = e.evaluate_population(pop)
+                hist.append(GenerationStats.from_population(pop, evaluations=evals))
+                gen_best = pop.best()
+                if champions[r] is None or gen_best.fitness > champions[r].fitness:
+                    champions[r] = gen_best
+
+            if self.num_racks > 1 and (gen + 1) % self.migrate_every == 0:
+                migrations += self._synchronise(populations)
+
+            if gen < generations - 1:
+                populations = [
+                    e.next_generation(pop) for e, pop in zip(engines, populations)
+                ]
+
+        racks = [
+            RackResult(r, champion, hist)
+            for r, (champion, hist) in enumerate(zip(champions, histories))
+        ]
+        best = max(racks, key=lambda rr: rr.best.fitness).best
+        return MultiRackResult(
+            best=best,
+            racks=racks,
+            generations=generations,
+            migrations=migrations,
+        )
+
+    @staticmethod
+    def _synchronise(populations: list[Population]) -> int:
+        """Elite migration: every rack receives the global best, replacing
+        its worst member.  Returns the number of individuals migrated."""
+        bests = [pop.best() for pop in populations]
+        global_best = max(bests, key=lambda ind: ind.fitness)
+        moved = 0
+        for pop in populations:
+            fitness = pop.fitness_array()
+            worst = int(np.argmin(fitness))
+            if pop[worst].key == global_best.key:
+                continue
+            clone = Individual(global_best.encoded.copy())
+            clone.fitness = global_best.fitness
+            clone.target_score = global_best.target_score
+            clone.max_non_target = global_best.max_non_target
+            clone.avg_non_target = global_best.avg_non_target
+            pop.members[worst] = clone
+            moved += 1
+        return moved

@@ -1,0 +1,92 @@
+"""The InSiPS worker (Algorithm 2).
+
+A worker receives the broadcast data once (here: via process inheritance /
+pickled arguments, standing in for the paper's MPI broadcast that "relieves
+considerable stress from the shared disks"), then loops: request work,
+build the candidate's ``sequence_similarity`` structure, run PIPE against
+the target and every non-target, and return the scores.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ga.fitness import ScoreSet
+from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+from repro.ppi.pipe import PipeEngine
+
+__all__ = ["WorkerContext", "score_candidate", "worker_loop"]
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker needs: the broadcast engine and the problem."""
+
+    engine: PipeEngine
+    target: str
+    non_targets: list[str]
+
+    def __post_init__(self) -> None:
+        graph = self.engine.database.graph
+        graph.index_of(self.target)
+        for nt in self.non_targets:
+            graph.index_of(nt)
+
+    def warm_cache(self) -> None:
+        """Precompute target/non-target similarity structures (the paper's
+        offline preprocessing of natural proteins)."""
+        self.engine.database.precompute([self.target, *self.non_targets])
+
+
+def score_candidate(context: WorkerContext, encoded: np.ndarray) -> ScoreSet:
+    """One unit of worker work: candidate vs target + all non-targets.
+
+    Builds the candidate's similarity structure once and reuses it for all
+    predictions, exactly as Algorithm 2 prescribes.
+    """
+    engine = context.engine
+    similarity = engine.similarity_of(np.asarray(encoded, dtype=np.uint8))
+    names = [context.target, *context.non_targets]
+    scored = engine.score_against(
+        np.asarray(encoded, dtype=np.uint8), names, similarity=similarity
+    )
+    return ScoreSet(
+        target_score=scored[context.target],
+        non_target_scores=tuple(scored[nt] for nt in context.non_targets),
+    )
+
+
+def worker_loop(
+    worker_id: int,
+    context: WorkerContext,
+    task_queue,
+    result_queue,
+    *,
+    poll_timeout: float = 1.0,
+) -> int:
+    """Worker main loop; returns the number of candidates processed.
+
+    Runs until an :class:`EndSignal` arrives on the task queue.  The task
+    queue is shared by all workers, so pulling from it is the
+    multiprocessing realisation of the paper's on-demand master dispatch.
+    """
+    context.warm_cache()
+    processed = 0
+    while True:
+        try:
+            message = task_queue.get(timeout=poll_timeout)
+        except queue_mod.Empty:
+            continue
+        if isinstance(message, EndSignal):
+            # Let sibling workers see the signal too.
+            task_queue.put(message)
+            break
+        if not isinstance(message, WorkItem):
+            raise TypeError(f"unexpected message {type(message).__name__}")
+        scores = score_candidate(context, message.decode())
+        result_queue.put(WorkResult(message.sequence_id, worker_id, scores))
+        processed += 1
+    return processed

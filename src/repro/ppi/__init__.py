@@ -1,0 +1,51 @@
+"""PIPE: the Protein-protein Interaction Prediction Engine substrate.
+
+InSiPS' fitness function is built entirely on PIPE scores (Sec. 2.2).  This
+package implements the full PIPE pipeline described in the paper and in
+MP-PIPE [11]:
+
+* :mod:`repro.ppi.graph` — the curated interaction graph ``G`` (every
+  protein a vertex, every experimentally known interaction an edge);
+* :mod:`repro.ppi.windows` / :mod:`repro.ppi.similarity` — sliding-window
+  fragmentation and PAM120-scored fragment similarity;
+* :mod:`repro.ppi.database` — the preprocessed, broadcast-once database
+  (concatenated proteome, per-protein window match lists, adjacency);
+* :mod:`repro.ppi.pipe` — the scoring engine producing ``PIPE(A, B) ∈ [0, 1)``
+  from the n x m fragment co-occurrence result matrix.
+"""
+
+from repro.ppi.batch import InteractomePrediction, predict_interactome
+from repro.ppi.database import PipeDatabase, SequenceSimilarity
+from repro.ppi.evaluation import PipeEvaluation, evaluate_pipe
+from repro.ppi.graph import InteractionGraph
+from repro.ppi.pipe import PipeConfig, PipeEngine, PipeResult
+from repro.ppi.sites import BindingSite, predict_binding_sites
+from repro.ppi.similarity import (
+    calibrate_threshold,
+    exact_threshold,
+    random_match_score_pmf,
+    similar_window_mask,
+    window_similarity_scores,
+)
+from repro.ppi.windows import num_windows
+
+__all__ = [
+    "InteractionGraph",
+    "InteractomePrediction",
+    "predict_interactome",
+    "PipeConfig",
+    "PipeDatabase",
+    "PipeEngine",
+    "PipeEvaluation",
+    "BindingSite",
+    "PipeResult",
+    "evaluate_pipe",
+    "predict_binding_sites",
+    "SequenceSimilarity",
+    "calibrate_threshold",
+    "exact_threshold",
+    "num_windows",
+    "random_match_score_pmf",
+    "similar_window_mask",
+    "window_similarity_scores",
+]

@@ -1,0 +1,138 @@
+"""Batch all-vs-all PIPE scoring: interactome prediction.
+
+PIPE's original purpose (the MP-PIPE engine the paper builds on) was
+scanning entire proteomes for *novel* interactions.  InSiPS repurposes the
+scorer inside a GA; this module restores the original capability — score
+every protein pair in a database, reusing the offline similarity cache —
+which also provides the substrate for validating PIPE against the
+synthetic world's latent ground truth (complementary motif pairs whose
+interaction the noisy "experimental" database never recorded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppi.pipe import PipeEngine
+
+__all__ = ["InteractomePrediction", "predict_interactome"]
+
+
+@dataclass(frozen=True)
+class InteractomePrediction:
+    """Scores for a set of protein pairs."""
+
+    pairs: tuple[tuple[str, str], ...]
+    scores: np.ndarray
+    known: np.ndarray  # bool: pair already in the database
+
+    def __post_init__(self) -> None:
+        s = np.asarray(self.scores, dtype=np.float64)
+        k = np.asarray(self.known, dtype=bool)
+        if s.shape != (len(self.pairs),) or k.shape != s.shape:
+            raise ValueError("pairs, scores and known must align")
+        s = s.copy()
+        k = k.copy()
+        s.setflags(write=False)
+        k.setflags(write=False)
+        object.__setattr__(self, "scores", s)
+        object.__setattr__(self, "known", k)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def predicted(self, threshold: float) -> list[tuple[str, str]]:
+        """All pairs at/above the acceptance threshold."""
+        return [p for p, s in zip(self.pairs, self.scores) if s >= threshold]
+
+    def novel_predictions(
+        self, threshold: float
+    ) -> list[tuple[tuple[str, str], float]]:
+        """Predicted pairs *not* in the known database, strongest first —
+        the discovery output of a proteome scan."""
+        hits = [
+            (p, float(s))
+            for p, s, k in zip(self.pairs, self.scores, self.known)
+            if s >= threshold and not k
+        ]
+        hits.sort(key=lambda t: -t[1])
+        return hits
+
+    def recovery_rate(self, threshold: float) -> float:
+        """Fraction of *known* pairs recovered at the threshold (with
+        leave-one-out scoring this measures PIPE's sensitivity)."""
+        mask = self.known
+        if not mask.any():
+            return 0.0
+        return float((self.scores[mask] >= threshold).mean())
+
+    def score_of(self, a: str, b: str) -> float:
+        key = (a, b) if (a, b) in self._index else (b, a)
+        return float(self.scores[self._index[key]])
+
+    @property
+    def _index(self) -> dict[tuple[str, str], int]:
+        cached = self.__dict__.get("_index_cache")
+        if cached is None:
+            cached = {p: i for i, p in enumerate(self.pairs)}
+            self.__dict__["_index_cache"] = cached
+        return cached
+
+
+def predict_interactome(
+    engine: PipeEngine,
+    *,
+    proteins: list[str] | None = None,
+    include_known: bool = True,
+    leave_one_out: bool = True,
+    max_pairs: int | None = None,
+) -> InteractomePrediction:
+    """Score protein pairs of the database all-vs-all.
+
+    Parameters
+    ----------
+    proteins:
+        Subset to scan (default: whole proteome).
+    include_known:
+        When False, only pairs absent from the database are scored (pure
+        discovery mode).
+    leave_one_out:
+        Score known pairs without their own edge, so recovery statistics
+        are honest.
+    max_pairs:
+        Hard cap on the number of scored pairs (raises when exceeded
+        instead of silently truncating — a proteome scan is O(P²) and the
+        caller should choose the subset deliberately).
+    """
+    names = proteins if proteins is not None else engine.database.graph.names
+    if len(names) < 2:
+        raise ValueError("need at least two proteins to scan")
+    graph = engine.database.graph
+    all_pairs = [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+    if not include_known:
+        all_pairs = [p for p in all_pairs if not graph.has_edge(*p)]
+    if max_pairs is not None and len(all_pairs) > max_pairs:
+        raise ValueError(
+            f"scan would score {len(all_pairs)} pairs (> max_pairs={max_pairs}); "
+            "restrict `proteins` or raise the cap"
+        )
+
+    engine.database.precompute(names)
+    scores = np.empty(len(all_pairs))
+    known = np.empty(len(all_pairs), dtype=bool)
+    for idx, (a, b) in enumerate(all_pairs):
+        is_known = graph.has_edge(a, b)
+        h = engine.result_matrix(
+            engine.similarity_of(a),
+            engine.similarity_of(b),
+            exclude_edge=(a, b) if (is_known and leave_one_out) else None,
+        )
+        scores[idx], _ = engine.score_matrix(h)
+        known[idx] = is_known
+    return InteractomePrediction(tuple(all_pairs), scores, known)

@@ -1,0 +1,208 @@
+"""The preprocessed PIPE database and per-sequence similarity structures.
+
+The paper's master process loads and broadcasts "the known protein-protein
+interaction graph, PIPE similarity database and index, [and] sequences of
+all known proteins" once; each worker then builds, per candidate sequence,
+a ``sequence_similarity`` structure recording which known proteins contain
+fragments similar to the candidate's fragments (Algorithm 2).  This module
+implements both halves:
+
+* :class:`PipeDatabase` — the read-only broadcast side: the proteome
+  concatenated into one encoded array (so the whole similarity search is a
+  single vectorised pass), the interaction adjacency, and a cache of
+  match matrices for *known* proteins ("the preprocessing is completed
+  offline, beforehand, for the known natural proteins").
+* :class:`SequenceSimilarity` — the per-candidate side: a sparse
+  ``windows x proteins`` matrix whose entry (i, p) counts how many
+  fragments of protein p are similar to candidate fragment i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ppi.graph import InteractionGraph
+from repro.ppi.similarity import windowed_diagonal_sums
+from repro.ppi.windows import num_windows
+from repro.substitution.matrix import SubstitutionMatrix
+
+__all__ = ["PipeDatabase", "SequenceSimilarity"]
+
+
+@dataclass(frozen=True)
+class SequenceSimilarity:
+    """Similarity of one query sequence against the whole known proteome.
+
+    Attributes
+    ----------
+    counts:
+        Sparse ``(num_query_windows, num_proteins)`` matrix; entry (i, p)
+        is the number of windows of protein p similar to query window i.
+    num_windows:
+        Number of query windows (rows of ``counts``).
+    """
+
+    counts: sp.csr_matrix
+    num_windows: int
+
+    @property
+    def binary(self) -> sp.csr_matrix:
+        """0/1 indicator: does protein p contain any fragment similar to
+        query fragment i?  This is the predicate PIPE's result matrix uses.
+        """
+        out = self.counts.copy()
+        out.data = np.ones_like(out.data)
+        return out
+
+    def matched_protein_indices(self) -> np.ndarray:
+        """Indices of proteins with at least one similar fragment."""
+        return np.unique(self.counts.indices)
+
+
+class PipeDatabase:
+    """Read-only preprocessed data shared by every PIPE evaluation.
+
+    Parameters
+    ----------
+    graph:
+        Interaction graph over the full proteome.
+    matrix:
+        Fragment-similarity substitution matrix (PAM120 in the paper).
+    window_size:
+        Fragment length ``w``.
+    threshold:
+        Absolute window-alignment score above which two fragments are
+        "similar" (see :func:`repro.ppi.similarity.calibrate_threshold`).
+    chunk_residues:
+        Column-chunk size (in proteome residues) for the similarity sweep;
+        bounds peak memory at roughly ``max_query_len * chunk_residues``
+        float64 entries, mirroring the paper's concern with per-thread
+        memory footprint on the BGQ.
+    """
+
+    def __init__(
+        self,
+        graph: InteractionGraph,
+        matrix: SubstitutionMatrix,
+        window_size: int,
+        threshold: float,
+        *,
+        chunk_residues: int = 250_000,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if chunk_residues < window_size:
+            raise ValueError("chunk_residues must be >= window_size")
+        self.graph = graph
+        self.matrix = matrix
+        self.window_size = int(window_size)
+        self.threshold = float(threshold)
+        self.chunk_residues = int(chunk_residues)
+
+        proteins = graph.proteins
+        self.num_proteins = len(proteins)
+        lengths = np.array([len(p) for p in proteins], dtype=np.int64)
+        # Pad the concatenated proteome with window_size - 1 trailing
+        # residues so every protein owns exactly `len(p)` window-start
+        # columns and segment reductions never run out of bounds.
+        pad = self.window_size - 1
+        self.offsets = np.concatenate([[0], np.cumsum(lengths)])
+        total = int(self.offsets[-1])
+        self.concatenated = np.zeros(total + pad, dtype=np.uint8)
+        for p, start in zip(proteins, self.offsets[:-1]):
+            self.concatenated[start : start + len(p)] = p.encoded
+
+        # Window-start column j is valid iff the whole window stays inside
+        # the protein owning column j.
+        self.valid_columns = np.zeros(total, dtype=bool)
+        for start, length in zip(self.offsets[:-1], lengths):
+            last_valid = start + max(0, length - self.window_size + 1)
+            self.valid_columns[start:last_valid] = True
+
+        self.adjacency = graph.adjacency_matrix()
+        self._protein_similarity_cache: dict[str, SequenceSimilarity] = {}
+
+    # -- similarity sweep ----------------------------------------------------
+
+    def sequence_similarity(self, encoded: np.ndarray) -> SequenceSimilarity:
+        """Build the per-candidate similarity structure (Algorithm 2's
+        ``build specified portion of sequence_similarity``).
+
+        Returns a sparse ``windows x proteins`` count matrix.  The sweep is
+        chunked over the concatenated proteome to bound peak memory.
+        """
+        seq = np.asarray(encoded, dtype=np.uint8)
+        if seq.ndim != 1 or seq.size == 0:
+            raise ValueError("encoded sequence must be a non-empty 1-D array")
+        n_win = num_windows(seq.size, self.window_size)
+        if n_win == 0:
+            empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
+            return SequenceSimilarity(empty, 0)
+
+        total_cols = self.valid_columns.size  # one column per proteome residue
+        w = self.window_size
+        counts = np.zeros((n_win, self.num_proteins), dtype=np.int64)
+        offsets = self.offsets
+        start = 0
+        while start < total_cols:
+            stop = min(start + self.chunk_residues, total_cols)
+            # Overlap by w - 1 residues so windows starting near the chunk
+            # edge are complete; the padded tail guarantees availability.
+            segment = self.concatenated[start : stop + w - 1]
+            scores = windowed_diagonal_sums(
+                self.matrix.pair_scores(seq, segment), w
+            )
+            mask = scores >= self.threshold
+            mask[:, ~self.valid_columns[start:stop]] = False
+            # Collapse window-start columns into per-protein counts with a
+            # dense segment reduction (far cheaper than a sparse
+            # intermediate): the chunk's columns belong to the protein run
+            # [first_protein, ...] split at the offsets inside the chunk.
+            first_protein = int(np.searchsorted(offsets, start, side="right")) - 1
+            inner = offsets[(offsets > start) & (offsets < stop)]
+            seg_starts = np.concatenate(
+                [[0], inner - start]
+            ).astype(np.intp)
+            chunk_counts = np.add.reduceat(
+                mask.astype(np.int64), seg_starts, axis=1
+            )
+            proteins_hit = np.arange(
+                first_protein, first_protein + seg_starts.size
+            )
+            counts[:, proteins_hit] += chunk_counts
+            start = stop
+        return SequenceSimilarity(sp.csr_matrix(counts), n_win)
+
+    def protein_similarity(self, name: str) -> SequenceSimilarity:
+        """Cached similarity structure for a *known* protein.
+
+        Mirrors the paper's offline preprocessing of natural proteins; the
+        cache makes repeated GA evaluations against the same target and
+        non-target set cost one sweep each in total.
+        """
+        cached = self._protein_similarity_cache.get(name)
+        if cached is None:
+            protein = self.graph.protein(name)
+            cached = self.sequence_similarity(protein.encoded)
+            self._protein_similarity_cache[name] = cached
+        return cached
+
+    def precompute(self, names: list[str] | None = None) -> None:
+        """Eagerly fill the known-protein similarity cache."""
+        for name in names if names is not None else self.graph.names:
+            self.protein_similarity(name)
+
+    def cache_info(self) -> dict[str, int]:
+        """Size of the offline-preprocessing cache (for memory accounting)."""
+        nnz = sum(s.counts.nnz for s in self._protein_similarity_cache.values())
+        return {"entries": len(self._protein_similarity_cache), "nnz": nnz}
+
+    def __repr__(self) -> str:
+        return (
+            f"PipeDatabase(proteins={self.num_proteins}, "
+            f"edges={self.graph.num_edges}, w={self.window_size}, "
+            f"threshold={self.threshold}, matrix={self.matrix.name})"
+        )

@@ -1,0 +1,31 @@
+"""Sliding-window fragmentation helpers.
+
+PIPE splits every protein "into overlapping fragments of size w" (Sec. 2.2).
+A sequence of length L has ``L - w + 1`` windows; sequences shorter than the
+window contribute none.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["num_windows", "window_view"]
+
+
+def num_windows(length: int, window_size: int) -> int:
+    """Number of overlapping fragments of ``window_size`` in a sequence."""
+    if window_size < 1:
+        raise ValueError(f"window_size must be >= 1, got {window_size}")
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    return max(0, length - window_size + 1)
+
+
+def window_view(encoded: np.ndarray, window_size: int) -> np.ndarray:
+    """A zero-copy (num_windows, window_size) view of an encoded sequence."""
+    arr = np.asarray(encoded)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D sequence, got shape {arr.shape}")
+    if num_windows(arr.size, window_size) == 0:
+        return np.empty((0, window_size), dtype=arr.dtype)
+    return np.lib.stride_tricks.sliding_window_view(arr, window_size)

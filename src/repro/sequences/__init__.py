@@ -1,0 +1,45 @@
+"""Protein-sequence substrate: alphabet, records, encoding, I/O, generation.
+
+Everything downstream of this package (the PIPE engine, the GA, the
+synthetic proteome) works on ``uint8`` index arrays produced by
+:func:`encode`; the string form exists only at the API boundary and in
+FASTA files.
+"""
+
+from repro.sequences.alphabet import (
+    is_valid_sequence,
+    validate_sequence,
+)
+from repro.sequences.codon import gc_content, reverse_translate, translate
+from repro.sequences.encoding import decode, encode, encode_many
+from repro.sequences.fasta import parse_fasta, read_fasta, write_fasta
+from repro.sequences.properties import (
+    gravy,
+    hydropathy_profile,
+    molecular_weight,
+    net_charge,
+    synthesis_flags,
+)
+from repro.sequences.protein import Protein
+from repro.sequences.random_gen import RandomSequenceGenerator
+
+__all__ = [
+    "Protein",
+    "RandomSequenceGenerator",
+    "decode",
+    "encode",
+    "encode_many",
+    "gc_content",
+    "gravy",
+    "hydropathy_profile",
+    "is_valid_sequence",
+    "molecular_weight",
+    "net_charge",
+    "parse_fasta",
+    "read_fasta",
+    "reverse_translate",
+    "synthesis_flags",
+    "translate",
+    "validate_sequence",
+    "write_fasta",
+]

@@ -1,0 +1,39 @@
+"""Amino-acid alphabet validation."""
+
+from __future__ import annotations
+
+from repro.constants import AA_TO_INDEX
+
+__all__ = ["is_valid_sequence", "validate_sequence"]
+
+_VALID = frozenset(AA_TO_INDEX)
+
+
+def is_valid_sequence(sequence: str) -> bool:
+    """Return True when every character is one of the 20 standard residues.
+
+    The empty string is considered invalid: no InSiPS component operates on
+    zero-length proteins.
+    """
+    return bool(sequence) and all(ch in _VALID for ch in sequence)
+
+
+def validate_sequence(sequence: str, *, name: str = "sequence") -> str:
+    """Return ``sequence`` upper-cased, raising ``ValueError`` when invalid.
+
+    Lower-case input is accepted and normalised; ambiguity codes (B, Z, X)
+    and gaps are rejected because the PIPE similarity kernel has no score
+    rows for them.
+    """
+    if not isinstance(sequence, str):
+        raise TypeError(f"{name} must be a str, got {type(sequence).__name__}")
+    upper = sequence.upper()
+    if not upper:
+        raise ValueError(f"{name} must be non-empty")
+    bad = sorted({ch for ch in upper if ch not in _VALID})
+    if bad:
+        raise ValueError(
+            f"{name} contains invalid residue(s) {''.join(bad)!r}; "
+            "only the 20 standard amino acids are supported"
+        )
+    return upper

@@ -1,0 +1,154 @@
+"""Reverse translation: from designed protein to synthesisable DNA.
+
+Sec. 4.2: "For each target protein, the coding DNA for the generated
+anti-target protein designed by InSiPS was commercially synthesized and
+cloned into an expression vector."  This module produces that coding DNA:
+the standard genetic code plus an *S. cerevisiae* codon-usage table, with
+three strategies — most-preferred codon, usage-weighted sampling (avoids
+repetitive DNA that is hard to synthesise), and round-trip translation
+for verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequences.alphabet import validate_sequence
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "CODON_TABLE",
+    "YEAST_CODON_USAGE",
+    "STOP_CODONS",
+    "reverse_translate",
+    "translate",
+    "gc_content",
+]
+
+#: Codon -> amino acid (standard genetic code, stop codons excluded).
+CODON_TABLE: dict[str, str] = {
+    "TTT": "F", "TTC": "F", "TTA": "L", "TTG": "L",
+    "CTT": "L", "CTC": "L", "CTA": "L", "CTG": "L",
+    "ATT": "I", "ATC": "I", "ATA": "I", "ATG": "M",
+    "GTT": "V", "GTC": "V", "GTA": "V", "GTG": "V",
+    "TCT": "S", "TCC": "S", "TCA": "S", "TCG": "S",
+    "CCT": "P", "CCC": "P", "CCA": "P", "CCG": "P",
+    "ACT": "T", "ACC": "T", "ACA": "T", "ACG": "T",
+    "GCT": "A", "GCC": "A", "GCA": "A", "GCG": "A",
+    "TAT": "Y", "TAC": "Y", "CAT": "H", "CAC": "H",
+    "CAA": "Q", "CAG": "Q", "AAT": "N", "AAC": "N",
+    "AAA": "K", "AAG": "K", "GAT": "D", "GAC": "D",
+    "GAA": "E", "GAG": "E", "TGT": "C", "TGC": "C",
+    "TGG": "W", "CGT": "R", "CGC": "R", "CGA": "R",
+    "CGG": "R", "AGT": "S", "AGC": "S", "AGA": "R",
+    "AGG": "R", "GGT": "G", "GGC": "G", "GGA": "G",
+    "GGG": "G",
+}
+
+STOP_CODONS: tuple[str, ...] = ("TAA", "TAG", "TGA")
+
+#: Relative codon usage in highly expressed S. cerevisiae genes
+#: (per-amino-acid weights; normalised at import time).
+YEAST_CODON_USAGE: dict[str, dict[str, float]] = {
+    "A": {"GCT": 0.38, "GCC": 0.22, "GCA": 0.29, "GCG": 0.11},
+    "R": {"AGA": 0.48, "AGG": 0.21, "CGT": 0.14, "CGA": 0.07, "CGC": 0.06, "CGG": 0.04},
+    "N": {"AAT": 0.59, "AAC": 0.41},
+    "D": {"GAT": 0.65, "GAC": 0.35},
+    "C": {"TGT": 0.63, "TGC": 0.37},
+    "Q": {"CAA": 0.69, "CAG": 0.31},
+    "E": {"GAA": 0.70, "GAG": 0.30},
+    "G": {"GGT": 0.47, "GGA": 0.22, "GGC": 0.19, "GGG": 0.12},
+    "H": {"CAT": 0.64, "CAC": 0.36},
+    "I": {"ATT": 0.46, "ATC": 0.26, "ATA": 0.27},
+    "L": {"TTG": 0.29, "TTA": 0.28, "CTA": 0.14, "CTT": 0.13, "CTG": 0.11, "CTC": 0.06},
+    "K": {"AAA": 0.58, "AAG": 0.42},
+    "M": {"ATG": 1.00},
+    "F": {"TTT": 0.59, "TTC": 0.41},
+    "P": {"CCA": 0.42, "CCT": 0.31, "CCC": 0.15, "CCG": 0.12},
+    "S": {"TCT": 0.26, "TCA": 0.21, "TCC": 0.16, "AGT": 0.16, "AGC": 0.11, "TCG": 0.10},
+    "T": {"ACT": 0.35, "ACA": 0.30, "ACC": 0.22, "ACG": 0.13},
+    "W": {"TGG": 1.00},
+    "Y": {"TAT": 0.56, "TAC": 0.44},
+    "V": {"GTT": 0.39, "GTC": 0.21, "GTA": 0.21, "GTG": 0.19},
+}
+
+# Normalise usage weights (published tables are rounded) and sanity-check
+# consistency against the genetic code at import time.
+for _aa, _usage in YEAST_CODON_USAGE.items():
+    _total = sum(_usage.values())
+    for _codon in _usage:
+        if CODON_TABLE[_codon] != _aa:
+            raise AssertionError(f"usage table broken at {_codon}/{_aa}")
+        _usage[_codon] /= _total
+
+
+def reverse_translate(
+    protein: str,
+    *,
+    mode: str = "optimal",
+    seed: int | np.random.Generator | None = None,
+    add_start: bool = True,
+    add_stop: bool = True,
+) -> str:
+    """Produce coding DNA for a protein sequence.
+
+    Parameters
+    ----------
+    mode:
+        ``"optimal"`` picks each residue's most-used yeast codon
+        (maximum expression, but repetitive DNA); ``"sampled"`` draws
+        codons proportional to usage (the standard trick for synthesis-
+        friendly sequences).
+    add_start / add_stop:
+        Prepend ATG (unless the protein already starts with M) / append a
+        stop codon, as an expression construct needs.
+    """
+    sequence = validate_sequence(protein)
+    if mode not in ("optimal", "sampled"):
+        raise ValueError(f"mode must be 'optimal' or 'sampled', got {mode!r}")
+    rng = derive_rng(seed, "reverse-translate") if mode == "sampled" else None
+    codons: list[str] = []
+    if add_start and sequence[0] != "M":
+        codons.append("ATG")
+    for aa in sequence:
+        usage = YEAST_CODON_USAGE[aa]
+        if mode == "optimal":
+            codons.append(max(usage, key=usage.get))
+        else:
+            names = sorted(usage)
+            weights = np.array([usage[c] for c in names])
+            codons.append(names[int(rng.choice(len(names), p=weights))])
+    if add_stop:
+        codons.append(STOP_CODONS[0])
+    return "".join(codons)
+
+
+def translate(dna: str) -> str:
+    """Translate coding DNA back to protein (stops at the first stop
+    codon; raises on invalid codons or length)."""
+    dna = dna.upper().replace("U", "T")
+    if len(dna) % 3 != 0:
+        raise ValueError(f"DNA length {len(dna)} is not a multiple of 3")
+    out: list[str] = []
+    for i in range(0, len(dna), 3):
+        codon = dna[i : i + 3]
+        if codon in STOP_CODONS:
+            break
+        aa = CODON_TABLE.get(codon)
+        if aa is None:
+            raise ValueError(f"invalid codon {codon!r} at position {i}")
+        out.append(aa)
+    if not out:
+        raise ValueError("DNA encodes no residues before the first stop")
+    return "".join(out)
+
+
+def gc_content(dna: str) -> float:
+    """Fraction of G/C bases (synthesis vendors reject extremes)."""
+    dna = dna.upper()
+    if not dna:
+        raise ValueError("empty DNA sequence")
+    bad = set(dna) - set("ACGT")
+    if bad:
+        raise ValueError(f"invalid bases {sorted(bad)}")
+    return (dna.count("G") + dna.count("C")) / len(dna)

@@ -1,0 +1,58 @@
+"""Residue-string <-> ``uint8`` index-array codecs.
+
+Encoding is table-driven through a 256-entry lookup so that a full proteome
+can be encoded with one vectorised pass per sequence; the inverse mapping
+uses ``bytes`` translation.  Index order matches
+:data:`repro.constants.AMINO_ACIDS`, which is also the row/column order of
+every substitution matrix, so ``matrix[a[i], b[j]]`` is a direct score
+lookup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.constants import AMINO_ACIDS
+from repro.sequences.alphabet import validate_sequence
+
+__all__ = ["encode", "decode", "encode_many"]
+
+_INVALID = 255
+
+_ENCODE_TABLE = np.full(256, _INVALID, dtype=np.uint8)
+for _i, _aa in enumerate(AMINO_ACIDS):
+    _ENCODE_TABLE[ord(_aa)] = _i
+    _ENCODE_TABLE[ord(_aa.lower())] = _i
+
+_DECODE_TABLE = np.frombuffer(AMINO_ACIDS.encode("ascii"), dtype=np.uint8)
+
+
+def encode(sequence: str) -> np.ndarray:
+    """Encode a residue string into a ``uint8`` index array.
+
+    Raises ``ValueError`` on characters outside the 20-residue alphabet.
+    """
+    raw = np.frombuffer(sequence.encode("ascii", errors="replace"), dtype=np.uint8)
+    out = _ENCODE_TABLE[raw]
+    if out.size == 0 or np.any(out == _INVALID):
+        # Re-run the scalar validator purely for its precise error message.
+        validate_sequence(sequence)
+        raise AssertionError("unreachable")  # pragma: no cover
+    return out
+
+
+def decode(indices: np.ndarray | Sequence[int]) -> str:
+    """Decode an index array back into a residue string."""
+    arr = np.asarray(indices)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D index array, got shape {arr.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() >= len(AMINO_ACIDS)):
+        raise ValueError("index array contains values outside the alphabet")
+    return _DECODE_TABLE[arr.astype(np.intp)].tobytes().decode("ascii")
+
+
+def encode_many(sequences: Iterable[str]) -> list[np.ndarray]:
+    """Encode an iterable of residue strings."""
+    return [encode(s) for s in sequences]

@@ -1,0 +1,82 @@
+"""Minimal FASTA reader/writer for proteome import/export.
+
+The paper's InSiPS loads "sequences of all known proteins in yeast" from
+disk on the master node; this module provides the equivalent on-ramp for
+user-supplied proteomes and lets the synthetic generator persist its output.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.sequences.protein import Protein
+
+__all__ = ["parse_fasta", "read_fasta", "write_fasta"]
+
+
+def parse_fasta(text: str) -> list[Protein]:
+    """Parse FASTA-formatted ``text`` into :class:`Protein` records.
+
+    The first whitespace-delimited token of each header is the protein name;
+    the remainder of the header, when present, is stored under the
+    ``"description"`` annotation.  Sequence lines may be wrapped arbitrarily.
+    """
+    proteins: list[Protein] = []
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+
+    def flush() -> None:
+        if name is None:
+            return
+        seq = "".join(chunks)
+        annotations = {"description": description} if description else {}
+        proteins.append(Protein(name, seq, annotations))
+
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if not header:
+                raise ValueError(f"line {lineno}: empty FASTA header")
+            parts = header.split(None, 1)
+            name = parts[0]
+            description = parts[1] if len(parts) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError(f"line {lineno}: sequence data before any header")
+            chunks.append(line)
+    flush()
+    seen: set[str] = set()
+    for p in proteins:
+        if p.name in seen:
+            raise ValueError(f"duplicate protein name {p.name!r} in FASTA input")
+        seen.add(p.name)
+    return proteins
+
+
+def read_fasta(path: str | Path) -> list[Protein]:
+    """Read a FASTA file from disk."""
+    return parse_fasta(Path(path).read_text())
+
+
+def write_fasta(
+    proteins: Iterable[Protein], path: str | Path, *, width: int = 60
+) -> None:
+    """Write proteins to ``path`` in FASTA format with ``width``-column wrap."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    lines: list[str] = []
+    for p in proteins:
+        desc = p.annotations.get("description")
+        header = f">{p.name} {desc}" if desc else f">{p.name}"
+        lines.append(header)
+        for i in range(0, len(p.sequence), width):
+            lines.append(p.sequence[i : i + width])
+    Path(path).write_text("\n".join(lines) + "\n")

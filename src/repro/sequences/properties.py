@@ -1,0 +1,128 @@
+"""Physicochemical sequence properties.
+
+Quick synthesisability / behaviour checks for designed proteins before
+they go to a vendor: hydropathy (aggregation-prone stretches), molecular
+weight, net charge, and aromaticity.  Values follow the standard tables
+(Kyte–Doolittle hydropathy; average residue masses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import AA_TO_INDEX
+from repro.sequences.alphabet import validate_sequence
+
+__all__ = [
+    "KYTE_DOOLITTLE",
+    "RESIDUE_MASS",
+    "hydropathy_profile",
+    "gravy",
+    "molecular_weight",
+    "net_charge",
+    "aromaticity",
+    "synthesis_flags",
+]
+
+#: Kyte–Doolittle hydropathy index per residue.
+KYTE_DOOLITTLE: dict[str, float] = {
+    "A": 1.8, "R": -4.5, "N": -3.5, "D": -3.5, "C": 2.5,
+    "Q": -3.5, "E": -3.5, "G": -0.4, "H": -3.2, "I": 4.5,
+    "L": 3.8, "K": -3.9, "M": 1.9, "F": 2.8, "P": -1.6,
+    "S": -0.8, "T": -0.7, "W": -0.9, "Y": -1.3, "V": 4.2,
+}
+
+#: Average residue masses (Da), i.e. amino-acid mass minus one water.
+RESIDUE_MASS: dict[str, float] = {
+    "A": 71.08, "R": 156.19, "N": 114.10, "D": 115.09, "C": 103.14,
+    "Q": 128.13, "E": 129.12, "G": 57.05, "H": 137.14, "I": 113.16,
+    "L": 113.16, "K": 128.17, "M": 131.19, "F": 147.18, "P": 97.12,
+    "S": 87.08, "T": 101.10, "W": 186.21, "Y": 163.18, "V": 99.13,
+}
+
+_WATER_MASS = 18.02
+
+_KD_ARRAY = np.array([KYTE_DOOLITTLE[aa] for aa in sorted(AA_TO_INDEX, key=AA_TO_INDEX.get)])
+_MASS_ARRAY = np.array([RESIDUE_MASS[aa] for aa in sorted(AA_TO_INDEX, key=AA_TO_INDEX.get)])
+
+
+def _encoded(sequence: str) -> np.ndarray:
+    from repro.sequences.encoding import encode
+
+    return encode(validate_sequence(sequence)).astype(np.intp)
+
+
+def hydropathy_profile(sequence: str, *, window: int = 9) -> np.ndarray:
+    """Sliding-window mean Kyte–Doolittle hydropathy.
+
+    Returns one value per window (length ``len(seq) - window + 1``);
+    sustained values above ~+2 mark aggregation-prone stretches.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    values = _KD_ARRAY[_encoded(sequence)]
+    if values.size < window:
+        return np.empty(0)
+    kernel = np.ones(window) / window
+    return np.convolve(values, kernel, mode="valid")
+
+
+def gravy(sequence: str) -> float:
+    """Grand average of hydropathy (mean KD value over the sequence)."""
+    return float(_KD_ARRAY[_encoded(sequence)].mean())
+
+
+def molecular_weight(sequence: str) -> float:
+    """Average molecular weight in Daltons (residue masses + one water)."""
+    return float(_MASS_ARRAY[_encoded(sequence)].sum() + _WATER_MASS)
+
+
+def net_charge(sequence: str) -> float:
+    """Approximate net charge at neutral pH: (K + R) − (D + E) with a
+    half-positive histidine."""
+    seq = validate_sequence(sequence)
+    positive = seq.count("K") + seq.count("R") + 0.1 * seq.count("H")
+    negative = seq.count("D") + seq.count("E")
+    return float(positive - negative)
+
+
+def aromaticity(sequence: str) -> float:
+    """Fraction of aromatic residues (F, W, Y)."""
+    seq = validate_sequence(sequence)
+    return (seq.count("F") + seq.count("W") + seq.count("Y")) / len(seq)
+
+
+def synthesis_flags(
+    sequence: str,
+    *,
+    hydrophobic_threshold: float = 2.0,
+    hydrophobic_run: int = 9,
+    max_abs_charge: float = 10.0,
+) -> list[str]:
+    """Heuristic red flags a synthesis/expression order would trip over.
+
+    Returns human-readable warnings (empty = no obvious problems):
+    sustained hydrophobic stretches (membrane-like/aggregating), extreme
+    net charge, and homopolymer runs.
+    """
+    seq = validate_sequence(sequence)
+    flags: list[str] = []
+    profile = hydropathy_profile(seq, window=hydrophobic_run)
+    if profile.size and profile.max() > hydrophobic_threshold:
+        start = int(np.argmax(profile))
+        flags.append(
+            f"hydrophobic stretch around residues {start}-{start + hydrophobic_run} "
+            f"(mean KD {profile.max():.2f})"
+        )
+    charge = net_charge(seq)
+    if abs(charge) > max_abs_charge:
+        flags.append(f"extreme net charge {charge:+.1f} at neutral pH")
+    run_char, run_len, best_char, best_len = seq[0], 1, seq[0], 1
+    for ch in seq[1:]:
+        run_len = run_len + 1 if ch == run_char else 1
+        run_char = ch
+        if run_len > best_len:
+            best_char, best_len = ch, run_len
+    if best_len >= 6:
+        flags.append(f"homopolymer run of {best_len} x {best_char}")
+    return flags

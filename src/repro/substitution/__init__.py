@@ -1,0 +1,51 @@
+"""Substitution matrices for fragment similarity.
+
+The paper scores fragment similarity with the PAM120 matrix (Dayhoff's
+model of evolutionary change, chosen over BLOSUM because PAM is "more
+inclusive" of possible mutations — Sec. 2.2).  This package ships:
+
+* :data:`PAM120` and :data:`BLOSUM62` integer log-odds matrices,
+* a :class:`SubstitutionMatrix` wrapper exposing vectorised lookups on
+  encoded sequences, and
+* the Dayhoff Markov-chain machinery (:mod:`repro.substitution.dayhoff`)
+  that extrapolates a PAM-N matrix for any N from a 1-PAM mutation model,
+  so that the PAM-family design choice itself can be ablated.
+"""
+
+from repro.substitution.data import BLOSUM62_SCORES, PAM120_SCORES
+from repro.substitution.dayhoff import (
+    DayhoffModel,
+    log_odds_matrix,
+    markov_from_log_odds,
+)
+from repro.substitution.matrix import SubstitutionMatrix
+
+#: PAM120 log-odds matrix used by the paper's PIPE similarity test.
+PAM120 = SubstitutionMatrix("PAM120", PAM120_SCORES)
+
+#: BLOSUM62 alternative discussed (and rejected) in Sec. 2.2.
+BLOSUM62 = SubstitutionMatrix("BLOSUM62", BLOSUM62_SCORES)
+
+_REGISTRY = {m.name: m for m in (PAM120, BLOSUM62)}
+
+
+def get_matrix(name: str) -> SubstitutionMatrix:
+    """Look up a bundled matrix by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown substitution matrix {name!r}; known: {known}") from None
+
+
+__all__ = [
+    "BLOSUM62",
+    "BLOSUM62_SCORES",
+    "DayhoffModel",
+    "PAM120",
+    "PAM120_SCORES",
+    "SubstitutionMatrix",
+    "get_matrix",
+    "log_odds_matrix",
+    "markov_from_log_odds",
+]

@@ -1,0 +1,71 @@
+"""The :class:`SubstitutionMatrix` wrapper used by the PIPE kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import AA_TO_INDEX, NUM_AMINO_ACIDS
+
+__all__ = ["SubstitutionMatrix"]
+
+
+class SubstitutionMatrix:
+    """A 20x20 residue-pair score table with vectorised lookup.
+
+    The underlying array is stored as ``float64`` (so that derived PAM-N
+    matrices with fractional entries are representable) and made read-only:
+    the paper notes that the PIPE similarity data structures are shared
+    read-only between all compute threads, and the same holds here between
+    worker processes.
+    """
+
+    def __init__(self, name: str, scores: np.ndarray) -> None:
+        arr = np.asarray(scores, dtype=np.float64)
+        if arr.shape != (NUM_AMINO_ACIDS, NUM_AMINO_ACIDS):
+            raise ValueError(
+                f"scores must be {NUM_AMINO_ACIDS}x{NUM_AMINO_ACIDS}, got {arr.shape}"
+            )
+        if not np.allclose(arr, arr.T):
+            raise ValueError("substitution matrix must be symmetric")
+        self.name = str(name)
+        self._scores = arr.copy()
+        self._scores.setflags(write=False)
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The read-only 20x20 score array (alphabet order)."""
+        return self._scores
+
+    def score(self, a: str, b: str) -> float:
+        """Score a single residue pair given as one-letter codes."""
+        try:
+            return float(self._scores[AA_TO_INDEX[a.upper()], AA_TO_INDEX[b.upper()]])
+        except KeyError as exc:
+            raise KeyError(f"unknown residue {exc.args[0]!r}") from None
+
+    def pair_scores(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Outer score matrix ``S[i, j] = scores[a[i], b[j]]``.
+
+        ``a`` and ``b`` are encoded (``uint8``) sequences; the result is the
+        |a| x |b| residue-level score matrix from which the PIPE window
+        similarity is built by diagonal summation.
+        """
+        return self._scores[np.asarray(a, dtype=np.intp)[:, None],
+                            np.asarray(b, dtype=np.intp)[None, :]]
+
+    def self_similarity(self, a: np.ndarray) -> np.ndarray:
+        """Per-residue identity scores ``scores[a[i], a[i]]``."""
+        idx = np.asarray(a, dtype=np.intp)
+        return self._scores[idx, idx]
+
+    @property
+    def max_score(self) -> float:
+        """Largest entry (always a self-score for a sane matrix)."""
+        return float(self._scores.max())
+
+    @property
+    def min_score(self) -> float:
+        return float(self._scores.min())
+
+    def __repr__(self) -> str:
+        return f"SubstitutionMatrix({self.name!r})"

@@ -1,0 +1,57 @@
+"""Synthetic proteome / interactome / phenotype substrate.
+
+The paper runs InSiPS against the real *S. cerevisiae* proteome (6707
+proteins) and a curated database of experimentally verified interactions.
+Neither is available offline, so this package generates a synthetic world
+with the same statistical structure PIPE mines:
+
+* a proteome with yeast-like residue composition and length statistics,
+* a *lock-and-key motif* interactome — interactions are explained by
+  complementary short-motif pairs planted in the interacting proteins, so
+  fragment-pair co-occurrence in interacting pairs (PIPE's entire signal)
+  is present and learnable by the GA, with PAM-similarity partial credit
+  providing the smooth fitness gradient the paper's Figure 7 shows, and
+* phenotype annotations (cellular component, abundance, stressor linkage)
+  mirroring the four wet-lab candidate criteria of Sec. 4.
+
+``build_world`` additionally designates stand-ins for the paper's named
+experimental targets (YBL051C/PIN4 → cycloheximide, YAL017W/PSK1 → UV, …)
+so the experiment drivers read exactly like the paper.
+"""
+
+from repro.synthetic.motifs import MotifLibrary, MotifPair
+from repro.synthetic.proteome import ProteomeConfig, generate_proteome
+from repro.synthetic.interactome import InteractomeConfig, generate_interactome
+from repro.synthetic.phenotypes import (
+    PhenotypeConfig,
+    STRESSORS,
+    annotate_phenotypes,
+    select_candidate_targets,
+)
+from repro.synthetic.world import (
+    PAPER_TARGETS,
+    SyntheticWorld,
+    WorldConfig,
+    build_world,
+)
+from repro.synthetic.profiles import PROFILES, Profile, get_profile
+
+__all__ = [
+    "MotifLibrary",
+    "MotifPair",
+    "PAPER_TARGETS",
+    "PROFILES",
+    "PhenotypeConfig",
+    "Profile",
+    "ProteomeConfig",
+    "InteractomeConfig",
+    "STRESSORS",
+    "SyntheticWorld",
+    "WorldConfig",
+    "annotate_phenotypes",
+    "build_world",
+    "generate_interactome",
+    "generate_proteome",
+    "get_profile",
+    "select_candidate_targets",
+]

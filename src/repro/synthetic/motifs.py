@@ -1,0 +1,112 @@
+"""Lock-and-key motif library.
+
+Interactions in the synthetic world are mediated by complementary motif
+pairs: a protein carrying the *lock* of pair p tends to interact with
+proteins carrying the *key* of pair p.  This reproduces the statistical
+regularity PIPE exploits — fragment pairs that co-occur across known
+interacting protein pairs — without requiring real interaction data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import NUM_AMINO_ACIDS
+from repro.sequences.encoding import decode
+from repro.substitution.matrix import SubstitutionMatrix
+from repro.util.rng import derive_rng
+
+__all__ = ["MotifPair", "MotifLibrary"]
+
+
+@dataclass(frozen=True)
+class MotifPair:
+    """One complementary (lock, key) motif pair."""
+
+    index: int
+    lock: np.ndarray
+    key: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name, arr in (("lock", self.lock), ("key", self.key)):
+            a = np.asarray(arr, dtype=np.uint8)
+            if a.ndim != 1 or a.size == 0:
+                raise ValueError(f"{name} must be a non-empty 1-D encoded array")
+            a.setflags(write=False)
+            object.__setattr__(self, name, a)
+
+    @property
+    def lock_str(self) -> str:
+        return decode(self.lock)
+
+    @property
+    def key_str(self) -> str:
+        return decode(self.key)
+
+
+class MotifLibrary:
+    """A set of mutually dissimilar lock/key motif pairs.
+
+    Motifs are drawn uniformly at random and re-drawn until every motif in
+    the library is pairwise dissimilar under the given substitution matrix
+    and threshold, so that distinct motif pairs do not cross-talk through
+    the PIPE similarity test (which would blur the planted interactome
+    structure).
+    """
+
+    def __init__(
+        self,
+        num_pairs: int,
+        motif_length: int,
+        *,
+        matrix: SubstitutionMatrix,
+        similarity_threshold: float,
+        seed: int | np.random.Generator | None = None,
+        max_attempts: int = 20_000,
+    ) -> None:
+        if num_pairs < 1:
+            raise ValueError(f"num_pairs must be >= 1, got {num_pairs}")
+        if motif_length < 2:
+            raise ValueError(f"motif_length must be >= 2, got {motif_length}")
+        self.motif_length = int(motif_length)
+        self.matrix = matrix
+        self.similarity_threshold = float(similarity_threshold)
+        rng = derive_rng(seed, "motif-library")
+
+        motifs: list[np.ndarray] = []
+        attempts = 0
+        while len(motifs) < 2 * num_pairs:
+            attempts += 1
+            if attempts > max_attempts:
+                raise RuntimeError(
+                    f"could not draw {2 * num_pairs} mutually dissimilar motifs "
+                    f"of length {motif_length} within {max_attempts} attempts; "
+                    "lower the similarity threshold or the pair count"
+                )
+            cand = rng.integers(0, NUM_AMINO_ACIDS, size=motif_length).astype(np.uint8)
+            if all(self._window_score(cand, m) < self.similarity_threshold for m in motifs):
+                motifs.append(cand)
+        self.pairs: list[MotifPair] = [
+            MotifPair(i, motifs[2 * i], motifs[2 * i + 1]) for i in range(num_pairs)
+        ]
+
+    def _window_score(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(
+            self.matrix.scores[a.astype(np.intp), b.astype(np.intp)].sum()
+        )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __getitem__(self, index: int) -> MotifPair:
+        return self.pairs[index]
+
+    def all_motifs(self) -> list[tuple[str, np.ndarray]]:
+        """Every motif with a role tag ``("lock:3", array)`` etc."""
+        out: list[tuple[str, np.ndarray]] = []
+        for p in self.pairs:
+            out.append((f"lock:{p.index}", p.lock))
+            out.append((f"key:{p.index}", p.key))
+        return out

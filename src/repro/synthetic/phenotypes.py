@@ -1,0 +1,118 @@
+"""Phenotype annotations: localisation, abundance, stressor linkage.
+
+Sec. 4 of the paper selects wet-lab candidate targets by four criteria:
+cytoplasmic localisation, length < 1500, abundance of 3000–10000
+transcripts/cell, and a knockout phenotype of increased sensitivity to a
+well-defined stressor.  This module plants exactly those annotations in
+the synthetic proteome and provides the matching selection query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences.protein import Protein
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "CELLULAR_COMPONENTS",
+    "STRESSORS",
+    "PhenotypeConfig",
+    "annotate_phenotypes",
+    "select_candidate_targets",
+]
+
+#: Cellular components with their default proteome share.
+CELLULAR_COMPONENTS: dict[str, float] = {
+    "cytoplasm": 0.45,
+    "nucleus": 0.25,
+    "membrane": 0.18,
+    "mitochondrion": 0.12,
+}
+
+#: Stressors a knockout can be sensitised to (the paper's assays use
+#: cycloheximide for ΔPIN4 and ultraviolet light for ΔPSK1).
+STRESSORS: tuple[str, ...] = (
+    "cycloheximide",
+    "ultraviolet",
+    "oxidative",
+    "osmotic",
+    "heat",
+)
+
+
+@dataclass(frozen=True)
+class PhenotypeConfig:
+    """Parameters of phenotype annotation."""
+
+    component_weights: dict[str, float] = field(
+        default_factory=lambda: dict(CELLULAR_COMPONENTS)
+    )
+    #: Fraction of proteins whose knockout has a stressor phenotype.
+    stressor_fraction: float = 0.35
+    #: Log-normal abundance: median ~3000 transcripts/cell.
+    abundance_log_mean: float = np.log(3000.0)
+    abundance_log_sigma: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.component_weights:
+            raise ValueError("component_weights must be non-empty")
+        if any(w < 0 for w in self.component_weights.values()):
+            raise ValueError("component weights must be non-negative")
+        if sum(self.component_weights.values()) <= 0:
+            raise ValueError("component weights must sum to a positive value")
+        if not 0.0 <= self.stressor_fraction <= 1.0:
+            raise ValueError("stressor_fraction must be in [0, 1]")
+
+
+def annotate_phenotypes(
+    proteins: list[Protein], config: PhenotypeConfig
+) -> list[Protein]:
+    """Return proteins with ``component``, ``abundance`` and (for a subset)
+    ``stressor`` annotations added."""
+    rng = derive_rng(config.seed, "phenotypes")
+    components = list(config.component_weights)
+    weights = np.array([config.component_weights[c] for c in components])
+    weights = weights / weights.sum()
+    out: list[Protein] = []
+    for p in proteins:
+        component = components[int(rng.choice(len(components), p=weights))]
+        abundance = int(
+            np.round(rng.lognormal(config.abundance_log_mean, config.abundance_log_sigma))
+        )
+        extra: dict[str, object] = {"component": component, "abundance": abundance}
+        if rng.random() < config.stressor_fraction:
+            extra["stressor"] = STRESSORS[int(rng.integers(len(STRESSORS)))]
+        out.append(p.with_annotations(**extra))
+    return out
+
+
+def select_candidate_targets(
+    proteins: list[Protein],
+    *,
+    component: str = "cytoplasm",
+    max_length: int = 1500,
+    min_abundance: int = 3000,
+    max_abundance: int = 10000,
+    require_stressor: bool = True,
+) -> list[Protein]:
+    """Apply the paper's four wet-lab candidate criteria (Sec. 4)."""
+    out = []
+    for p in proteins:
+        ann = p.annotations
+        if ann.get("component") != component:
+            continue
+        if len(p) >= max_length:
+            continue
+        abundance = ann.get("abundance")
+        if not isinstance(abundance, int) or not (
+            min_abundance <= abundance <= max_abundance
+        ):
+            continue
+        if require_stressor and "stressor" not in ann:
+            continue
+        out.append(p)
+    return out

@@ -1,0 +1,183 @@
+"""Named scale profiles.
+
+The paper's production scale (6707 yeast proteins, 1701 cytoplasmic
+non-targets, 1000-sequence populations, 250+ generations on a 1024-node
+Blue Gene/Q) is far beyond a single-core CI box, so every experiment driver
+takes a :class:`Profile` that fixes the world size, the PIPE configuration
+and the GA defaults.  ``paper`` expresses the full published scale; the
+smaller profiles preserve the *ratios* that matter (non-targets per target,
+motif density, population-to-problem size) so curve shapes survive the
+scale-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ppi.pipe import PipeConfig
+from repro.synthetic.interactome import InteractomeConfig
+from repro.synthetic.phenotypes import PhenotypeConfig
+from repro.synthetic.proteome import ProteomeConfig
+from repro.synthetic.world import SyntheticWorld, WorldConfig, build_world
+
+__all__ = ["Profile", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A named bundle of world + GA scale parameters."""
+
+    name: str
+    description: str
+    world: WorldConfig
+    #: GA population size (paper: 1000–1500).
+    population_size: int
+    #: Generations for short (tuning-style) runs (paper: 50).
+    tuning_generations: int
+    #: Minimum generations for full design runs (paper: 250).
+    design_generations: int
+    #: Stall window for the paper's "no new best for 50 generations" stop.
+    stall_generations: int
+    #: Non-target list cap per target (None = all same-component proteins,
+    #: as in the paper).
+    non_target_limit: int | None
+    #: Candidate (designed inhibitor) sequence length.
+    candidate_length: int
+
+    def build_world(self, *, seed: int | None = None) -> SyntheticWorld:
+        """Build this profile's world (optionally re-seeded)."""
+        cfg = self.world
+        if seed is not None:
+            cfg = replace(
+                cfg,
+                seed=seed,
+                proteome=replace(cfg.proteome, seed=seed),
+                interactome=replace(cfg.interactome, seed=seed),
+                phenotypes=replace(cfg.phenotypes, seed=seed),
+            )
+        return build_world(cfg)
+
+
+def _profile(
+    name: str,
+    description: str,
+    *,
+    num_proteins: int,
+    min_length: int,
+    max_length: int,
+    window_size: int,
+    motif_pairs: int,
+    saturation: float,
+    population_size: int,
+    tuning_generations: int,
+    design_generations: int,
+    stall_generations: int,
+    non_target_limit: int | None,
+    candidate_length: int,
+    match_rate: float = 1e-5,
+) -> Profile:
+    world = WorldConfig(
+        proteome=ProteomeConfig(
+            num_proteins=num_proteins,
+            min_length=min_length,
+            max_length=max_length,
+        ),
+        interactome=InteractomeConfig(),
+        phenotypes=PhenotypeConfig(),
+        pipe=PipeConfig(
+            window_size=window_size,
+            match_rate=match_rate,
+            saturation=saturation,
+        ),
+        num_motif_pairs=motif_pairs,
+        num_candidate_targets=18,
+    )
+    return Profile(
+        name=name,
+        description=description,
+        world=world,
+        population_size=population_size,
+        tuning_generations=tuning_generations,
+        design_generations=design_generations,
+        stall_generations=stall_generations,
+        non_target_limit=non_target_limit,
+        candidate_length=candidate_length,
+    )
+
+
+PROFILES: dict[str, Profile] = {
+    "tiny": _profile(
+        "tiny",
+        "Smallest coherent world; unit tests and CI smoke runs.",
+        num_proteins=48,
+        min_length=40,
+        max_length=90,
+        window_size=5,
+        motif_pairs=6,
+        saturation=5.0,
+        population_size=24,
+        tuning_generations=12,
+        design_generations=25,
+        stall_generations=8,
+        non_target_limit=8,
+        candidate_length=48,
+    ),
+    "small": _profile(
+        "small",
+        "Integration tests and fast benchmark runs.",
+        num_proteins=120,
+        min_length=50,
+        max_length=160,
+        window_size=6,
+        motif_pairs=10,
+        saturation=9.0,
+        population_size=60,
+        tuning_generations=25,
+        design_generations=60,
+        stall_generations=15,
+        non_target_limit=16,
+        candidate_length=64,
+    ),
+    "medium": _profile(
+        "medium",
+        "Examples and headline experiment reproductions.",
+        num_proteins=300,
+        min_length=60,
+        max_length=240,
+        window_size=6,
+        motif_pairs=16,
+        saturation=25.0,
+        population_size=120,
+        tuning_generations=50,
+        design_generations=150,
+        stall_generations=30,
+        non_target_limit=32,
+        candidate_length=80,
+    ),
+    "paper": _profile(
+        "paper",
+        "The published scale: full yeast-sized proteome; requires a cluster.",
+        num_proteins=6707,
+        min_length=60,
+        max_length=1490,
+        window_size=20,
+        motif_pairs=80,
+        saturation=400.0,
+        population_size=1000,
+        tuning_generations=50,
+        design_generations=250,
+        stall_generations=50,
+        non_target_limit=None,
+        candidate_length=120,
+        match_rate=1e-7,
+    ),
+}
+
+
+def get_profile(name: str) -> Profile:
+    """Look up a profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown profile {name!r}; known: {known}") from None

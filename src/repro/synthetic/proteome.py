@@ -1,0 +1,161 @@
+"""Synthetic proteome generation with planted motifs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import NUM_AMINO_ACIDS, YEAST_AA_FREQUENCIES
+from repro.sequences.encoding import decode
+from repro.sequences.protein import Protein
+from repro.synthetic.motifs import MotifLibrary
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "ProteomeConfig",
+    "diverge_motif",
+    "embed_motif",
+    "generate_proteome",
+    "orf_names",
+]
+
+_CHROMOSOMES = "ABCDEFGHIJKLMNOP"
+
+
+def orf_names(count: int, rng: np.random.Generator) -> list[str]:
+    """Generate ``count`` unique yeast-style systematic ORF names.
+
+    Names look like ``YDR412W``: Y + chromosome letter + arm (L/R) +
+    three-digit position + strand (W/C), matching the identifiers the
+    paper uses for its targets.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    names: set[str] = set()
+    out: list[str] = []
+    while len(out) < count:
+        name = (
+            "Y"
+            + _CHROMOSOMES[int(rng.integers(len(_CHROMOSOMES)))]
+            + ("L" if rng.random() < 0.5 else "R")
+            + f"{int(rng.integers(1, 1000)):03d}"
+            + ("W" if rng.random() < 0.5 else "C")
+        )
+        if name not in names:
+            names.add(name)
+            out.append(name)
+    return out
+
+
+@dataclass(frozen=True)
+class ProteomeConfig:
+    """Parameters of the synthetic proteome.
+
+    Lengths are drawn from a clipped log-normal matched to yeast length
+    statistics by default; every protein independently receives
+    ``Poisson(motifs_per_protein)`` motif instances drawn uniformly from
+    the lock/key motif alphabet and embedded at non-overlapping positions.
+    """
+
+    num_proteins: int = 150
+    min_length: int = 50
+    max_length: int = 240
+    length_log_mean: float = np.log(110.0)
+    length_log_sigma: float = 0.35
+    motifs_per_protein: float = 1.4
+    #: Per-residue mutation probability applied to each embedded motif
+    #: instance.  Real interactomes contain *diverged* copies of binding
+    #: motifs across homologous proteins; this divergence is what makes the
+    #: PIPE evidence counts graded (a candidate fragment close to the motif
+    #: consensus matches many carriers, a distant one matches few), giving
+    #: the GA the smooth fitness landscape visible in the paper's Figure 7.
+    motif_divergence: float = 0.10
+    frequencies: np.ndarray = field(default_factory=lambda: YEAST_AA_FREQUENCIES.copy())
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_proteins < 2:
+            raise ValueError(f"num_proteins must be >= 2, got {self.num_proteins}")
+        if not 1 <= self.min_length <= self.max_length:
+            raise ValueError(
+                f"need 1 <= min_length <= max_length, got "
+                f"{self.min_length}..{self.max_length}"
+            )
+        if self.motifs_per_protein < 0:
+            raise ValueError("motifs_per_protein must be >= 0")
+        if not 0.0 <= self.motif_divergence <= 1.0:
+            raise ValueError("motif_divergence must be in [0, 1]")
+
+
+def diverge_motif(
+    motif: np.ndarray, divergence: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A copy of ``motif`` with each residue mutated with probability
+    ``divergence`` (uniformly to one of the other 19 residues)."""
+    out = np.array(motif, dtype=np.uint8)
+    hits = np.nonzero(rng.random(out.size) < divergence)[0]
+    if hits.size:
+        offsets = rng.integers(1, NUM_AMINO_ACIDS, size=hits.size)
+        out[hits] = (out[hits].astype(np.int64) + offsets) % NUM_AMINO_ACIDS
+    return out
+
+
+def embed_motif(
+    sequence: np.ndarray,
+    motif: np.ndarray,
+    occupied: list[tuple[int, int]],
+    rng: np.random.Generator,
+    *,
+    max_tries: int = 50,
+) -> int | None:
+    """Overwrite a random non-overlapping span of ``sequence`` with ``motif``.
+
+    Returns the start position, or None when no free span was found.
+    ``occupied`` is updated in place on success.
+    """
+    m = motif.size
+    if m > sequence.size:
+        return None
+    for _ in range(max_tries):
+        start = int(rng.integers(0, sequence.size - m + 1))
+        span = (start, start + m)
+        if all(span[1] <= s or span[0] >= e for s, e in occupied):
+            sequence[span[0] : span[1]] = motif
+            occupied.append(span)
+            return start
+    return None
+
+
+def generate_proteome(
+    config: ProteomeConfig, library: MotifLibrary
+) -> list[Protein]:
+    """Generate the proteome; each protein's planted motifs are recorded in
+    its ``annotations["motifs"]`` as a list of role tags (``"lock:3"``)."""
+    rng = derive_rng(config.seed, "proteome")
+    names = orf_names(config.num_proteins, rng)
+    motif_alphabet = library.all_motifs()
+    proteins: list[Protein] = []
+    for name in names:
+        length = int(
+            np.clip(
+                np.round(rng.lognormal(config.length_log_mean, config.length_log_sigma)),
+                config.min_length,
+                config.max_length,
+            )
+        )
+        seq = rng.choice(
+            NUM_AMINO_ACIDS, size=length, p=config.frequencies
+        ).astype(np.uint8)
+        occupied: list[tuple[int, int]] = []
+        tags: list[str] = []
+        n_motifs = int(rng.poisson(config.motifs_per_protein))
+        for _ in range(n_motifs):
+            tag, motif = motif_alphabet[int(rng.integers(len(motif_alphabet)))]
+            instance = diverge_motif(motif, config.motif_divergence, rng)
+            if embed_motif(seq, instance, occupied, rng) is not None:
+                tags.append(tag)
+        proteins.append(
+            Protein(name, decode(seq), {"motifs": tags})
+        )
+    return proteins

@@ -1,0 +1,284 @@
+"""Assembly of the complete synthetic world.
+
+``build_world`` runs the full generation pipeline (motif library → proteome
+→ phenotypes → paper-target designation → interactome) and returns a
+:class:`SyntheticWorld` that the GA, the parallel runtime and the wet-lab
+simulator all consume.
+
+The designation step renames a deterministic selection of motif-carrying
+proteins to the identifiers the paper uses (YBL051C, YAL017W, …) and forces
+the four wet-lab candidate criteria of Sec. 4 onto them, so experiment
+drivers can address the exact targets the paper reports on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ppi.graph import InteractionGraph
+from repro.ppi.pipe import PipeConfig, PipeEngine
+from repro.sequences.encoding import decode
+from repro.sequences.protein import Protein
+from repro.synthetic.interactome import InteractomeConfig, generate_interactome
+from repro.synthetic.motifs import MotifLibrary
+from repro.synthetic.phenotypes import (
+    PhenotypeConfig,
+    STRESSORS,
+    annotate_phenotypes,
+    select_candidate_targets,
+)
+from repro.synthetic.proteome import ProteomeConfig, embed_motif, generate_proteome
+from repro.util.rng import derive_rng
+
+__all__ = ["PAPER_TARGETS", "SyntheticWorld", "WorldConfig", "build_world"]
+
+#: The paper's named proteins: experimental targets with their knockout
+#: stressor phenotype (Sec. 4.2) and the five performance-test sequences
+#: (Sec. 3.1) ordered easiest → hardest; ``difficulty`` counts extra motifs
+#: planted to scale the PIPE similarity workload.
+PAPER_TARGETS: dict[str, dict[str, object]] = {
+    # Wet-lab / parameter-tuning targets.
+    "YBL051C": {"gene": "PIN4", "stressor": "cycloheximide", "role": "wetlab"},
+    "YAL017W": {"gene": "PSK1", "stressor": "ultraviolet", "role": "wetlab"},
+    "YDL001W": {"gene": "RMD1", "stressor": "oxidative", "role": "wetlab"},
+    "YAL054C": {"gene": "ACS1", "stressor": "osmotic", "role": "tuning"},
+    "YBR274W": {"gene": "CHK1", "stressor": "heat", "role": "tuning"},
+    "YOL054W": {"gene": "PSH1", "stressor": "oxidative", "role": "tuning"},
+    # Performance-test sequences, easiest to hardest.
+    "YPL108W": {"role": "performance", "difficulty": 0},
+    "YPL158C": {"role": "performance", "difficulty": 1},
+    "YJR151C": {"role": "performance", "difficulty": 2},
+    "YCL019W": {"role": "performance", "difficulty": 4},
+    "YHR214C-B": {"role": "performance", "difficulty": 7},
+}
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Everything needed to build a synthetic world deterministically."""
+
+    proteome: ProteomeConfig = field(default_factory=ProteomeConfig)
+    interactome: InteractomeConfig = field(default_factory=InteractomeConfig)
+    phenotypes: PhenotypeConfig = field(default_factory=PhenotypeConfig)
+    pipe: PipeConfig = field(default_factory=PipeConfig)
+    num_motif_pairs: int = 12
+    #: Number of Sec. 4 candidate targets to guarantee (the paper found 18).
+    num_candidate_targets: int = 18
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_motif_pairs < 1:
+            raise ValueError("num_motif_pairs must be >= 1")
+        if self.num_candidate_targets < 0:
+            raise ValueError("num_candidate_targets must be >= 0")
+        if self.num_candidate_targets > self.proteome.num_proteins:
+            raise ValueError(
+                "num_candidate_targets cannot exceed the proteome size"
+            )
+
+
+@dataclass
+class SyntheticWorld:
+    """The assembled world: proteome + interactions + PIPE configuration."""
+
+    graph: InteractionGraph
+    library: MotifLibrary
+    config: WorldConfig
+    similarity_threshold: float
+    _engine: PipeEngine | None = field(default=None, repr=False)
+
+    @property
+    def proteins(self) -> list[Protein]:
+        return self.graph.proteins
+
+    def protein(self, name: str) -> Protein:
+        return self.graph.protein(name)
+
+    @property
+    def engine(self) -> PipeEngine:
+        """Lazily built PIPE engine over this world (cached)."""
+        if self._engine is None:
+            from repro.ppi.database import PipeDatabase
+
+            database = PipeDatabase(
+                self.graph,
+                self.config.pipe.matrix,
+                self.config.pipe.window_size,
+                self.similarity_threshold,
+            )
+            self._engine = PipeEngine(database, self.config.pipe)
+        return self._engine
+
+    def candidate_targets(self) -> list[Protein]:
+        """Proteins meeting the paper's four wet-lab criteria (Sec. 4)."""
+        return select_candidate_targets(self.proteins)
+
+    def non_targets_for(
+        self, target: str, *, limit: int | None = None
+    ) -> list[str]:
+        """The paper's non-target choice: every other protein in the same
+        cellular component as the target.
+
+        ``limit`` caps the list (deterministically, by name hash) for
+        scaled-down runs; None keeps all of them as in the paper.
+        """
+        target_protein = self.protein(target)
+        component = target_protein.annotations.get("component")
+        names = [
+            p.name
+            for p in self.proteins
+            if p.name != target and p.annotations.get("component") == component
+        ]
+        names.sort()
+        if limit is not None and len(names) > limit:
+            rng = derive_rng(self.config.seed, "non-target-subset", target)
+            idx = rng.choice(len(names), size=limit, replace=False)
+            names = sorted(names[i] for i in idx)
+        return names
+
+    def paper_target_names(self, role: str | None = None) -> list[str]:
+        """Designated paper targets present in this world."""
+        out = []
+        for name, info in PAPER_TARGETS.items():
+            if name in self.graph and (role is None or info.get("role") == role):
+                out.append(name)
+        return out
+
+
+def _designate_paper_targets(
+    proteins: list[Protein],
+    library: MotifLibrary,
+    config: WorldConfig,
+) -> list[Protein]:
+    """Rename a deterministic selection of proteins to the paper's IDs and
+    force the Sec. 4 candidate criteria onto them."""
+    rng = derive_rng(config.seed, "designation")
+    by_name = {p.name: i for i, p in enumerate(proteins)}
+    motif_rich = sorted(
+        (p.name for p in proteins if p.annotations.get("motifs")),
+    )
+    plain = sorted(p.name for p in proteins if not p.annotations.get("motifs"))
+    pool = motif_rich + plain  # prefer motif carriers for designation
+    if len(pool) < len(PAPER_TARGETS):
+        raise ValueError(
+            "proteome too small to designate all paper targets; "
+            f"need {len(PAPER_TARGETS)}, have {len(pool)}"
+        )
+    chosen = pool[: len(PAPER_TARGETS)]
+    out = list(proteins)
+    # Rotate through the motif pairs when forcing keys so designated
+    # targets get *distinct* keys wherever the library allows: if several
+    # targets shared a key, every inhibitor lock would also bind the
+    # same-key non-targets and the achievable fitness would be capped.
+    key_rotation = 0
+    for new_name, old_name in zip(PAPER_TARGETS, chosen):
+        i = by_name[old_name]
+        p = out[i]
+        info = PAPER_TARGETS[new_name]
+        seq = np.array(p.encoded, dtype=np.uint8)
+        occupied: list[tuple[int, int]] = []
+        tags = list(p.annotations.get("motifs", []))
+
+        # Guarantee designated proteins carry *key* motifs so an inhibitor
+        # design problem against them is solvable; the wet-lab and tuning
+        # targets get two (independent solution paths for the GA, matching
+        # the paper's choice of well-behaved experimental candidates).
+        wanted_keys = 2 if info.get("role") in ("wetlab", "tuning") else 1
+        have_keys = sum(1 for t in tags if str(t).startswith("key:"))
+        attempts = 0
+        while have_keys < wanted_keys and attempts < 2 * len(library):
+            pair = library[key_rotation % len(library)]
+            key_rotation += 1
+            attempts += 1
+            if f"key:{pair.index}" in tags:
+                continue
+            if embed_motif(seq, pair.key, occupied, rng) is None:
+                continue
+            tags.append(f"key:{pair.index}")
+            have_keys += 1
+
+        # Performance-test sequences get extra motifs: each planted motif
+        # increases how many database proteins contain matching fragments,
+        # which is exactly the paper's notion of computational difficulty.
+        for _ in range(int(info.get("difficulty", 0))):
+            pair = library[int(rng.integers(len(library)))]
+            role_tag, motif = (
+                (f"lock:{pair.index}", pair.lock)
+                if rng.random() < 0.5
+                else (f"key:{pair.index}", pair.key)
+            )
+            if embed_motif(seq, motif, occupied, rng) is not None:
+                tags.append(role_tag)
+
+        annotations = dict(p.annotations)
+        annotations["motifs"] = tags
+        annotations["component"] = "cytoplasm"
+        annotations["abundance"] = int(rng.integers(3000, 10001))
+        stressor = info.get("stressor")
+        annotations["stressor"] = (
+            stressor
+            if stressor is not None
+            else STRESSORS[int(rng.integers(len(STRESSORS)))]
+        )
+        if "gene" in info:
+            annotations["gene"] = info["gene"]
+        out[i] = Protein(new_name, decode(seq), annotations)
+    return out
+
+
+def _ensure_candidate_pool(
+    proteins: list[Protein], config: WorldConfig
+) -> list[Protein]:
+    """Force enough proteins to satisfy the Sec. 4 criteria (18 in the
+    paper) so target-selection experiments always have a full pool."""
+    rng = derive_rng(config.seed, "candidate-pool")
+    have = {p.name for p in select_candidate_targets(proteins)}
+    deficit = config.num_candidate_targets - len(have)
+    if deficit <= 0:
+        return proteins
+    out = list(proteins)
+    eligible = [
+        i
+        for i, p in enumerate(out)
+        if p.name not in have and p.name not in PAPER_TARGETS
+    ]
+    for i in eligible[:deficit]:
+        p = out[i]
+        out[i] = p.with_annotations(
+            component="cytoplasm",
+            abundance=int(rng.integers(3000, 10001)),
+            stressor=STRESSORS[int(rng.integers(len(STRESSORS)))],
+        )
+    return out
+
+
+def build_world(config: WorldConfig | None = None) -> SyntheticWorld:
+    """Generate a complete synthetic world from a :class:`WorldConfig`."""
+    cfg = config or WorldConfig()
+    threshold = cfg.pipe.resolved_threshold()
+    library = MotifLibrary(
+        cfg.num_motif_pairs,
+        cfg.pipe.window_size,
+        matrix=cfg.pipe.matrix,
+        similarity_threshold=threshold,
+        seed=derive_rng(cfg.seed, "motifs"),
+    )
+    proteins = generate_proteome(cfg.proteome, library)
+    proteins = annotate_phenotypes(proteins, cfg.phenotypes)
+    proteins = _designate_paper_targets(proteins, library, cfg)
+    proteins = _ensure_candidate_pool(proteins, cfg)
+    graph = generate_interactome(proteins, cfg.interactome)
+
+    # A designed inhibitor needs the target to have known partners for PIPE
+    # to mine; guarantee degree >= 1 for the designated targets.
+    rng = derive_rng(cfg.seed, "degree-fixup")
+    names = graph.names
+    for name in PAPER_TARGETS:
+        if name in graph and graph.degree(name) == 0:
+            other = names[int(rng.integers(len(names)))]
+            while other == name:
+                other = names[int(rng.integers(len(names)))]
+            graph.add_interaction(name, other)
+    return SyntheticWorld(graph, library, cfg, threshold)

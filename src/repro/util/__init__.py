@@ -1,0 +1,19 @@
+"""Small shared utilities: RNG streams, timers, validation helpers."""
+
+from repro.util.rng import RngStream, derive_rng, spawn_streams
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_simplex,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_streams",
+    "Timer",
+    "check_fraction",
+    "check_positive",
+    "check_probability_simplex",
+]

@@ -1,0 +1,45 @@
+"""Lightweight wall-clock timing helpers for the benchmark drivers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating context-manager timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.calls
+    1
+    """
+
+    elapsed: float = 0.0
+    calls: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise RuntimeError("Timer exited without being entered")
+        self.elapsed += time.perf_counter() - self._start
+        self.calls += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per timed call (0.0 before any call)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None

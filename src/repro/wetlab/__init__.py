@@ -1,0 +1,58 @@
+"""In-silico stand-in for the paper's wet-lab validation (Sec. 4.2).
+
+The paper spent six months validating two designed inhibitors in live
+*S. cerevisiae*: expressing the anti-target protein from a plasmid,
+stressing the four strains (wild type, empty-plasmid control, inhibitor
+strain, knockout), and counting surviving colonies.  This package models
+that pipeline:
+
+* :mod:`repro.wetlab.binding` — PIPE interaction score → inhibitor/target
+  binding occupancy (Hill kinetics);
+* :mod:`repro.wetlab.strains` — the four standard strains with their
+  residual target activity;
+* :mod:`repro.wetlab.assays` — conditional-sensitivity assays mapping
+  residual activity to survival under a stressor (cycloheximide for
+  ΔPIN4/YBL051C, ultraviolet light for ΔPSK1/YAL017W);
+* :mod:`repro.wetlab.colony` — stochastic colony-count experiments
+  normalised to unstressed controls (the paper's Tables 4–5);
+* :mod:`repro.wetlab.spot_test` — the 10x serial-dilution spot test of
+  Figure 10.
+
+The substitution preserves the paper's *comparison structure*: the
+inhibitor strain should resemble the knockout, and both should separate
+clearly from the two controls.
+"""
+
+from repro.wetlab.assays import STANDARD_ASSAYS, StressAssay
+from repro.wetlab.binding import BindingModel, InhibitionProfile
+from repro.wetlab.colony import ColonyAssayResult, run_colony_assay
+from repro.wetlab.dosage import (
+    DoseResponseCurve,
+    DoseResponseModel,
+    dose_response,
+    ic50,
+)
+from repro.wetlab.growth import GrowthCurve, GrowthModel, simulate_growth_curve
+from repro.wetlab.spot_test import SpotTestResult, run_spot_test
+from repro.wetlab.strains import STRAIN_ORDER, Strain, make_standard_strains
+
+__all__ = [
+    "BindingModel",
+    "ColonyAssayResult",
+    "DoseResponseCurve",
+    "DoseResponseModel",
+    "GrowthCurve",
+    "GrowthModel",
+    "dose_response",
+    "ic50",
+    "InhibitionProfile",
+    "STANDARD_ASSAYS",
+    "STRAIN_ORDER",
+    "SpotTestResult",
+    "StressAssay",
+    "Strain",
+    "make_standard_strains",
+    "run_colony_assay",
+    "simulate_growth_curve",
+    "run_spot_test",
+]

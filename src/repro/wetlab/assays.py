@@ -1,0 +1,101 @@
+"""Conditional-sensitivity stress assays.
+
+Each assay maps a strain's residual target activity to its survival
+probability under the stressor.  The two bundled assays are calibrated to
+the paper's published control points:
+
+* cycloheximide 65 ng/mL (Table 4): WT ≈ 90 %, ΔPIN4 ≈ 27 %;
+* ultraviolet light 30 s (Table 5): WT ≈ 55 %, ΔPSK1 ≈ 10 %.
+
+Survival interpolates between the knockout floor and the wild-type level
+as ``activity ** exponent``; the exponent captures how steeply function
+loss translates into sensitivity (UV-damage repair is much steeper than
+translation capacity under cycloheximide, which is what makes the paper's
+UV separation so dramatic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wetlab.strains import Strain
+
+__all__ = ["StressAssay", "STANDARD_ASSAYS"]
+
+
+@dataclass(frozen=True)
+class StressAssay:
+    """One stress-exposure protocol."""
+
+    name: str
+    stressor: str
+    description: str
+    wt_survival: float
+    knockout_survival: float
+    activity_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("wt_survival", "knockout_survival"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {v}")
+        if self.knockout_survival > self.wt_survival:
+            raise ValueError(
+                "knockout_survival must not exceed wt_survival (the assays "
+                "are chosen so that losing the target sensitises the cell)"
+            )
+        if self.activity_exponent <= 0:
+            raise ValueError("activity_exponent must be > 0")
+
+    def survival_probability(self, strain: Strain) -> float:
+        """Per-cell survival probability of ``strain`` under this stress."""
+        span = self.wt_survival - self.knockout_survival
+        return (
+            self.knockout_survival
+            + span * strain.target_activity**self.activity_exponent
+        )
+
+
+#: Assays keyed by the stressor tag used in protein annotations.
+STANDARD_ASSAYS: dict[str, StressAssay] = {
+    "cycloheximide": StressAssay(
+        name="cycloheximide-65ng",
+        stressor="cycloheximide",
+        description="65 ng/mL cycloheximide (protein-biosynthesis inhibitor)",
+        wt_survival=0.90,
+        knockout_survival=0.27,
+        activity_exponent=0.70,
+    ),
+    "ultraviolet": StressAssay(
+        name="uv-30s",
+        stressor="ultraviolet",
+        description="30 s ultraviolet exposure (DNA damage)",
+        wt_survival=0.55,
+        knockout_survival=0.10,
+        activity_exponent=2.2,
+    ),
+    "oxidative": StressAssay(
+        name="h2o2-2mM",
+        stressor="oxidative",
+        description="2 mM hydrogen peroxide (oxidative stress)",
+        wt_survival=0.70,
+        knockout_survival=0.15,
+        activity_exponent=1.3,
+    ),
+    "osmotic": StressAssay(
+        name="nacl-1M",
+        stressor="osmotic",
+        description="1 M NaCl (osmotic stress)",
+        wt_survival=0.75,
+        knockout_survival=0.20,
+        activity_exponent=1.0,
+    ),
+    "heat": StressAssay(
+        name="heat-42C",
+        stressor="heat",
+        description="42 °C heat shock, 1 h",
+        wt_survival=0.65,
+        knockout_survival=0.18,
+        activity_exponent=1.1,
+    ),
+}

@@ -1,0 +1,86 @@
+"""Colony-count experiments (the paper's Tables 4–5 and Figures 8–9).
+
+Protocol, mirroring Sec. 4.2: each run plates the same nominal number of
+cells per strain under normal conditions and under stress; colonies are
+binomially distributed around plating efficiency (normal) and plating
+efficiency x stress survival (stressed).  Reported values are stressed
+counts normalised to the *average* unstressed count of that strain,
+exactly as the table captions describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+from repro.wetlab.assays import StressAssay
+from repro.wetlab.strains import Strain
+
+__all__ = ["ColonyAssayResult", "run_colony_assay"]
+
+
+@dataclass(frozen=True)
+class ColonyAssayResult:
+    """Normalised colony counts for one assay across repeated runs."""
+
+    assay: StressAssay
+    strains: tuple[str, ...]
+    #: Shape (runs, strains): normalised survival percentages in [0, ~100].
+    percentages: np.ndarray
+    cells_per_plate: int
+
+    @property
+    def runs(self) -> int:
+        return int(self.percentages.shape[0])
+
+    def averages(self) -> np.ndarray:
+        """Per-strain mean percentage (the paper's "Avg." row)."""
+        return self.percentages.mean(axis=0)
+
+    def std_devs(self) -> np.ndarray:
+        """Per-strain standard deviation (Figure 8/9 error bars)."""
+        return self.percentages.std(axis=0, ddof=1)
+
+    def column(self, strain: str) -> np.ndarray:
+        try:
+            j = self.strains.index(strain)
+        except ValueError:
+            raise KeyError(f"unknown strain {strain!r}") from None
+        return self.percentages[:, j]
+
+
+def run_colony_assay(
+    strains: list[Strain],
+    assay: StressAssay,
+    *,
+    runs: int = 5,
+    cells_per_plate: int = 400,
+    seed: int = 0,
+) -> ColonyAssayResult:
+    """Simulate the repeated colony-count experiment.
+
+    Each strain's unstressed baseline is the average over ``runs``
+    replicate platings, matching the normalisation of the paper's tables
+    ("colony counts after exposure are normalized to the average colony
+    counts observed under normal conditions").
+    """
+    if runs < 2:
+        raise ValueError(f"runs must be >= 2 for a std-dev, got {runs}")
+    if cells_per_plate < 10:
+        raise ValueError(f"cells_per_plate must be >= 10, got {cells_per_plate}")
+    rng = derive_rng(seed, "colony-assay", assay.name)
+    table = np.zeros((runs, len(strains)), dtype=np.float64)
+    for j, strain in enumerate(strains):
+        normal = rng.binomial(cells_per_plate, strain.plating_efficiency, size=runs)
+        baseline = max(1.0, float(normal.mean()))
+        p_stressed = strain.plating_efficiency * assay.survival_probability(strain)
+        stressed = rng.binomial(cells_per_plate, p_stressed, size=runs)
+        table[:, j] = 100.0 * stressed / baseline
+    return ColonyAssayResult(
+        assay=assay,
+        strains=tuple(s.name for s in strains),
+        percentages=table,
+        cells_per_plate=cells_per_plate,
+    )

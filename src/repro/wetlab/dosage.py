@@ -1,0 +1,137 @@
+"""Dose–response curves and IC50 estimation.
+
+The paper's Table 4 uses a single cycloheximide dose (65 ng/mL) chosen to
+separate the strains.  Generalising, each stressor has a dose axis: higher
+doses shift every strain's survival down, and the dose at which survival
+halves (the IC50) orders the strains — wild type most resistant, knockout
+least, the inhibitor strain in between, with its position measuring how
+completely the designed protein knocks the target down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.wetlab.assays import StressAssay
+from repro.wetlab.strains import Strain
+
+__all__ = ["DoseResponseModel", "DoseResponseCurve", "dose_response", "ic50"]
+
+
+@dataclass(frozen=True)
+class DoseResponseModel:
+    """Maps a dose to a :class:`StressAssay` at that dose.
+
+    ``reference_dose`` is the dose at which the reference assay's
+    published survival levels apply (65 ng/mL for the paper's
+    cycloheximide protocol).  Survival decays exponentially with dose on
+    both the wild-type and knockout levels, at sensitivities ``wt_decay``
+    and ``ko_decay`` (knockouts die faster — that is what makes the assay
+    informative at every dose).
+    """
+
+    reference: StressAssay
+    reference_dose: float = 65.0
+    wt_decay: float = 1.0
+    ko_decay: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.reference_dose <= 0:
+            raise ValueError("reference_dose must be > 0")
+        if self.wt_decay <= 0 or self.ko_decay <= 0:
+            raise ValueError("decay rates must be > 0")
+        if self.ko_decay < self.wt_decay:
+            raise ValueError(
+                "knockouts must be at least as dose-sensitive as wild type"
+            )
+
+    def assay_at(self, dose: float) -> StressAssay:
+        """The assay scaled to ``dose`` (0 = no stress)."""
+        if dose < 0:
+            raise ValueError(f"dose must be >= 0, got {dose}")
+        x = dose / self.reference_dose
+        # Anchor at the published levels for x = 1; approach 1.0 at x = 0.
+        wt = float(self.reference.wt_survival ** (x**self.wt_decay if x > 0 else 0.0))
+        ko = float(
+            self.reference.knockout_survival ** (x**self.ko_decay if x > 0 else 0.0)
+        )
+        ko = min(ko, wt)
+        return replace(
+            self.reference,
+            name=f"{self.reference.name}@{dose:g}",
+            wt_survival=wt,
+            knockout_survival=ko,
+        )
+
+
+@dataclass(frozen=True)
+class DoseResponseCurve:
+    """Survival vs dose for one strain."""
+
+    strain_name: str
+    doses: np.ndarray
+    survival: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.doses, dtype=np.float64)
+        s = np.asarray(self.survival, dtype=np.float64)
+        if d.shape != s.shape or d.ndim != 1 or d.size < 2:
+            raise ValueError("doses and survival must be matching 1-D series")
+        if np.any(np.diff(d) <= 0):
+            raise ValueError("doses must be strictly increasing")
+        d = d.copy()
+        s = s.copy()
+        d.setflags(write=False)
+        s.setflags(write=False)
+        object.__setattr__(self, "doses", d)
+        object.__setattr__(self, "survival", s)
+
+    def ic50(self) -> float | None:
+        """Dose at which survival first drops to half its zero-dose value
+        (linear interpolation; None when never reached)."""
+        half = self.survival[0] / 2.0
+        below = np.nonzero(self.survival <= half)[0]
+        if below.size == 0:
+            return None
+        i = int(below[0])
+        if i == 0:
+            return float(self.doses[0])
+        d0, d1 = self.doses[i - 1], self.doses[i]
+        s0, s1 = self.survival[i - 1], self.survival[i]
+        if s0 == s1:
+            return float(d1)
+        return float(d0 + (s0 - half) * (d1 - d0) / (s0 - s1))
+
+
+def dose_response(
+    strain: Strain,
+    model: DoseResponseModel,
+    doses: np.ndarray | list[float],
+) -> DoseResponseCurve:
+    """Evaluate a strain's survival over a dose sweep."""
+    dose_arr = np.asarray(doses, dtype=np.float64)
+    survival = np.array(
+        [model.assay_at(float(d)).survival_probability(strain) for d in dose_arr]
+    )
+    return DoseResponseCurve(strain.name, dose_arr, survival)
+
+
+def ic50(
+    strain: Strain,
+    model: DoseResponseModel,
+    *,
+    max_dose: float | None = None,
+    points: int = 200,
+) -> float | None:
+    """Convenience IC50 over a geometric dose sweep up to ``max_dose``
+    (default: 10x the reference dose)."""
+    top = max_dose if max_dose is not None else 10.0 * model.reference_dose
+    if top <= 0:
+        raise ValueError("max_dose must be > 0")
+    if points < 10:
+        raise ValueError("points must be >= 10")
+    doses = np.geomspace(top / 1000.0, top, points)
+    doses = np.concatenate([[0.0], doses])
+    return dose_response(strain, model, doses).ic50()

@@ -1,0 +1,88 @@
+"""The four standard strains of the validation protocol.
+
+"First, four different S. cerevisiae strains are used.  These are the
+wild-type control strain (WT), a second control strain which contains an
+empty plasmid (WT+), a strain containing a plasmid inducing the production
+of the generated anti-target protein (WT + InSiPS) and a strain in which
+the gene for the target protein is deleted." (Sec. 4.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wetlab.binding import BindingModel, InhibitionProfile
+
+__all__ = ["Strain", "STRAIN_ORDER", "make_standard_strains"]
+
+#: Canonical column order of the paper's tables.
+STRAIN_ORDER: tuple[str, ...] = ("WT", "WT+", "WT+InSiPS", "knockout")
+
+
+@dataclass(frozen=True)
+class Strain:
+    """One yeast strain in the assay.
+
+    Attributes
+    ----------
+    name:
+        Display name ("WT", "WT+", "WT+InSiPS", or the knockout label such
+        as "ΔPIN4").
+    target_activity:
+        Residual functional activity of the target protein in [0, 1]
+        (1 = fully functional, 0 = deleted).
+    growth_burden:
+        Stress-independent fitness cost (plasmid maintenance, heterologous
+        expression, off-target binding); reduces plating efficiency under
+        *all* conditions, so it largely cancels in the normalised counts.
+    """
+
+    name: str
+    target_activity: float
+    growth_burden: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_activity <= 1.0:
+            raise ValueError(
+                f"target_activity must be in [0, 1], got {self.target_activity}"
+            )
+        if not 0.0 <= self.growth_burden < 1.0:
+            raise ValueError(f"growth_burden must be in [0, 1), got {self.growth_burden}")
+
+    @property
+    def plating_efficiency(self) -> float:
+        """Fraction of plated cells that form colonies without stress."""
+        return 1.0 - self.growth_burden
+
+
+def make_standard_strains(
+    profile: InhibitionProfile,
+    *,
+    binding: BindingModel | None = None,
+    knockout_label: str | None = None,
+    plasmid_burden: float = 0.02,
+    expression_burden: float = 0.02,
+) -> list[Strain]:
+    """Build the four assay strains for a designed inhibitor.
+
+    The inhibitor strain's residual target activity comes from the binding
+    model applied to the design's PIPE target score; its growth burden adds
+    plasmid maintenance, expression load and off-target side effects.
+    """
+    model = binding or BindingModel()
+    ko = knockout_label or f"Δ{profile.target}"
+    inhibitor_burden = (
+        plasmid_burden
+        + expression_burden
+        + profile.side_effect_burden(model)
+    )
+    return [
+        Strain("WT", target_activity=1.0, growth_burden=0.0),
+        Strain("WT+", target_activity=1.0, growth_burden=plasmid_burden),
+        Strain(
+            "WT+InSiPS",
+            target_activity=model.residual_activity(profile.target_score),
+            growth_burden=min(inhibitor_burden, 0.5),
+        ),
+        Strain(ko, target_activity=0.0, growth_burden=0.0),
+    ]

@@ -1,0 +1,76 @@
+"""Tests for the Figure 2 heat map."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import fitness_heatmap, render_heatmap
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return fitness_heatmap(41)
+
+
+def test_axes_and_shape(grid):
+    assert grid["target"].shape == (41,)
+    assert grid["max_non_target"].shape == (41,)
+    assert grid["fitness"].shape == (41, 41)
+
+
+def test_formula(grid):
+    f = grid["fitness"]
+    t = grid["target"]
+    nt = grid["max_non_target"]
+    for i in (0, 10, 40):
+        for j in (0, 25, 40):
+            assert f[i, j] == pytest.approx((1 - nt[i]) * t[j])
+
+
+def test_peak_in_paper_corner(grid):
+    f = grid["fitness"]
+    # Peak of exactly 1 at target=1, max_nt=0 (paper's lower-right corner).
+    assert f[0, -1] == 1.0
+    assert f.max() == 1.0
+    # Zero along both hostile edges.
+    assert np.all(f[-1, :] == 0.0)  # max_nt = 1
+    assert np.all(f[:, 0] == 0.0)  # target = 0
+
+
+def test_monotonicity(grid):
+    f = grid["fitness"]
+    assert np.all(np.diff(f, axis=1) >= 0)  # increasing in target
+    assert np.all(np.diff(f, axis=0) <= 0)  # decreasing in max_nt
+
+
+def test_iso_curves_are_hyperbolae(grid):
+    # fitness = c  <=>  (1 - y) x = c: verify a sample point pair.
+    f = grid["fitness"]
+    t = grid["target"]
+    nt = grid["max_non_target"]
+    c = f[10, 30]
+    x2 = t[35]
+    y2 = 1 - c / x2
+    assert (1 - y2) * x2 == pytest.approx(c)
+
+
+def test_resolution_validation():
+    with pytest.raises(ValueError):
+        fitness_heatmap(1)
+
+
+class TestRender:
+    def test_bright_corner_bottom_right(self, grid):
+        text = render_heatmap(grid["fitness"], glyphs=" @", max_rows=10, max_cols=20)
+        rows = [l for l in text.split("\n") if l.startswith("|")]
+        # Bottom data row ends bright, top row has no bright cells.
+        assert rows[-1].rstrip().endswith("@")
+        assert "@" not in rows[0]
+
+    def test_size_capped(self, grid):
+        text = render_heatmap(grid["fitness"], max_rows=6, max_cols=12)
+        rows = [l for l in text.split("\n") if l.startswith("|")]
+        assert len(rows) == 6
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(5))

@@ -1,0 +1,116 @@
+"""Tests for the mutational-scan landscape analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.landscape import MutationalScan, mutational_scan
+from repro.constants import AA_TO_INDEX, NUM_AMINO_ACIDS
+from repro.ga.fitness import ScoreProvider, ScoreSet
+
+
+class MotifProvider(ScoreProvider):
+    """Target score = fraction of a fixed 3-residue motif present at a
+    fixed location; positions 0-2 are load-bearing, the rest neutral."""
+
+    MOTIF = (3, 7, 11)
+
+    def scores(self, sequences):
+        out = []
+        for seq in sequences:
+            arr = np.asarray(seq)
+            hits = sum(
+                1 for i, r in enumerate(self.MOTIF) if i < arr.size and arr[i] == r
+            )
+            out.append(ScoreSet(hits / len(self.MOTIF), (0.1,)))
+        return out
+
+
+@pytest.fixture(scope="module")
+def scan():
+    base = np.zeros(8, dtype=np.uint8)
+    base[0], base[1], base[2] = MotifProvider.MOTIF
+    return mutational_scan(MotifProvider(), base)
+
+
+class TestScan:
+    def test_matrix_shape(self, scan):
+        assert scan.fitness_matrix.shape == (8, NUM_AMINO_ACIDS)
+        assert scan.length == 8
+
+    def test_wildtype_cells_hold_base_fitness(self, scan):
+        for p in range(scan.length):
+            wild = int(scan.base_sequence[p])
+            assert scan.fitness_matrix[p, wild] == pytest.approx(scan.base_fitness)
+
+    def test_base_fitness_value(self, scan):
+        # Full motif present, non-target 0.1 → (1 - 0.1) * 1.0.
+        assert scan.base_fitness == pytest.approx(0.9)
+
+    def test_motif_positions_are_critical(self, scan):
+        critical = scan.critical_positions(3)
+        assert set(critical) == {0, 1, 2}
+
+    def test_neutral_positions_insensitive(self, scan):
+        sensitivity = scan.position_sensitivity()
+        for p in range(3, 8):
+            assert sensitivity[p] == pytest.approx(0.0)
+
+    def test_no_beneficial_mutations_at_optimum(self, scan):
+        assert scan.beneficial_mutations() == []
+
+    def test_robustness_reflects_motif_share(self, scan):
+        # Mutating any of 3 motif positions (19 variants each) drops
+        # fitness to 2/3; the 5 neutral positions keep it at 100 %.
+        assert scan.robustness() == pytest.approx(5 * 19 / (8 * 19))
+
+
+class TestSuboptimalDesign:
+    def test_beneficial_mutations_found(self):
+        base = np.zeros(8, dtype=np.uint8)
+        base[0], base[1] = MotifProvider.MOTIF[:2]  # third motif site absent
+        scan = mutational_scan(MotifProvider(), base)
+        gains = scan.beneficial_mutations()
+        assert gains
+        position, residue, gain = gains[0]
+        assert position == 2
+        assert AA_TO_INDEX[residue] == MotifProvider.MOTIF[2]
+        assert gain == pytest.approx(0.9 - 0.6)
+
+
+class TestRestrictedScan:
+    def test_positions_subset(self):
+        base = np.zeros(8, dtype=np.uint8)
+        base[0], base[1], base[2] = MotifProvider.MOTIF
+        scan = mutational_scan(MotifProvider(), base, positions=[0, 5])
+        # Unscanned positions keep the base fitness everywhere.
+        assert np.allclose(scan.fitness_matrix[3], scan.base_fitness)
+        # Scanned motif position shows losses.
+        assert scan.position_sensitivity()[0] > 0
+
+    def test_position_out_of_range(self):
+        base = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            mutational_scan(MotifProvider(), base, positions=[4])
+
+
+class TestValidation:
+    def test_bad_sequence(self):
+        with pytest.raises(ValueError):
+            mutational_scan(MotifProvider(), np.array([], dtype=np.uint8))
+
+    def test_bad_matrix_shape(self):
+        with pytest.raises(ValueError):
+            MutationalScan(
+                np.zeros(4, dtype=np.uint8), 0.5, np.zeros((4, 5))
+            )
+
+
+class TestOnRealProvider:
+    def test_scan_against_pipe(self, tiny_provider):
+        rng = np.random.default_rng(1)
+        seq = rng.integers(0, 20, size=12).astype(np.uint8)
+        scan = mutational_scan(tiny_provider, seq, positions=[0, 5])
+        assert scan.fitness_matrix.min() >= 0.0
+        assert scan.fitness_matrix.max() <= 1.0
+        # 2 positions * 19 variants + 1 base evaluation.
+        assert tiny_provider.cache_misses <= 39

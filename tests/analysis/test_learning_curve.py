@@ -1,0 +1,80 @@
+"""Tests for learning-curve analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.learning_curve import (
+    acceptance_crossing,
+    downsample_curve,
+    summarize_history,
+)
+from repro.ga.stats import GenerationStats, RunHistory
+
+
+def _history(target_curve, fitness_curve=None):
+    h = RunHistory()
+    fitness_curve = fitness_curve or target_curve
+    for g, (t, f) in enumerate(zip(target_curve, fitness_curve)):
+        h.append(
+            GenerationStats(
+                generation=g,
+                best_fitness=f,
+                mean_fitness=f / 2,
+                best_target_score=t,
+                best_max_non_target=0.2,
+                best_avg_non_target=0.1,
+                evaluations=3,
+            )
+        )
+    return h
+
+
+class TestAcceptanceCrossing:
+    def test_finds_first_crossing(self):
+        h = _history([0.1, 0.3, 0.55, 0.4, 0.6])
+        assert acceptance_crossing(h, 0.5) == 2
+
+    def test_never_crosses(self):
+        h = _history([0.1, 0.2])
+        assert acceptance_crossing(h, 0.5) is None
+
+    def test_crosses_immediately(self):
+        h = _history([0.7])
+        assert acceptance_crossing(h, 0.5) == 0
+
+
+class TestDownsample:
+    def test_short_curves_untouched(self):
+        x = np.arange(10)
+        y = x * 2
+        dx, dy = downsample_curve(x, y, max_points=20)
+        assert np.array_equal(dx, x)
+
+    def test_keeps_endpoints(self):
+        x = np.arange(1000)
+        dx, dy = downsample_curve(x, x, max_points=50)
+        assert dx[0] == 0
+        assert dx[-1] == 999
+        assert dx.size <= 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample_curve(np.arange(3), np.arange(4))
+        with pytest.raises(ValueError):
+            downsample_curve(np.arange(3), np.arange(3), max_points=1)
+
+
+class TestSummarize:
+    def test_headline_numbers(self):
+        h = _history([0.1, 0.5, 0.4], fitness_curve=[0.1, 0.45, 0.3])
+        s = summarize_history(h)
+        assert s["generations"] == 3
+        assert s["initial_fitness"] == pytest.approx(0.1)
+        assert s["final_fitness"] == pytest.approx(0.45)
+        assert s["improvement"] == pytest.approx(0.35)
+        # Statistics taken at the best-fitness generation (index 1).
+        assert s["best_target_score"] == pytest.approx(0.5)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_history(RunHistory())

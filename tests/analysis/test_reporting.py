@@ -1,0 +1,115 @@
+"""Tests for text rendering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ascii_bar_chart, ascii_line_plot, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["Name", "Value"], [["a", 1.0], ["bb", 2.5]])
+        lines = out.split("\n")
+        assert lines[0].startswith("Name")
+        assert "1.0000" in out
+        assert "2.5000" in out
+
+    def test_title(self):
+        out = format_table(["A"], [["x"]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_float_format(self):
+        out = format_table(["A"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in out
+        assert "0.1234" not in out
+
+    def test_mixed_types(self):
+        out = format_table(["A", "B"], [["row", 42]])
+        assert "42" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_no_rows(self):
+        out = format_table(["A", "B"], [])
+        assert "A" in out
+
+
+class TestBarChart:
+    def test_values_and_errors_shown(self):
+        out = ascii_bar_chart(
+            ["WT", "KO"], [90.0, 27.0], errors=[1.5, 3.2], max_value=100.0
+        )
+        assert "90.0%" in out
+        assert "± 3.2" in out
+
+    def test_bar_lengths_proportional(self):
+        out = ascii_bar_chart(["a", "b"], [100.0, 50.0], max_value=100.0, width=20)
+        lines = out.split("\n")
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+
+    def test_title(self):
+        out = ascii_bar_chart(["a"], [1.0], title="Counts")
+        assert out.startswith("Counts")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0], errors=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0], width=5)
+
+    def test_overflow_clipped(self):
+        out = ascii_bar_chart(["a"], [200.0], max_value=100.0, width=10)
+        assert out.split("\n")[0].count("█") == 10
+
+
+class TestLinePlot:
+    def test_contains_series_glyphs_and_legend(self):
+        x = np.arange(10.0)
+        out = ascii_line_plot(
+            {"Target": (x, x / 10), "Max nt": (x, x / 20)},
+            x_label="gen",
+            y_label="score",
+        )
+        assert "T=Target" in out
+        assert "M=Max nt" in out
+        assert "gen" in out
+
+    def test_glyph_collision_resolved(self):
+        x = np.arange(5.0)
+        out = ascii_line_plot({"aaa": (x, x), "abc": (x, x + 1)})
+        assert "A=aaa" in out
+        assert "0=abc" in out
+
+    def test_y_range_fixed(self):
+        x = np.arange(5.0)
+        out = ascii_line_plot({"s": (x, x / 10)}, y_range=(0.0, 1.0))
+        assert "(0 .. 1)" in out
+
+    def test_constant_series_handled(self):
+        x = np.arange(5.0)
+        out = ascii_line_plot({"c": (x, np.full(5, 0.5))})
+        assert "C" in out.upper()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({})
+        with pytest.raises(ValueError):
+            ascii_line_plot({"s": (np.arange(3.0), np.arange(4.0))})
+        with pytest.raises(ValueError):
+            ascii_line_plot({"s": (np.arange(3.0), np.arange(3.0))}, width=5)
+
+    def test_dimensions(self):
+        x = np.arange(20.0)
+        out = ascii_line_plot({"s": (x, x)}, width=30, height=8)
+        body = [l for l in out.split("\n") if l.startswith("|")]
+        assert len(body) == 8
+        assert all(len(l) <= 31 for l in body)

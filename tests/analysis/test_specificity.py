@@ -1,0 +1,86 @@
+"""Tests for the proteome-wide specificity scan."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.specificity import SpecificityReport, specificity_scan
+
+
+@pytest.fixture(scope="module")
+def report(tiny_world, tiny_engine):
+    rng = np.random.default_rng(5)
+    seq = rng.integers(0, 20, size=40).astype(np.uint8)
+    return specificity_scan(tiny_engine, seq, "YBL051C")
+
+
+def test_scans_whole_proteome(report, tiny_world):
+    assert len(report.off_target_names) == len(tiny_world.graph) - 1
+    assert "YBL051C" not in report.off_target_names
+
+
+def test_sorted_descending(report):
+    scores = report.off_target_scores
+    assert np.all(np.diff(scores) <= 0)
+    assert report.max_off_target == scores[0]
+
+
+def test_avg_and_margin_consistent(report):
+    assert report.avg_off_target == pytest.approx(report.off_target_scores.mean())
+    assert report.specificity_margin == pytest.approx(
+        report.target_score - report.max_off_target
+    )
+
+
+def test_rank_of_target(report):
+    better = (report.off_target_scores > report.target_score).sum()
+    assert report.rank_of_target() == better + 1
+
+
+def test_predicted_interactors_thresholding(report):
+    none = report.predicted_interactors(1.1)
+    assert none == []
+    everyone = report.predicted_interactors(0.0)
+    assert len(everyone) == len(report.off_target_names)
+
+
+def test_top_table_renders(report):
+    text = report.top_table(5)
+    assert "YBL051C (target)" in text
+    assert text.count("\n") >= 7
+
+
+def test_matches_engine_scores(report, tiny_engine, tiny_world):
+    rng = np.random.default_rng(5)
+    seq = rng.integers(0, 20, size=40).astype(np.uint8)
+    name = report.off_target_names[0]
+    assert tiny_engine.score(seq, name) == pytest.approx(
+        report.off_target_scores[0]
+    )
+
+
+def test_restricted_scan(tiny_engine, tiny_world):
+    rng = np.random.default_rng(6)
+    seq = rng.integers(0, 20, size=30).astype(np.uint8)
+    subset = tiny_world.graph.names[:5]
+    report = specificity_scan(tiny_engine, seq, "YBL051C", proteins=subset)
+    # Target added automatically when missing from the subset.
+    assert len(report.off_target_names) <= 5
+
+
+def test_good_design_ranks_target_high(tiny_world, tiny_engine):
+    """A candidate carrying the complementary lock for the target's key
+    should rank the target near the top of the proteome scan."""
+    tp = tiny_world.protein("YBL051C")
+    keys = [t for t in tp.annotations["motifs"] if str(t).startswith("key:")]
+    pair = tiny_world.library[int(str(keys[0]).split(":")[1])]
+    rng = np.random.default_rng(7)
+    seq = rng.integers(0, 20, size=40).astype(np.uint8)
+    seq[5 : 5 + pair.lock.size] = pair.lock
+    report = specificity_scan(tiny_engine, seq, "YBL051C")
+    assert report.target_score > report.avg_off_target
+    assert report.rank_of_target() <= len(report.off_target_names) // 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SpecificityReport("T", 0.5, ("a", "b"), np.array([0.1]))

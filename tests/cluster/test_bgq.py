@@ -1,0 +1,138 @@
+"""Tests for the BGQ benchmark simulations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.bgq import (
+    BGQClusterConfig,
+    simulate_generation,
+    simulate_worker_node,
+)
+from repro.cluster.throughput import MemoryBoundThroughput
+from repro.cluster.workload import PopulationWorkloadModel, SequenceWorkload
+
+
+def _workloads(n, work=10.0, sigma=0.0, seed=0):
+    if sigma == 0.0:
+        return [
+            SequenceWorkload(f"s{i}", work * 0.4, work * 0.6, fixed_overhead=0.1)
+            for i in range(n)
+        ]
+    return PopulationWorkloadModel("m", work, sigma).sample(n, seed=seed)
+
+
+class TestWorkerNode:
+    def test_runtime_decreases_with_threads(self):
+        w = SequenceWorkload("x", 100.0, 100.0, fixed_overhead=1.0)
+        times = [simulate_worker_node(w, t) for t in (1, 8, 16, 32, 64)]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_single_thread_is_total_work(self):
+        w = SequenceWorkload("x", 60.0, 40.0, fixed_overhead=2.0)
+        assert simulate_worker_node(w, 1) == pytest.approx(102.0)
+
+    def test_linear_region(self):
+        w = SequenceWorkload("x", 80.0, 80.0, fixed_overhead=0.0)
+        assert simulate_worker_node(w, 16) == pytest.approx(10.0)
+
+def test_fixed_overhead_limits_speedup():
+    cheap = SequenceWorkload("cheap", 5.0, 5.0, fixed_overhead=5.0)
+    costly = SequenceWorkload("hard", 500.0, 500.0, fixed_overhead=5.0)
+    node = MemoryBoundThroughput()
+    s_cheap = simulate_worker_node(cheap, 1) / simulate_worker_node(cheap, 64)
+    s_costly = simulate_worker_node(costly, 1) / simulate_worker_node(costly, 64)
+    assert s_costly > s_cheap  # easier sequences flatten out earlier
+
+
+class TestGeneration:
+    def test_all_sequences_processed(self):
+        res = simulate_generation(_workloads(20), 5)
+        assert res.sequences == 20
+        assert res.num_workers == 4
+        assert res.total_time > 0
+
+    def test_end_phase_included(self):
+        cfg = BGQClusterConfig(master_work_per_sequence=10.0)
+        with_end = simulate_generation(_workloads(10), 3, cfg)
+        without = simulate_generation(
+            _workloads(10), 3, BGQClusterConfig(master_work_per_sequence=0.0)
+        )
+        assert with_end.total_time > without.total_time
+        assert with_end.end_phase_time > 0
+
+    def test_more_workers_faster(self):
+        wl = _workloads(64, work=50.0, sigma=0.2, seed=1)
+        t2 = simulate_generation(wl, 3).total_time
+        t8 = simulate_generation(wl, 9).total_time
+        t32 = simulate_generation(wl, 33).total_time
+        assert t2 > t8 > t32
+
+    def test_speedup_saturates_at_granularity_limit(self):
+        # With as many workers as sequences, adding more cannot help.
+        wl = _workloads(10, work=50.0)
+        t10 = simulate_generation(wl, 11).total_time
+        t40 = simulate_generation(wl, 41).total_time
+        assert t40 == pytest.approx(t10, rel=0.05)
+
+    def test_deterministic(self):
+        wl = _workloads(30, work=20.0, sigma=0.3, seed=5)
+        a = simulate_generation(wl, 7).total_time
+        b = simulate_generation(wl, 7).total_time
+        assert a == b
+
+    def test_worker_busy_accounting(self):
+        wl = _workloads(16, work=10.0)
+        res = simulate_generation(wl, 5)
+        # Total busy time equals total processing time of all items.
+        expected = sum(
+            w.fixed_overhead
+            + w.parallel_work / MemoryBoundThroughput().throughput(64)
+            for w in wl
+        )
+        assert res.worker_busy.sum() == pytest.approx(expected)
+
+    def test_utilisation_bounds(self):
+        res = simulate_generation(_workloads(50, work=30.0), 5)
+        assert 0.0 < res.mean_utilisation <= 1.0
+        assert res.load_imbalance >= 1.0
+
+    def test_ondemand_beats_static_with_heterogeneity(self):
+        wl = _workloads(40, work=100.0, sigma=0.8, seed=9)
+        ondemand = simulate_generation(
+            wl, 5, BGQClusterConfig(dispatch="ondemand")
+        ).total_time
+        static = simulate_generation(
+            wl, 5, BGQClusterConfig(dispatch="static")
+        ).total_time
+        assert ondemand <= static
+
+    def test_master_service_time_adds_queueing(self):
+        wl = _workloads(100, work=5.0)
+        fast = simulate_generation(
+            wl, 51, BGQClusterConfig(request_service_time=0.0)
+        ).total_time
+        slow = simulate_generation(
+            wl, 51, BGQClusterConfig(request_service_time=0.5)
+        ).total_time
+        assert slow > fast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_generation(_workloads(5), 1)
+        with pytest.raises(ValueError):
+            simulate_generation([], 4)
+
+
+class TestClusterConfig:
+    def test_defaults_valid(self):
+        BGQClusterConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BGQClusterConfig(threads_per_worker=0)
+        with pytest.raises(ValueError):
+            BGQClusterConfig(threads_per_worker=65)
+        with pytest.raises(ValueError):
+            BGQClusterConfig(network_latency=-1.0)
+        with pytest.raises(ValueError):
+            BGQClusterConfig(dispatch="magic")

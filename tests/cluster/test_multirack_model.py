@@ -1,0 +1,87 @@
+"""Tests for the multi-rack performance model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.multirack import (
+    MultiRackConfig,
+    simulate_multirack_generation,
+)
+from repro.cluster.workload import PopulationWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return PopulationWorkloadModel("m", 5100.0, 0.1).sample(1500, seed=0)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MultiRackConfig(processes_per_rack=256)
+
+
+class TestSyncTime:
+    def test_single_rack_free(self, config):
+        assert config.sync_time(1) == 0.0
+
+    def test_logarithmic_rounds(self, config):
+        per_round = config.sync_latency + config.sync_round_cost
+        assert config.sync_time(2) == pytest.approx(per_round)
+        assert config.sync_time(8) == pytest.approx(3 * per_round)
+        assert config.sync_time(100) == pytest.approx(7 * per_round)
+
+    def test_paper_claim_small_overhead(self, config, workloads):
+        """Sec. 3: for < 100 racks the sync overhead 'would be small' —
+        verify it is a negligible fraction of a generation."""
+        result = simulate_multirack_generation(workloads, 4, config)
+        assert result.sync_fraction < 0.001
+
+
+class TestSimulation:
+    def test_multi_rack_speeds_up_generation(self, workloads, config):
+        t1 = simulate_multirack_generation(workloads, 1, config).total_time
+        t4 = simulate_multirack_generation(workloads, 4, config).total_time
+        t8 = simulate_multirack_generation(workloads, 8, config).total_time
+        assert t1 > t4 > t8
+
+    def test_rack_times_reported(self, workloads, config):
+        result = simulate_multirack_generation(workloads, 4, config)
+        assert result.rack_times.shape == (4,)
+        assert result.total_time == pytest.approx(
+            result.rack_times.max() + result.sync_time
+        )
+
+    def test_near_even_split(self, workloads, config):
+        result = simulate_multirack_generation(workloads, 4, config)
+        assert result.rack_times.max() / result.rack_times.min() < 1.2
+
+    def test_deterministic(self, workloads, config):
+        a = simulate_multirack_generation(workloads, 3, config)
+        b = simulate_multirack_generation(workloads, 3, config)
+        assert a.total_time == b.total_time
+
+    def test_diminishing_returns(self, workloads, config):
+        """Per-rack granularity erodes scaling exactly as node-level
+        granularity does within a rack."""
+        t2 = simulate_multirack_generation(workloads, 2, config).total_time
+        t8 = simulate_multirack_generation(workloads, 8, config).total_time
+        speedup = t2 / t8
+        assert speedup < 4.0  # ideal would be 4
+
+
+class TestValidation:
+    def test_config(self):
+        with pytest.raises(ValueError):
+            MultiRackConfig(processes_per_rack=1)
+        with pytest.raises(ValueError):
+            MultiRackConfig(sync_latency=-1.0)
+        with pytest.raises(ValueError):
+            MultiRackConfig().sync_time(0)
+
+    def test_simulation_args(self, workloads, config):
+        with pytest.raises(ValueError):
+            simulate_multirack_generation(workloads, 0, config)
+        with pytest.raises(ValueError):
+            simulate_multirack_generation([], 2, config)
+        with pytest.raises(ValueError):
+            simulate_multirack_generation(workloads[:2], 3, config)

@@ -1,0 +1,65 @@
+"""Tests for the analytic scaling projection."""
+
+import pytest
+
+from repro.cluster.bgq import BGQClusterConfig
+from repro.cluster.projection import (
+    GenerationProjection,
+    project_generation_time,
+    validate_projection,
+)
+from repro.cluster.workload import POPULATION_PRESETS, PopulationWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return POPULATION_PRESETS["generation-250"].sample(1500, seed=3)
+
+
+class TestProjection:
+    def test_components_positive(self, workloads):
+        proj = project_generation_time(workloads, 256)
+        assert proj.estimate > 0
+        assert proj.perfect_sharing > 0
+        assert proj.imbalance_term >= 0
+        assert proj.end_phase > 0
+
+    def test_monotone_in_workers(self, workloads):
+        estimates = [
+            project_generation_time(workloads, p).estimate
+            for p in (64, 128, 256, 512)
+        ]
+        assert all(b < a for a, b in zip(estimates, estimates[1:]))
+
+    def test_never_below_critical_path(self, workloads):
+        proj = project_generation_time(workloads, 4096)
+        longest = max(w.total_work for w in workloads) / 34.0  # ~ node time
+        assert proj.estimate > longest * 0.5
+
+    def test_validation(self, workloads):
+        with pytest.raises(ValueError):
+            project_generation_time(workloads, 1)
+        with pytest.raises(ValueError):
+            project_generation_time([], 64)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("procs", [64, 256, 1024])
+    @pytest.mark.parametrize("preset", sorted(POPULATION_PRESETS))
+    def test_within_tolerance_of_des(self, preset, procs):
+        wl = POPULATION_PRESETS[preset].sample(1500, seed=3)
+        v = validate_projection(wl, procs)
+        assert v["relative_error"] < 0.25, v
+
+    def test_high_variance_regime(self):
+        wl = PopulationWorkloadModel("wild", 1000.0, 0.9).sample(400, seed=1)
+        v = validate_projection(wl, 128)
+        # Looser tolerance: extreme-value effects are only approximated.
+        assert v["relative_error"] < 0.6
+
+    def test_custom_config_respected(self, workloads):
+        cfg = BGQClusterConfig(master_work_per_sequence=5.0)
+        base = project_generation_time(workloads, 256)
+        heavy = project_generation_time(workloads, 256, cfg)
+        assert heavy.end_phase > base.end_phase
+        assert heavy.estimate > base.estimate

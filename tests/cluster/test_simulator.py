@@ -1,0 +1,113 @@
+"""Tests for the DES core."""
+
+import pytest
+
+from repro.cluster.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(3.0, lambda: log.append("c"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(2.0, lambda: log.append("b"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_resolve_in_scheduling_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append("first"))
+    sim.schedule(1.0, lambda: log.append("second"))
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    log = []
+
+    def outer():
+        log.append(("outer", sim.now))
+        sim.schedule(2.0, lambda: log.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert log == [("outer", 1.0), ("inner", 3.0)]
+
+
+def test_cancelled_events_skipped():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(1.0, lambda: log.append("cancelled"))
+    sim.schedule(2.0, lambda: log.append("kept"))
+    event.cancel()
+    sim.run()
+    assert log == ["kept"]
+
+
+def test_run_until():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(5.0, lambda: log.append(5))
+    sim.run(until=2.0)
+    assert log == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert log == [1, 5]
+
+
+def test_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.at(4.0, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [4.0]
+
+
+def test_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_pending_count():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    e.cancel()
+    assert sim.pending == 1
+
+
+def test_runaway_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(RuntimeError, match="not terminating"):
+        sim.run(max_events=100)
+
+
+def test_processed_events_counted():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed_events == 5

@@ -1,0 +1,70 @@
+"""Tests for the memory-bound node throughput model."""
+
+import pytest
+
+from repro.cluster.throughput import MemoryBoundThroughput
+
+
+@pytest.fixture()
+def node():
+    return MemoryBoundThroughput()
+
+
+def test_linear_up_to_physical_cores(node):
+    # The paper: "perfectly linear speedup when using 16 threads".
+    for t in (1, 2, 4, 8, 16):
+        assert node.throughput(t) == float(t)
+        assert node.speedup(t) == float(t)
+
+
+def test_smt_region_sublinear(node):
+    # Beyond 16 threads each extra thread helps, but less than a core.
+    for t in (17, 24, 32):
+        assert t * 0.7 < node.throughput(t) < t
+    assert node.throughput(32) == pytest.approx(16 + 16 * 0.72)
+
+
+def test_deep_smt_region_still_improves(node):
+    # The paper: still improvement up to the 64-thread limit.
+    t48 = node.throughput(48)
+    t64 = node.throughput(64)
+    assert t64 > t48 > node.throughput(32)
+    # ... but far from linear.
+    assert t64 < 40
+
+
+def test_strictly_monotone(node):
+    values = [node.throughput(t) for t in range(1, 65)]
+    assert all(b > a for a, b in zip(values, values[1:]))
+
+
+def test_thread_limit_enforced(node):
+    assert node.max_threads == 64
+    with pytest.raises(ValueError, match="at most 64"):
+        node.throughput(65)
+    with pytest.raises(ValueError):
+        node.throughput(0)
+
+
+def test_time_inverse_of_throughput(node):
+    assert node.time(100.0, 1) == pytest.approx(100.0)
+    assert node.time(100.0, 16) == pytest.approx(100.0 / 16)
+    assert node.time(0.0, 8) == 0.0
+    with pytest.raises(ValueError):
+        node.time(-1.0, 4)
+
+
+def test_custom_geometry():
+    small = MemoryBoundThroughput(cores=4, smt_ways=2)
+    assert small.max_threads == 8
+    assert small.throughput(4) == 4.0
+    assert small.throughput(8) == pytest.approx(4 + 4 * 0.72)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MemoryBoundThroughput(cores=0)
+    with pytest.raises(ValueError):
+        MemoryBoundThroughput(smt2_efficiency=1.5)
+    with pytest.raises(ValueError):
+        MemoryBoundThroughput(smt4_efficiency=-0.1)

@@ -1,0 +1,82 @@
+"""Tests for DES execution tracing."""
+
+import pytest
+
+from repro.cluster.bgq import BGQClusterConfig, simulate_generation
+from repro.cluster.tracing import ExecutionTrace, TraceEvent, render_timeline
+from repro.cluster.workload import SequenceWorkload
+
+
+def _workloads(n, work=10.0):
+    return [
+        SequenceWorkload(f"s{i}", work / 2, work / 2, fixed_overhead=0.1)
+        for i in range(n)
+    ]
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        assert TraceEvent(0, 1.0, 3.5).duration == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TraceEvent(0, 2.0, 1.0)
+
+
+class TestExecutionTrace:
+    def test_accounting(self):
+        trace = ExecutionTrace()
+        trace.record(0, 0.0, 2.0)
+        trace.record(0, 3.0, 4.0)
+        trace.record(1, 0.0, 1.0)
+        assert len(trace) == 3
+        assert trace.makespan == 4.0
+        assert trace.busy_time(0) == 3.0
+        assert trace.utilisation(0) == pytest.approx(0.75)
+        assert trace.idle_tail(1) == 3.0
+        assert trace.workers() == [0, 1]
+
+    def test_empty(self):
+        trace = ExecutionTrace()
+        assert trace.makespan == 0.0
+        assert render_timeline(trace) == "(empty trace)"
+
+
+class TestIntegrationWithSimulation:
+    def test_trace_collected(self):
+        trace = ExecutionTrace()
+        result = simulate_generation(_workloads(12), 4, trace=trace)
+        assert len(trace) == 12
+        # Trace busy times reconcile with the simulation's accounting.
+        for w in trace.workers():
+            assert trace.busy_time(w) == pytest.approx(result.worker_busy[w])
+
+    def test_idle_tail_grows_with_granularity(self):
+        """With barely more sequences than workers, some workers idle at
+        the end — the granularity effect behind Figure 6's 1024-node
+        drop-off, visible in the trace."""
+        wl = _workloads(5, work=50.0)
+        trace = ExecutionTrace()
+        simulate_generation(wl, 5, trace=trace)  # 4 workers, 5 items
+        tails = [trace.idle_tail(w) for w in trace.workers()]
+        assert max(tails) > 0.0
+
+    def test_render(self):
+        trace = ExecutionTrace()
+        simulate_generation(_workloads(8), 3, trace=trace)
+        text = render_timeline(trace, width=40)
+        assert "w0" in text and "w1" in text
+        assert "#" in text
+        assert "%" in text
+
+    def test_render_caps_workers(self):
+        trace = ExecutionTrace()
+        simulate_generation(_workloads(40), 21, trace=trace)
+        text = render_timeline(trace, max_workers=4)
+        assert "more workers" in text
+
+    def test_render_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(ExecutionTrace(), width=5)

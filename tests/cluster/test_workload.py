@@ -1,0 +1,102 @@
+"""Tests for workload models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.workload import (
+    POPULATION_PRESETS,
+    PopulationWorkloadModel,
+    SequenceWorkload,
+    measure_workload,
+)
+
+
+class TestSequenceWorkload:
+    def test_totals(self):
+        w = SequenceWorkload("x", 10.0, 20.0, fixed_overhead=2.0)
+        assert w.parallel_work == 30.0
+        assert w.total_work == 32.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceWorkload("x", -1.0, 0.0)
+        with pytest.raises(ValueError):
+            SequenceWorkload("x", 0.0, 0.0, fixed_overhead=-1.0)
+
+
+class TestMeasureWorkload:
+    def test_positive_components(self, tiny_world):
+        engine = tiny_world.engine
+        p = tiny_world.protein("YBL051C")
+        w = measure_workload(engine, p.encoded, tiny_world.graph.names, name="t")
+        assert w.similarity_work > 0
+        assert w.prediction_work > 0
+        assert w.name == "t"
+
+    def test_difficulty_scales_with_planted_motifs(self, tiny_world):
+        """The designated performance sequences carry increasing numbers of
+        motifs; the measured PIPE work must reflect that (the paper's
+        notion of computational difficulty)."""
+        engine = tiny_world.engine
+        names = tiny_world.graph.names
+        easy = measure_workload(
+            engine, tiny_world.protein("YPL108W").encoded, names
+        )
+        hard = measure_workload(
+            engine, tiny_world.protein("YHR214C-B").encoded, names
+        )
+        assert hard.prediction_work > easy.prediction_work
+
+    def test_scales_linearly_with_unit(self, tiny_world):
+        engine = tiny_world.engine
+        p = tiny_world.protein("YBL051C")
+        base = measure_workload(engine, p.encoded, tiny_world.graph.names)
+        doubled = measure_workload(
+            engine, p.encoded, tiny_world.graph.names, core_seconds_per_unit=2.0
+        )
+        assert doubled.parallel_work == pytest.approx(2 * base.parallel_work)
+
+    def test_more_targets_more_prediction_work(self, tiny_world):
+        engine = tiny_world.engine
+        p = tiny_world.protein("YBL051C")
+        few = measure_workload(engine, p.encoded, tiny_world.graph.names[:5])
+        many = measure_workload(engine, p.encoded, tiny_world.graph.names)
+        assert many.prediction_work > few.prediction_work
+        assert many.similarity_work == few.similarity_work
+
+
+class TestPopulationModel:
+    def test_sample_count_and_positivity(self):
+        model = PopulationWorkloadModel("x", 100.0, 0.3)
+        draws = model.sample(50, seed=1)
+        assert len(draws) == 50
+        assert all(w.parallel_work > 0 for w in draws)
+
+    def test_mean_calibrated(self):
+        model = PopulationWorkloadModel("x", 100.0, 0.4)
+        draws = model.sample(5000, seed=2)
+        mean = np.mean([w.parallel_work for w in draws])
+        assert mean == pytest.approx(100.0, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        model = PopulationWorkloadModel("x", 50.0, 0.5)
+        a = [w.parallel_work for w in model.sample(10, seed=3)]
+        b = [w.parallel_work for w in model.sample(10, seed=3)]
+        assert a == b
+
+    def test_presets_ordered_by_convergence(self):
+        # Converged populations carry more work per sequence and lower
+        # relative spread (Sec. 3.2).
+        g1 = POPULATION_PRESETS["generation-1"]
+        g100 = POPULATION_PRESETS["generation-100"]
+        g250 = POPULATION_PRESETS["generation-250"]
+        assert g1.mean_work < g100.mean_work < g250.mean_work
+        assert g1.sigma > g100.sigma > g250.sigma
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationWorkloadModel("x", 0.0, 0.5)
+        with pytest.raises(ValueError):
+            PopulationWorkloadModel("x", 10.0, -0.1)
+        with pytest.raises(ValueError):
+            PopulationWorkloadModel("x", 10.0, 0.5).sample(0)

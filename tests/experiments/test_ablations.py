@@ -1,0 +1,66 @@
+"""Tests for the ablation experiment driver."""
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablations(profile="tiny", seed=0)
+
+
+def test_all_five_sections_present(result):
+    assert set(result.artifacts) == {
+        "dispatch: on-demand vs static",
+        "similarity matrix: PAM120 vs BLOSUM62",
+        "search algorithm at equal budget",
+        "initial population seeding",
+        "score cache",
+    }
+
+
+def test_dispatch_ondemand_never_loses(result):
+    for row in result.data["dispatch"]:
+        _, ondemand, static, ratio, imb_od, imb_st = row
+        assert static >= ondemand
+        assert ratio >= 1.0
+
+
+def test_matrix_rows(result):
+    rows = result.data["matrix"]
+    names = {r[0] for r in rows}
+    assert names == {"PAM120", "BLOSUM62"}
+    for _, threshold, fitness in rows:
+        assert threshold > 0
+        assert 0.0 <= fitness <= 1.0
+
+
+def test_baseline_rows_complete(result):
+    rows = result.data["baselines"]
+    assert {r[0] for r in rows} == {
+        "InSiPS GA",
+        "hill climbing",
+        "random search",
+    }
+    # Equal budget: evaluation counts within one generation of each other.
+    evals = [r[2] for r in rows]
+    assert max(evals) - min(evals) <= max(evals) * 0.5
+
+
+def test_seeding_shows_bias(result):
+    rows = {r[0]: r for r in result.data["seeding"]}
+    assert "random (paper)" in rows
+    assert "natural fragments" in rows
+
+
+def test_cache_saves_work(result):
+    cache = result.data["cache"]
+    assert cache["hits"] > 0
+    assert cache["hits"] + cache["misses"] == cache["requests"]
+
+
+def test_renders(result):
+    text = result.render()
+    assert "ablations" in text
+    assert "PAM120" in text

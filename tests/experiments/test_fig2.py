@@ -1,0 +1,23 @@
+"""Tests for the Figure 2 driver."""
+
+from repro.experiments.fig2_fitness_heatmap import run_fig2
+
+
+def test_runs_and_reports():
+    result = run_fig2(resolution=21)
+    assert result.experiment_id == "fig2"
+    assert "heatmap" in result.artifacts
+    assert result.data["peak_value"] == 1.0
+    assert result.data["monotone_in_target"]
+    assert result.data["monotone_in_non_target"]
+
+
+def test_render_includes_axes():
+    text = run_fig2(resolution=11).render()
+    assert "PIPE(seq, target)" in text
+    assert "fig2" in text
+
+
+def test_ignores_extra_kwargs():
+    # Drivers accept the common (profile, seed) interface.
+    run_fig2(profile="tiny", seed=3, resolution=11)

@@ -1,0 +1,65 @@
+"""Tests for the Figures 3-4 driver (thread scaling)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3_fig4_thread_scaling import (
+    PERFORMANCE_SEQUENCES,
+    THREAD_COUNTS,
+    run_fig3_fig4,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3_fig4(profile="tiny", seed=0)
+
+
+def test_all_five_sequences_reported(result):
+    assert set(result.data["runtimes"]) == set(PERFORMANCE_SEQUENCES)
+    for name in PERFORMANCE_SEQUENCES:
+        assert len(result.data["runtimes"][name]) == len(THREAD_COUNTS)
+
+
+def test_runtime_decreases_with_threads(result):
+    for name, runtimes in result.data["runtimes"].items():
+        assert all(b < a for a, b in zip(runtimes, runtimes[1:])), name
+
+
+def test_difficulty_order_matches_paper_listing(result):
+    """The paper lists YPL108W easiest ... YHR214C-B hardest; single-thread
+    runtimes must be ordered accordingly."""
+    t1 = [result.data["runtimes"][n][0] for n in PERFORMANCE_SEQUENCES]
+    assert t1 == sorted(t1)
+
+
+def test_linear_speedup_to_16_threads(result):
+    idx16 = THREAD_COUNTS.index(16)
+    for name, speedups in result.data["speedups"].items():
+        assert speedups[idx16] == pytest.approx(16.0, rel=0.05), name
+
+
+def test_sublinear_but_improving_to_64(result):
+    idx32 = THREAD_COUNTS.index(32)
+    for name, speedups in result.data["speedups"].items():
+        s = speedups
+        assert s[-1] > s[idx32]  # still improving past 32
+        assert s[-1] < 48  # far from linear at 64
+
+
+def test_hardest_single_thread_calibration(result):
+    hardest = result.data["runtimes"]["YHR214C-B"][0]
+    # Calibrated near the paper's ~47000 s plus fixed overhead.
+    assert 46000 < hardest < 48000
+
+
+def test_artifacts_present(result):
+    assert "fig3: runtime (s)" in result.artifacts
+    assert "fig4: speedup" in result.artifacts
+    assert "fig4: speedup plot" in result.artifacts
+
+
+def test_deterministic():
+    a = run_fig3_fig4(profile="tiny", seed=0)
+    b = run_fig3_fig4(profile="tiny", seed=0)
+    assert a.data["runtimes"] == b.data["runtimes"]

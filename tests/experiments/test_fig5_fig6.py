@@ -1,0 +1,64 @@
+"""Tests for the Figures 5-6 driver (worker-process scaling)."""
+
+import pytest
+
+from repro.experiments.fig5_fig6_worker_scaling import (
+    PROCESS_COUNTS,
+    run_fig5_fig6,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig5_fig6(seed=0)
+
+
+def test_three_populations(result):
+    assert set(result.data["runtimes"]) == {
+        "generation-1",
+        "generation-100",
+        "generation-250",
+    }
+
+
+def test_runtime_decreases_with_processes(result):
+    for label, times in result.data["runtimes"].items():
+        assert all(b < a for a, b in zip(times, times[1:])), label
+
+
+def test_baseline_magnitudes_near_paper(result):
+    """Figure 5's y axis tops out at 4000 s; the three populations at 64
+    processes should be ordered random < 100 gens < 250 gens and stay in
+    the published range."""
+    t64 = {k: v[0] for k, v in result.data["runtimes"].items()}
+    assert t64["generation-1"] < t64["generation-100"] < t64["generation-250"]
+    assert 500 < t64["generation-1"] < 2000
+    assert 2500 < t64["generation-250"] < 4000
+
+
+def test_speedup_shape_matches_fig6(result):
+    """Near-linear at moderate scale, ~12x-of-16x at 1024 processes, with
+    converged populations scaling best."""
+    speedups = result.data["speedups"]
+    last = {k: v[-1] for k, v in speedups.items()}
+    assert last["generation-250"] > last["generation-100"] > last["generation-1"]
+    assert 9.0 < last["generation-250"] < 14.0  # paper: ~12x
+    # Near-linear at 256 processes (ideal 4.05x).
+    idx256 = PROCESS_COUNTS.index(256)
+    assert speedups["generation-250"][idx256] > 3.2
+
+
+def test_utilisation_decreases_at_scale(result):
+    for label, utils in result.data["utilisation"].items():
+        assert utils[0] > utils[-1], label
+
+
+def test_custom_process_counts():
+    res = run_fig5_fig6(seed=1, process_counts=(64, 128), sequences=200)
+    for times in res.data["runtimes"].values():
+        assert len(times) == 2
+
+
+def test_artifacts(result):
+    assert "fig5: generation runtime (s)" in result.artifacts
+    assert "fig6: speedup vs 64 processes" in result.artifacts

@@ -1,0 +1,113 @@
+"""Fast-configuration tests for the GA-based experiment drivers
+(Tables 1-3, Figure 7, Tables 4-5 / Figures 8-10)."""
+
+import pytest
+
+from repro.experiments.fig7_learning_curves import run_fig7
+from repro.experiments.tables1_3_param_tuning import run_param_tuning
+from repro.experiments.tables4_5_wetlab import run_wetlab_validation
+
+
+@pytest.fixture(scope="module")
+def tuning():
+    # One target, two parameter-set-relevant seeds, few generations: fast.
+    return run_param_tuning(
+        profile="tiny", seed=0, targets=("YAL054C",), seeds=(1, 2), generations=4
+    )
+
+
+class TestParamTuning:
+    def test_table_rendered(self, tuning):
+        assert "table1: target YAL054C" in tuning.artifacts
+        text = tuning.artifacts["table1: target YAL054C"]
+        assert "Set 1" in text and "Set 5" in text
+        assert "Seed 1" in text and "Avg." in text
+
+    def test_matrix_shape(self, tuning):
+        matrix = tuning.data["fitness_tables"]["YAL054C"]
+        assert len(matrix) == 5  # parameter sets
+        assert len(matrix[0]) == 2  # seeds
+
+    def test_fitness_values_valid(self, tuning):
+        for row in tuning.data["fitness_tables"]["YAL054C"]:
+            for v in row:
+                assert 0.0 <= v <= 1.0
+
+    def test_variability_stats_present(self, tuning):
+        assert "std_across_parameter_sets" in tuning.data
+        assert "std_across_seeds" in tuning.data
+        assert tuning.data["best_parameter_set_per_target"]["YAL054C"].startswith(
+            "Set"
+        )
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(
+        profile="tiny",
+        seed=0,
+        targets=("YBL051C",),
+        min_generations=6,
+        stall=3,
+    )
+
+
+class TestFig7:
+    def test_curves_present(self, fig7):
+        curves = fig7.data["YBL051C"]["curves"]
+        assert set(curves) >= {"generation", "target", "max_non_target", "avg_non_target"}
+        assert len(curves["target"]) >= 6
+
+    def test_plot_has_threshold_line(self, fig7):
+        plot = fig7.artifacts["learning curve: YBL051C"]
+        assert "+threshold" in plot
+        assert "Target" in plot
+
+    def test_summary_table(self, fig7):
+        assert "summary" in fig7.artifacts
+        summary = fig7.data["YBL051C"]["summary"]
+        assert summary["final_fitness"] >= summary["initial_fitness"]
+
+    def test_scores_bounded(self, fig7):
+        curves = fig7.data["YBL051C"]["curves"]
+        for key in ("target", "max_non_target", "avg_non_target"):
+            assert all(0.0 <= v <= 1.0 for v in curves[key])
+
+
+@pytest.fixture(scope="module")
+def wetlab():
+    return run_wetlab_validation(
+        profile="tiny",
+        seed=0,
+        runs=3,
+        design_seeds=(1,),
+        min_generations=6,
+        stall=3,
+    )
+
+
+class TestWetlab:
+    def test_both_targets_validated(self, wetlab):
+        assert "YBL051C" in wetlab.data
+        assert "YAL017W" in wetlab.data
+
+    def test_comparison_structure_holds(self, wetlab):
+        """Even with a minimal design budget the four-strain comparison
+        structure must hold: controls equivalent, knockout most affected."""
+        for target in ("YBL051C", "YAL017W"):
+            averages = wetlab.data[target]["averages"]
+            names = list(averages)
+            wt, wt_plus, inhibitor, knockout = (averages[n] for n in names)
+            assert abs(wt - wt_plus) < 8
+            assert knockout < wt
+            assert inhibitor <= wt + 2
+
+    def test_spot_test_included(self, wetlab):
+        assert "fig10: spot test (UV, 10x dilutions)" in wetlab.artifacts
+        grid = wetlab.data["fig10_intensity"]
+        assert len(grid) == 4  # dilutions
+
+    def test_design_profile_recorded(self, wetlab):
+        d = wetlab.data["YBL051C"]
+        assert 0.0 <= d["target_score"] <= 1.0
+        assert d["stressor"] == "cycloheximide"

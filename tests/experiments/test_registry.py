@@ -1,0 +1,61 @@
+"""Tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def test_every_paper_artifact_has_a_driver():
+    expected = (
+        {f"fig{i}" for i in range(2, 11)}
+        | {f"table{i}" for i in range(1, 6)}
+        | {"ablations"}
+    )
+    assert set(EXPERIMENTS) == expected
+
+
+def test_shared_drivers():
+    assert EXPERIMENTS["fig3"] is EXPERIMENTS["fig4"]
+    assert EXPERIMENTS["fig5"] is EXPERIMENTS["fig6"]
+    assert EXPERIMENTS["table1"] is EXPERIMENTS["table3"]
+    assert EXPERIMENTS["table4"] is EXPERIMENTS["fig8"]
+
+
+def test_run_experiment_dispatch():
+    result = run_experiment("FIG2", resolution=11)
+    assert result.experiment_id == "fig2"
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(KeyError, match="fig99"):
+        run_experiment("fig99")
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out
+    assert "table5" in out
+
+
+def test_cli_runs_fig2(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out
+    assert "completed in" in out
+
+
+def test_cli_rejects_unknown(capsys):
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_experiment_result_str():
+    result = run_experiment("fig2", resolution=11)
+    assert str(result) == result.render()

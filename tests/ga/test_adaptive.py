@@ -1,0 +1,117 @@
+"""Tests for adaptive operator control."""
+
+import numpy as np
+import pytest
+
+from repro.ga.adaptive import AdaptiveInSiPSEngine, AdaptiveOperatorController
+from repro.ga.config import GAParams
+from repro.ga.fitness import ScoreProvider, ScoreSet
+
+
+class TrivialProvider(ScoreProvider):
+    def scores(self, sequences):
+        return [
+            ScoreSet(float((np.asarray(s) == 0).mean()), (0.1,))
+            for s in sequences
+        ]
+
+
+class TestController:
+    def test_probabilities_remain_valid(self):
+        ctrl = AdaptiveOperatorController(GAParams())
+        for improved in (10, 0, 5):
+            params = ctrl.observe(
+                {"mutate": (improved, 10), "crossover": (10 - improved, 10)}
+            )
+            total = params.p_copy + params.p_mutate + params.p_crossover
+            assert total == pytest.approx(1.0)
+            assert params.p_copy == GAParams().p_copy  # copy share fixed
+
+    def test_successful_operator_gains_share(self):
+        ctrl = AdaptiveOperatorController(GAParams())
+        for _ in range(10):
+            params = ctrl.observe({"mutate": (9, 10), "crossover": (0, 10)})
+        assert params.p_mutate > params.p_crossover
+
+    def test_min_share_floor(self):
+        ctrl = AdaptiveOperatorController(GAParams(), min_share=0.2)
+        for _ in range(30):
+            params = ctrl.observe({"mutate": (10, 10), "crossover": (0, 10)})
+        adaptive_mass = 1.0 - GAParams().p_copy
+        assert params.p_crossover >= 0.2 * adaptive_mass / (0.2 + 0.8) - 1e-9
+        assert params.p_crossover > 0.1
+
+    def test_no_observations_keeps_params(self):
+        ctrl = AdaptiveOperatorController(GAParams())
+        before = ctrl.params
+        after = ctrl.observe({"mutate": (0, 0), "crossover": (0, 0)})
+        assert after.p_mutate == pytest.approx(before.p_mutate, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(GAParams(), smoothing=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(GAParams(), floor=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(GAParams(), min_share=0.6)
+
+
+class TestAdaptiveEngine:
+    def _engine(self, seed=3):
+        return AdaptiveInSiPSEngine(
+            TrivialProvider(),
+            GAParams(),
+            population_size=16,
+            candidate_length=24,
+            seed=seed,
+        )
+
+    def test_runs_and_improves(self):
+        result = self._engine().run(12)
+        assert result.best_fitness > result.history.stats[0].best_fitness
+
+    def test_params_adapt_over_time(self):
+        engine = self._engine()
+        engine.run(10)
+        assert len(engine.params_history) > 1
+        mutate_shares = [p.p_mutate for p in engine.params_history]
+        assert len(set(round(m, 6) for m in mutate_shares)) > 1
+
+    def test_probabilities_always_simplex(self):
+        engine = self._engine()
+        engine.run(8)
+        for p in engine.params_history:
+            assert p.p_copy + p.p_mutate + p.p_crossover == pytest.approx(1.0)
+            assert p.p_mutate > 0 and p.p_crossover > 0
+
+    def test_population_size_invariant(self):
+        engine = self._engine()
+        pop = engine.initial_population()
+        engine.evaluate_population(pop)
+        nxt = engine.next_generation(pop)
+        assert len(nxt) == 16
+
+    def test_deterministic_given_seed(self):
+        a = self._engine(seed=9).run(6)
+        b = self._engine(seed=9).run(6)
+        assert a.best_fitness == b.best_fitness
+
+    def test_competitive_with_static(self):
+        """Adaptation must not hurt on the trivial landscape."""
+        from repro.ga.engine import InSiPSEngine
+
+        static = InSiPSEngine(
+            TrivialProvider(),
+            GAParams(),
+            population_size=16,
+            candidate_length=24,
+            seed=11,
+        ).run(15)
+        adaptive = AdaptiveInSiPSEngine(
+            TrivialProvider(),
+            GAParams(),
+            population_size=16,
+            candidate_length=24,
+            seed=11,
+        ).run(15)
+        assert adaptive.best_fitness >= 0.5 * static.best_fitness

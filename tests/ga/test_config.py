@@ -1,0 +1,74 @@
+"""Tests for GA parameters."""
+
+import numpy as np
+import pytest
+
+from repro.ga.config import GAParams, PAPER_PARAMETER_SETS, WETLAB_PARAMS
+
+
+def test_defaults_are_wetlab_values():
+    p = GAParams()
+    assert p.p_copy == 0.1
+    assert p.p_mutate == 0.4
+    assert p.p_crossover == 0.5
+    assert p.p_mutate_aa == 0.05
+
+
+def test_simplex_enforced():
+    with pytest.raises(ValueError, match="sum to 1"):
+        GAParams(p_copy=0.5, p_mutate=0.5, p_crossover=0.5)
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        GAParams(p_copy=-0.1, p_mutate=0.6, p_crossover=0.5)
+
+
+def test_mutate_aa_bounds():
+    with pytest.raises(ValueError):
+        GAParams(p_mutate_aa=1.5)
+
+
+def test_crossover_margin_bounds():
+    with pytest.raises(ValueError):
+        GAParams(crossover_margin=0.5)
+    GAParams(crossover_margin=0.0)
+
+
+def test_operation_probabilities_order():
+    p = GAParams(p_copy=0.2, p_mutate=0.3, p_crossover=0.5)
+    assert p.operation_probabilities == (0.2, 0.3, 0.5)
+
+
+def test_paper_sets_match_section_4_1():
+    assert len(PAPER_PARAMETER_SETS) == 5
+    expected = {
+        "Set 1": (0.45, 0.45),
+        "Set 2": (0.30, 0.60),
+        "Set 3": (0.60, 0.30),
+        "Set 4": (0.75, 0.15),
+        "Set 5": (0.15, 0.75),
+    }
+    for name, (pc, pm) in expected.items():
+        params = PAPER_PARAMETER_SETS[name]
+        assert params.p_crossover == pytest.approx(pc)
+        assert params.p_mutate == pytest.approx(pm)
+        assert params.p_copy == pytest.approx(0.10)
+        assert params.p_mutate_aa == pytest.approx(0.05)
+
+
+def test_wetlab_params_match_section_4_2():
+    assert WETLAB_PARAMS.p_crossover == 0.5
+    assert WETLAB_PARAMS.p_mutate == 0.4
+    assert WETLAB_PARAMS.p_copy == 0.1
+    assert WETLAB_PARAMS.p_mutate_aa == 0.05
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        GAParams().p_copy = 0.5
+
+
+def test_all_paper_sets_sum_to_one():
+    for params in PAPER_PARAMETER_SETS.values():
+        assert np.isclose(sum(params.operation_probabilities), 1.0)

@@ -1,0 +1,124 @@
+"""Tests for population diversity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ga.diversity import (
+    diversity_report,
+    mean_pairwise_hamming,
+    positional_entropy,
+    unique_fraction,
+)
+from repro.ga.population import Individual, Population
+
+
+def _pop(rows):
+    return Population([Individual(np.array(r, dtype=np.uint8)) for r in rows])
+
+
+class TestUniqueFraction:
+    def test_all_unique(self):
+        pop = _pop([[0, 1], [1, 2], [2, 3]])
+        assert unique_fraction(pop) == 1.0
+
+    def test_duplicates(self):
+        pop = _pop([[0, 1], [0, 1], [2, 3], [2, 3]])
+        assert unique_fraction(pop) == 0.5
+
+
+class TestHamming:
+    def test_identical_population(self):
+        pop = _pop([[1, 2, 3]] * 4)
+        assert mean_pairwise_hamming(pop) == 0.0
+
+    def test_maximally_different(self):
+        pop = _pop([[0, 0, 0], [1, 1, 1]])
+        assert mean_pairwise_hamming(pop) == 1.0
+        assert mean_pairwise_hamming(pop, normalised=False) == 3.0
+
+    def test_exact_small_case(self):
+        pop = _pop([[0, 0], [0, 1], [1, 1]])
+        # Pairs: d=1, d=2, d=1 → mean 4/3 over length 2.
+        assert mean_pairwise_hamming(pop, normalised=False) == pytest.approx(4 / 3)
+
+    def test_single_member(self):
+        assert mean_pairwise_hamming(_pop([[1, 2]])) == 0.0
+
+    def test_subsampling_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, size=(120, 30))
+        pop = _pop(rows.tolist())
+        exact = mean_pairwise_hamming(pop, max_pairs=10**9)
+        sampled = mean_pairwise_hamming(pop, max_pairs=1500, seed=1)
+        assert sampled == pytest.approx(exact, abs=0.05)
+
+    def test_unequal_lengths_rejected(self):
+        pop = _pop([[0, 1], [0, 1, 2]])
+        with pytest.raises(ValueError, match="equal-length"):
+            mean_pairwise_hamming(pop)
+
+
+class TestEntropy:
+    def test_fixed_positions_zero(self):
+        pop = _pop([[5, 0], [5, 1], [5, 2], [5, 3]])
+        entropy = positional_entropy(pop)
+        assert entropy[0] == 0.0
+        assert entropy[1] == pytest.approx(2.0)  # 4 equiprobable residues
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        pop = _pop(rng.integers(0, 20, size=(50, 10)).tolist())
+        entropy = positional_entropy(pop)
+        assert np.all(entropy >= 0)
+        assert np.all(entropy <= np.log2(20) + 1e-9)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            positional_entropy(Population())
+
+
+class TestReport:
+    def test_keys_and_ranges(self):
+        rng = np.random.default_rng(2)
+        pop = _pop(rng.integers(0, 20, size=(20, 15)).tolist())
+        report = diversity_report(pop)
+        assert set(report) == {
+            "unique_fraction",
+            "mean_pairwise_hamming",
+            "mean_positional_entropy",
+            "min_positional_entropy",
+            "converged_positions",
+        }
+        assert 0 <= report["unique_fraction"] <= 1
+        assert 0 <= report["mean_pairwise_hamming"] <= 1
+        assert report["converged_positions"] == 0  # random population
+
+    def test_converged_population_detected(self):
+        pop = _pop([[7, 7, 7]] * 10)
+        report = diversity_report(pop)
+        assert report["converged_positions"] == 3
+        assert report["mean_pairwise_hamming"] == 0.0
+
+
+class TestGADiversityDynamics:
+    def test_selection_reduces_diversity(self, tiny_provider):
+        """A few generations of selection must reduce population diversity
+        relative to the random start (the GA is converging)."""
+        from repro.ga.config import GAParams
+        from repro.ga.engine import InSiPSEngine
+
+        engine = InSiPSEngine(
+            tiny_provider,
+            GAParams(p_copy=0.5, p_mutate=0.3, p_crossover=0.2),
+            population_size=16,
+            candidate_length=24,
+            seed=5,
+        )
+        pop = engine.initial_population()
+        engine.evaluate_population(pop)
+        initial = mean_pairwise_hamming(pop)
+        for _ in range(6):
+            pop = engine.next_generation(pop)
+            engine.evaluate_population(pop)
+        final = mean_pairwise_hamming(pop)
+        assert final < initial

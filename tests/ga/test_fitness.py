@@ -1,0 +1,140 @@
+"""Tests for the fitness function and score providers."""
+
+import numpy as np
+import pytest
+
+from repro.ga.fitness import (
+    FitnessFunction,
+    ScoreProvider,
+    ScoreSet,
+    SerialScoreProvider,
+    combine_scores,
+)
+from repro.ga.population import Individual
+
+
+class TestScoreSet:
+    def test_max_and_avg(self):
+        s = ScoreSet(0.8, (0.1, 0.4, 0.2))
+        assert s.max_non_target == 0.4
+        assert s.avg_non_target == pytest.approx(0.7 / 3)
+
+    def test_no_non_targets(self):
+        s = ScoreSet(0.8, ())
+        assert s.max_non_target == 0.0
+        assert s.avg_non_target == 0.0
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ScoreSet(1.5, ())
+        with pytest.raises(ValueError):
+            ScoreSet(0.5, (0.2, -0.1))
+
+
+class TestCombine:
+    def test_formula(self):
+        # The exact Sec. 2.2 formula.
+        s = ScoreSet(0.6309, (0.3978, 0.05))
+        assert combine_scores(s) == pytest.approx((1 - 0.3978) * 0.6309)
+
+    def test_paper_examples(self):
+        # anti-YBL051C: fitness 0.379912 from target 0.6309, max nt 0.3978.
+        assert combine_scores(ScoreSet(0.6309, (0.3978,))) == pytest.approx(
+            0.3799, abs=1e-3
+        )
+        # anti-YAL017W: fitness 0.4652 from target 0.7183, max nt 0.3524.
+        assert combine_scores(ScoreSet(0.7183, (0.3524,))) == pytest.approx(
+            0.4652, abs=1e-3
+        )
+
+    def test_perfect_design(self):
+        assert combine_scores(ScoreSet(1.0, (0.0,))) == 1.0
+
+    def test_sticky_design_penalised(self):
+        # Binding everything is worthless.
+        assert combine_scores(ScoreSet(1.0, (1.0,))) == 0.0
+
+
+class TestSerialProvider:
+    def test_scores_are_well_formed(self, tiny_provider, rng):
+        seqs = [rng.integers(0, 20, size=30).astype(np.uint8) for _ in range(3)]
+        out = tiny_provider.scores(seqs)
+        assert len(out) == 3
+        for s in out:
+            assert 0.0 <= s.target_score <= 1.0
+            assert len(s.non_target_scores) == len(tiny_provider.non_targets)
+
+    def test_cache_hit_on_repeat(self, tiny_provider, rng):
+        seq = rng.integers(0, 20, size=30).astype(np.uint8)
+        first = tiny_provider.scores([seq])[0]
+        again = tiny_provider.scores([seq.copy()])[0]
+        assert first is again
+        assert tiny_provider.cache_hits == 1
+
+    def test_matches_engine_directly(self, tiny_provider, tiny_engine, rng):
+        seq = rng.integers(0, 20, size=30).astype(np.uint8)
+        out = tiny_provider.scores([seq])[0]
+        assert out.target_score == pytest.approx(
+            tiny_engine.score(seq, tiny_provider.target)
+        )
+        for nt, score in zip(tiny_provider.non_targets, out.non_target_scores):
+            assert score == pytest.approx(tiny_engine.score(seq, nt))
+
+    def test_target_in_non_targets_rejected(self, tiny_engine, tiny_problem):
+        target, nts = tiny_problem
+        with pytest.raises(ValueError, match="non-target"):
+            SerialScoreProvider(tiny_engine, target, [target, *nts])
+
+    def test_unknown_names_fail_fast(self, tiny_engine):
+        with pytest.raises(KeyError):
+            SerialScoreProvider(tiny_engine, "NOPE", [])
+        with pytest.raises(KeyError):
+            SerialScoreProvider(tiny_engine, "YBL051C", ["NOPE"])
+
+    def test_cache_eviction(self, tiny_engine, tiny_problem, rng):
+        target, nts = tiny_problem
+        provider = SerialScoreProvider(tiny_engine, target, nts[:2], cache_size=2)
+        for _ in range(4):
+            provider.scores([rng.integers(0, 20, size=20).astype(np.uint8)])
+        assert len(provider._cache) <= 2
+
+    def test_context_manager(self, tiny_engine, tiny_problem):
+        target, nts = tiny_problem
+        with SerialScoreProvider(tiny_engine, target, nts[:1]) as p:
+            assert isinstance(p, ScoreProvider)
+
+
+class TestFitnessFunction:
+    def test_evaluates_pending_only(self, tiny_provider, rng):
+        fn = FitnessFunction(tiny_provider)
+        done = Individual(rng.integers(0, 20, size=20).astype(np.uint8))
+        done.fitness = 0.42
+        done.target_score = 0.5
+        done.max_non_target = 0.1
+        done.avg_non_target = 0.05
+        fresh = Individual(rng.integers(0, 20, size=20).astype(np.uint8))
+        fn.evaluate([done, fresh])
+        assert done.fitness == 0.42  # untouched
+        assert fresh.evaluated
+
+    def test_fills_all_statistics(self, tiny_provider, rng):
+        fn = FitnessFunction(tiny_provider)
+        ind = Individual(rng.integers(0, 20, size=20).astype(np.uint8))
+        fn([ind])
+        assert ind.fitness == pytest.approx(
+            (1 - ind.max_non_target) * ind.target_score
+        )
+        assert ind.avg_non_target <= ind.max_non_target
+
+    def test_empty_batch_noop(self, tiny_provider):
+        FitnessFunction(tiny_provider).evaluate([])
+
+    def test_provider_length_mismatch_detected(self):
+        class Broken(ScoreProvider):
+            def scores(self, sequences):
+                return []
+
+        fn = FitnessFunction(Broken())
+        ind = Individual(np.array([1, 2], dtype=np.uint8))
+        with pytest.raises(RuntimeError, match="returned 0"):
+            fn.evaluate([ind])

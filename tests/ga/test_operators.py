@@ -1,0 +1,136 @@
+"""Tests for the copy/mutate/crossover operators."""
+
+import numpy as np
+import pytest
+
+from repro.ga.operators import (
+    crossover,
+    crossover_cut_range,
+    mutate,
+    point_copy,
+)
+
+
+class TestCopy:
+    def test_copies_values(self):
+        src = np.array([1, 2, 3], dtype=np.uint8)
+        out = point_copy(src)
+        assert np.array_equal(out, src)
+
+    def test_independent_storage(self):
+        src = np.array([1, 2, 3], dtype=np.uint8)
+        out = point_copy(src)
+        out[0] = 9
+        assert src[0] == 1
+
+
+class TestMutate:
+    def test_zero_rate_identity(self, rng):
+        seq = np.arange(10, dtype=np.uint8)
+        assert np.array_equal(mutate(seq, 0.0, rng), seq)
+
+    def test_full_rate_changes_every_position(self, rng):
+        seq = np.arange(20, dtype=np.uint8)
+        out = mutate(seq, 1.0, rng)
+        assert not np.any(out == seq)
+
+    def test_values_stay_in_alphabet(self, rng):
+        seq = np.arange(20, dtype=np.uint8)
+        out = mutate(seq, 1.0, rng)
+        assert out.min() >= 0 and out.max() < 20
+
+    def test_original_untouched(self, rng):
+        seq = np.arange(10, dtype=np.uint8)
+        before = seq.copy()
+        mutate(seq, 1.0, rng)
+        assert np.array_equal(seq, before)
+
+    def test_expected_rate(self, rng):
+        seq = np.zeros(10_000, dtype=np.uint8)
+        out = mutate(seq, 0.05, rng)
+        rate = (out != seq).mean()
+        assert 0.03 < rate < 0.07
+
+    def test_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            mutate(np.zeros(5, dtype=np.uint8), 1.5, rng)
+
+    def test_deterministic_with_seed(self):
+        seq = np.arange(30, dtype=np.uint8)
+        a = mutate(seq, 0.5, np.random.default_rng(5))
+        b = mutate(seq, 0.5, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestCutRange:
+    def test_margin_respected(self):
+        lo, hi = crossover_cut_range(100, 0.1)
+        assert lo == 10
+        assert hi == 91  # exclusive
+
+    def test_zero_margin(self):
+        lo, hi = crossover_cut_range(10, 0.0)
+        assert (lo, hi) == (1, 10)
+
+    def test_short_sequence_fallback(self):
+        lo, hi = crossover_cut_range(3, 0.45)
+        assert lo >= 1 and hi <= 3 + 1
+        assert lo < hi
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError):
+            crossover_cut_range(1, 0.1)
+
+
+class TestCrossover:
+    def test_equal_length_children(self, rng):
+        a = np.zeros(50, dtype=np.uint8)
+        b = np.ones(50, dtype=np.uint8)
+        c1, c2 = crossover(a, b, 0.1, rng)
+        assert c1.size == 50 and c2.size == 50
+
+    def test_children_are_prefix_suffix_swaps(self, rng):
+        a = np.zeros(40, dtype=np.uint8)
+        b = np.ones(40, dtype=np.uint8)
+        c1, c2 = crossover(a, b, 0.1, rng)
+        # c1 = zeros then ones; c2 = ones then zeros, same cut.
+        cut = int(np.argmax(c1 == 1))
+        assert np.all(c1[:cut] == 0) and np.all(c1[cut:] == 1)
+        assert np.all(c2[:cut] == 1) and np.all(c2[cut:] == 0)
+
+    def test_cut_respects_margin(self, rng):
+        a = np.zeros(100, dtype=np.uint8)
+        b = np.ones(100, dtype=np.uint8)
+        for _ in range(50):
+            c1, _ = crossover(a, b, 0.2, rng)
+            cut = int(np.argmax(c1 == 1))
+            assert 20 <= cut <= 80
+
+    def test_total_material_conserved(self, rng):
+        a = np.full(30, 3, dtype=np.uint8)
+        b = np.full(30, 7, dtype=np.uint8)
+        c1, c2 = crossover(a, b, 0.1, rng)
+        combined = np.concatenate([c1, c2])
+        assert (combined == 3).sum() == 30
+        assert (combined == 7).sum() == 30
+
+    def test_unequal_lengths_proportional(self, rng):
+        a = np.zeros(100, dtype=np.uint8)
+        b = np.ones(10, dtype=np.uint8)
+        c1, c2 = crossover(a, b, 0.1, rng)
+        # Material is conserved overall and both children are non-trivial.
+        assert c1.size + c2.size == 110
+        assert 1 < c1.size < 109
+        assert 1 < c2.size < 109
+        # Child 1 leads with parent A's prefix, child 2 with parent B's.
+        assert c1[0] == 0 and c2[0] == 1
+
+    def test_parents_untouched(self, rng):
+        a = np.zeros(20, dtype=np.uint8)
+        b = np.ones(20, dtype=np.uint8)
+        crossover(a, b, 0.1, rng)
+        assert np.all(a == 0) and np.all(b == 1)
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(ValueError):
+            crossover(np.zeros(1, dtype=np.uint8), np.ones(5, dtype=np.uint8), 0.1, rng)

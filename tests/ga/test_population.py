@@ -1,0 +1,87 @@
+"""Tests for Individual and Population."""
+
+import numpy as np
+import pytest
+
+from repro.ga.population import Individual, Population
+
+
+def _ind(seq, fitness=None):
+    ind = Individual(np.array(seq, dtype=np.uint8))
+    if fitness is not None:
+        ind.fitness = fitness
+        ind.target_score = fitness
+        ind.max_non_target = 0.0
+        ind.avg_non_target = 0.0
+    return ind
+
+
+class TestIndividual:
+    def test_sequence_copied_and_frozen(self):
+        src = np.array([1, 2, 3], dtype=np.uint8)
+        ind = Individual(src)
+        src[0] = 9
+        assert ind.encoded[0] == 1
+        with pytest.raises(ValueError):
+            ind.encoded[0] = 5
+
+    def test_key_identity(self):
+        a = _ind([1, 2, 3])
+        b = _ind([1, 2, 3])
+        c = _ind([1, 2, 4])
+        assert a.key == b.key
+        assert a.key != c.key
+
+    def test_sequence_string(self):
+        assert _ind([0, 1]).sequence == "AR"
+
+    def test_len(self):
+        assert len(_ind([0, 1, 2, 3])) == 4
+
+    def test_evaluated_flag(self):
+        ind = _ind([1])
+        assert not ind.evaluated
+        ind.fitness = 0.5
+        assert ind.evaluated
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Individual(np.array([], dtype=np.uint8))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Individual(np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestPopulation:
+    def test_append_and_iter(self):
+        pop = Population()
+        pop.append(_ind([1]))
+        pop.append(_ind([2]))
+        assert len(pop) == 2
+        assert [len(m) for m in pop] == [1, 1]
+        assert pop[1].encoded[0] == 2
+
+    def test_fitness_array_requires_evaluation(self):
+        pop = Population([_ind([1])])
+        with pytest.raises(ValueError, match="unevaluated"):
+            pop.fitness_array()
+
+    def test_best_and_mean(self):
+        pop = Population([_ind([1], 0.2), _ind([2], 0.8), _ind([3], 0.5)])
+        assert pop.best().encoded[0] == 2
+        assert pop.mean_fitness() == pytest.approx(0.5)
+
+    def test_best_tie_breaks_earliest(self):
+        pop = Population([_ind([1], 0.8), _ind([2], 0.8)])
+        assert pop.best().encoded[0] == 1
+
+    def test_unevaluated_members(self):
+        evaluated = _ind([1], 0.5)
+        fresh = _ind([2])
+        pop = Population([evaluated, fresh])
+        assert pop.unevaluated_members() == [fresh]
+        assert not pop.evaluated
+
+    def test_empty_population_not_evaluated(self):
+        assert not Population().evaluated

@@ -1,0 +1,70 @@
+"""Tests for roulette-wheel selection."""
+
+import numpy as np
+import pytest
+
+from repro.ga.population import Individual, Population
+from repro.ga.selection import roulette_select, selection_probabilities
+
+
+def _pop(fitnesses):
+    members = []
+    for i, f in enumerate(fitnesses):
+        ind = Individual(np.array([i + 1], dtype=np.uint8))
+        ind.fitness = f
+        ind.target_score = f
+        ind.max_non_target = 0.0
+        ind.avg_non_target = 0.0
+        members.append(ind)
+    return Population(members)
+
+
+class TestProbabilities:
+    def test_proportional(self):
+        p = selection_probabilities(np.array([1.0, 3.0]))
+        assert p == pytest.approx([0.25, 0.75])
+
+    def test_zero_total_uniform(self):
+        p = selection_probabilities(np.zeros(4))
+        assert p == pytest.approx([0.25] * 4)
+
+    def test_negative_clipped(self):
+        p = selection_probabilities(np.array([-1.0, 1.0]))
+        assert p == pytest.approx([0.0, 1.0])
+
+    def test_empty(self):
+        assert selection_probabilities(np.array([])).size == 0
+
+
+class TestRoulette:
+    def test_count(self, rng):
+        pop = _pop([0.5, 0.5, 0.5])
+        assert len(roulette_select(pop, rng, 7)) == 7
+
+    def test_proportional_sampling(self, rng):
+        pop = _pop([0.1, 0.9])
+        picks = roulette_select(pop, rng, 5000)
+        frac_second = np.mean([p == 1 for p in picks])
+        assert 0.85 < frac_second < 0.95
+
+    def test_zero_fitness_population_still_selects(self, rng):
+        pop = _pop([0.0, 0.0, 0.0])
+        picks = roulette_select(pop, rng, 300)
+        assert set(picks) == {0, 1, 2}
+
+    def test_with_replacement(self, rng):
+        pop = _pop([1.0, 0.0])
+        picks = roulette_select(pop, rng, 10)
+        assert all(p == 0 for p in picks)
+
+    def test_validation(self, rng):
+        pop = _pop([0.5])
+        with pytest.raises(ValueError):
+            roulette_select(pop, rng, 0)
+        with pytest.raises(ValueError):
+            roulette_select(Population(), rng, 1)
+
+    def test_requires_evaluated(self, rng):
+        pop = Population([Individual(np.array([1], dtype=np.uint8))])
+        with pytest.raises(ValueError):
+            roulette_select(pop, rng, 1)

@@ -1,0 +1,87 @@
+"""Tests for generation statistics and run histories."""
+
+import numpy as np
+import pytest
+
+from repro.ga.population import Individual, Population
+from repro.ga.stats import GenerationStats, RunHistory
+
+
+def _stats(gen, best, mean=None):
+    return GenerationStats(
+        generation=gen,
+        best_fitness=best,
+        mean_fitness=mean if mean is not None else best / 2,
+        best_target_score=best,
+        best_max_non_target=0.1,
+        best_avg_non_target=0.05,
+        evaluations=5,
+    )
+
+
+def test_from_population():
+    a = Individual(np.array([1], dtype=np.uint8))
+    a.fitness, a.target_score, a.max_non_target, a.avg_non_target = 0.3, 0.5, 0.2, 0.1
+    b = Individual(np.array([2], dtype=np.uint8))
+    b.fitness, b.target_score, b.max_non_target, b.avg_non_target = 0.6, 0.8, 0.25, 0.12
+    pop = Population([a, b], generation=4)
+    s = GenerationStats.from_population(pop, evaluations=2)
+    assert s.generation == 4
+    assert s.best_fitness == 0.6
+    assert s.best_target_score == 0.8
+    assert s.best_max_non_target == 0.25
+    assert s.mean_fitness == pytest.approx(0.45)
+    assert s.evaluations == 2
+
+
+class TestRunHistory:
+    def test_append_enforces_order(self):
+        h = RunHistory()
+        h.append(_stats(0, 0.1))
+        h.append(_stats(1, 0.2))
+        with pytest.raises(ValueError):
+            h.append(_stats(1, 0.3))
+
+    def test_running_best_monotone(self):
+        h = RunHistory()
+        for g, f in enumerate([0.1, 0.5, 0.3, 0.6, 0.2]):
+            h.append(_stats(g, f))
+        rb = h.running_best()
+        assert list(rb) == [0.1, 0.5, 0.5, 0.6, 0.6]
+        assert h.final_best_fitness == 0.6
+
+    def test_generations_since_improvement(self):
+        h = RunHistory()
+        for g, f in enumerate([0.1, 0.5, 0.3, 0.4]):
+            h.append(_stats(g, f))
+        assert h.generations_since_improvement() == 2
+
+    def test_no_improvement_from_start(self):
+        h = RunHistory()
+        for g in range(4):
+            h.append(_stats(g, 0.2))
+        assert h.generations_since_improvement() == 3
+
+    def test_learning_curves_keys_and_lengths(self):
+        h = RunHistory()
+        for g in range(5):
+            h.append(_stats(g, 0.1 * g))
+        curves = h.learning_curves()
+        assert set(curves) == {
+            "generation",
+            "target",
+            "max_non_target",
+            "avg_non_target",
+            "best_fitness",
+        }
+        for v in curves.values():
+            assert len(v) == 5
+
+    def test_empty_history_errors(self):
+        with pytest.raises(ValueError):
+            RunHistory().final_best_fitness
+
+    def test_iteration(self):
+        h = RunHistory()
+        h.append(_stats(0, 0.1))
+        assert len(list(h)) == 1

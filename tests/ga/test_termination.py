@@ -1,0 +1,94 @@
+"""Tests for termination criteria."""
+
+import pytest
+
+from repro.ga.stats import GenerationStats, RunHistory
+from repro.ga.termination import (
+    MaxGenerations,
+    PaperTermination,
+    StallGenerations,
+)
+
+
+def _history(best_curve):
+    h = RunHistory()
+    for g, f in enumerate(best_curve):
+        h.append(
+            GenerationStats(
+                generation=g,
+                best_fitness=f,
+                mean_fitness=f / 2,
+                best_target_score=f,
+                best_max_non_target=0.0,
+                best_avg_non_target=0.0,
+                evaluations=10,
+            )
+        )
+    return h
+
+
+class TestMaxGenerations:
+    def test_stops_exactly_at_limit(self):
+        crit = MaxGenerations(3)
+        assert not crit.should_stop(_history([0.1, 0.2]))
+        assert crit.should_stop(_history([0.1, 0.2, 0.3]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxGenerations(0)
+
+
+class TestStallGenerations:
+    def test_detects_stall(self):
+        crit = StallGenerations(stall=2)
+        assert not crit.should_stop(_history([0.1, 0.2, 0.2]))
+        assert crit.should_stop(_history([0.1, 0.2, 0.2, 0.2]))
+
+    def test_improvement_resets(self):
+        crit = StallGenerations(stall=2)
+        assert not crit.should_stop(_history([0.1, 0.1, 0.1, 0.5]))
+
+    def test_min_improvement(self):
+        crit = StallGenerations(stall=2, min_improvement=0.1)
+        # Tiny improvements do not count as progress.
+        assert crit.should_stop(_history([0.1, 0.101, 0.102]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StallGenerations(stall=0)
+        with pytest.raises(ValueError):
+            StallGenerations(stall=2, min_improvement=-0.1)
+
+
+class TestPaperTermination:
+    def test_never_stops_before_min_generations(self):
+        crit = PaperTermination(min_generations=10, stall=2, hard_limit=100)
+        flat = _history([0.1] * 9)
+        assert not crit.should_stop(flat)
+
+    def test_stops_after_min_plus_stall(self):
+        crit = PaperTermination(min_generations=5, stall=3, hard_limit=100)
+        # 8 generations, last 3 without improvement, min reached.
+        h = _history([0.1, 0.2, 0.3, 0.4, 0.5, 0.5, 0.5, 0.5])
+        assert crit.should_stop(h)
+
+    def test_keeps_running_while_improving(self):
+        crit = PaperTermination(min_generations=3, stall=3, hard_limit=100)
+        h = _history([0.1 * (i + 1) for i in range(20)])
+        assert not crit.should_stop(h)
+
+    def test_hard_limit(self):
+        crit = PaperTermination(min_generations=2, stall=100, hard_limit=5)
+        h = _history([0.1 * (i + 1) for i in range(5)])
+        assert crit.should_stop(h)
+
+    def test_paper_defaults(self):
+        crit = PaperTermination()
+        assert crit.min_generations == 250
+        assert crit.stall == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PaperTermination(min_generations=0)
+        with pytest.raises(ValueError):
+            PaperTermination(min_generations=10, hard_limit=5)

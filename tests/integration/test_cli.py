@@ -1,0 +1,58 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_profiles_command(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    for name in ("tiny", "small", "medium", "paper"):
+        assert name in out
+    assert "6707" in out  # the paper scale is surfaced
+
+
+def test_evaluate_command(capsys):
+    assert main(["evaluate", "--pairs", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "ROC AUC" in out
+    assert "FPR" in out
+
+
+def test_design_command(capsys, tmp_path):
+    out_file = tmp_path / "design.json"
+    assert (
+        main(
+            [
+                "design",
+                "YBL051C",
+                "--generations",
+                "2",
+                "--scan",
+                "3",
+                "--out",
+                str(out_file),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "anti-YBL051C" in out
+    assert "Specificity scan" in out
+    assert out_file.exists()
+
+    from repro.io import load_design_result
+
+    saved = load_design_result(out_file)
+    assert saved.target == "YBL051C"
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,89 @@
+"""End-to-end determinism: the paper's seeding contract (Sec. 4.1).
+
+"When a random number generator is seeded with a given number, it will
+always produce the same set of random numbers.  This way we can assure,
+for instance, that two different runs of InSiPS have the same initial
+population."  Every layer of this reproduction honours that contract.
+"""
+
+import numpy as np
+
+from repro.core.designer import InhibitorDesigner
+from repro.synthetic import get_profile
+
+
+def _world(seed=5):
+    return get_profile("tiny").build_world(seed=seed)
+
+
+class TestWorldDeterminism:
+    def test_identical_worlds_from_identical_seeds(self):
+        a, b = _world(), _world()
+        assert [p.sequence for p in a.proteins] == [p.sequence for p in b.proteins]
+        assert a.graph.edges() == b.graph.edges()
+        assert [p.annotations for p in a.proteins] == [
+            p.annotations for p in b.proteins
+        ]
+        assert a.similarity_threshold == b.similarity_threshold
+
+    def test_different_seeds_different_worlds(self):
+        a, b = _world(5), _world(6)
+        assert [p.sequence for p in a.proteins] != [p.sequence for p in b.proteins]
+
+
+class TestDesignDeterminism:
+    def test_same_seed_same_design(self):
+        # Two *independently built* worlds and designers: the full chain
+        # (world -> engine -> GA) must reproduce bit-identically.
+        runs = []
+        for _ in range(2):
+            designer = InhibitorDesigner(
+                _world(), population_size=10, candidate_length=24, non_target_limit=4
+            )
+            runs.append(designer.design("YBL051C", seed=11, termination=4))
+        a, b = runs
+        assert np.array_equal(a.best.encoded, b.best.encoded)
+        assert a.fitness == b.fitness
+        assert np.array_equal(
+            a.history.best_fitness_curve(), b.history.best_fitness_curve()
+        )
+
+    def test_different_seeds_explore_differently(self):
+        designer = InhibitorDesigner(
+            _world(), population_size=10, candidate_length=24, non_target_limit=4
+        )
+        a = designer.design("YBL051C", seed=1, termination=3)
+        b = designer.design("YBL051C", seed=2, termination=3)
+        assert not np.array_equal(a.best.encoded, b.best.encoded)
+
+
+class TestExperimentDeterminism:
+    def test_des_experiments_repeatable(self):
+        from repro.experiments.fig5_fig6_worker_scaling import run_fig5_fig6
+
+        a = run_fig5_fig6(seed=3, sequences=120, process_counts=(64, 128))
+        b = run_fig5_fig6(seed=3, sequences=120, process_counts=(64, 128))
+        assert a.data["runtimes"] == b.data["runtimes"]
+
+    def test_wetlab_assays_repeatable(self):
+        from repro.wetlab.assays import STANDARD_ASSAYS
+        from repro.wetlab.binding import InhibitionProfile
+        from repro.wetlab.colony import run_colony_assay
+        from repro.wetlab.strains import make_standard_strains
+
+        strains = make_standard_strains(
+            InhibitionProfile("T", 0.63, 0.40, 0.08)
+        )
+        a = run_colony_assay(strains, STANDARD_ASSAYS["ultraviolet"], seed=8)
+        b = run_colony_assay(strains, STANDARD_ASSAYS["ultraviolet"], seed=8)
+        assert np.array_equal(a.percentages, b.percentages)
+
+    def test_synthesis_order_repeatable(self):
+        designer = InhibitorDesigner(
+            _world(), population_size=8, candidate_length=24, non_target_limit=4
+        )
+        design = designer.design("YBL051C", seed=4, termination=2)
+        assert (
+            design.synthesis_order(seed=3)["coding_dna"]
+            == design.synthesis_order(seed=3)["coding_dna"]
+        )

@@ -1,0 +1,116 @@
+"""End-to-end integration: world → design → wet-lab validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import InhibitorDesigner
+from repro.ga.termination import PaperTermination
+from repro.wetlab.assays import STANDARD_ASSAYS
+from repro.wetlab.colony import run_colony_assay
+from repro.wetlab.strains import make_standard_strains
+
+
+@pytest.fixture(scope="module")
+def designer(tiny_world):
+    return InhibitorDesigner(
+        tiny_world,
+        population_size=24,
+        candidate_length=48,
+        non_target_limit=8,
+    )
+
+
+@pytest.fixture(scope="module")
+def design(designer):
+    return designer.design(
+        "YBL051C",
+        seed=42,
+        termination=PaperTermination(min_generations=15, stall=6, hard_limit=40),
+    )
+
+
+class TestDesign:
+    def test_design_improves_over_random(self, design):
+        curve = design.history.best_fitness_curve()
+        assert design.fitness >= curve[0]
+        assert design.fitness > 0.1
+
+    def test_design_statistics_consistent(self, design):
+        best = design.best
+        assert best.fitness == pytest.approx(
+            (1 - best.max_non_target) * best.target_score
+        )
+        assert best.avg_non_target <= best.max_non_target
+
+    def test_design_separates_target_from_background(self, design):
+        # The point of the fitness function: the designed protein scores
+        # higher against the target than the *average* non-target.
+        assert design.best.target_score > design.best.avg_non_target
+
+    def test_designed_protein_record(self, design):
+        protein = design.designed_protein()
+        assert protein.name == "anti-YBL051C"
+        assert protein.annotations["designed"] is True
+        assert len(protein) == 48
+
+    def test_history_matches_generations(self, design):
+        assert len(design.history) == design.generations
+        assert design.generations >= 15
+
+    def test_design_scores_verified_against_engine(self, design, tiny_world):
+        """The reported best scores must be real PIPE scores, not GA
+        bookkeeping artifacts."""
+        engine = tiny_world.engine
+        seq = design.best.encoded
+        assert engine.score(seq, "YBL051C") == pytest.approx(
+            design.best.target_score
+        )
+        nts = design.non_targets
+        scores = [engine.score(seq, nt) for nt in nts]
+        assert max(scores) == pytest.approx(design.best.max_non_target)
+        assert float(np.mean(scores)) == pytest.approx(design.best.avg_non_target)
+
+
+class TestDesignToWetlab:
+    def test_full_pipeline(self, design):
+        profile = design.inhibition_profile()
+        strains = make_standard_strains(profile, knockout_label="ΔPIN4")
+        assay = STANDARD_ASSAYS["cycloheximide"]
+        result = run_colony_assay(strains, assay, runs=3, seed=1)
+        wt, wt_plus, inhibitor, knockout = result.averages()
+        assert knockout < wt  # knockout control behaves
+        assert inhibitor <= wt + 3  # inhibition can only reduce survival
+
+
+class TestDesignMany:
+    def test_returns_best_of_seeds(self, designer):
+        result = designer.design_many("YBL051C", [1, 2], termination=4)
+        single1 = designer.design("YBL051C", seed=1, termination=4)
+        single2 = designer.design("YBL051C", seed=2, termination=4)
+        assert result.fitness == pytest.approx(
+            max(single1.fitness, single2.fitness)
+        )
+
+    def test_empty_seed_list_rejected(self, designer):
+        with pytest.raises(ValueError):
+            designer.design_many("YBL051C", [])
+
+
+class TestDesignerConfig:
+    def test_from_profile(self, tiny_profile):
+        designer = InhibitorDesigner.from_profile(tiny_profile, seed=1)
+        assert designer.population_size == tiny_profile.population_size
+        assert designer.candidate_length == tiny_profile.candidate_length
+
+    def test_from_profile_overrides(self, tiny_profile):
+        designer = InhibitorDesigner.from_profile(
+            tiny_profile, seed=1, population_size=10
+        )
+        assert designer.population_size == 10
+
+    def test_explicit_non_targets(self, designer, tiny_world):
+        nts = tiny_world.non_targets_for("YBL051C", limit=3)
+        result = designer.design(
+            "YBL051C", seed=1, termination=2, non_targets=nts
+        )
+        assert result.non_targets == nts

@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Each example must compile, carry a module docstring, and expose ``--help``
+without building a world (argparse exits before any heavy work).
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_with_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_help_exits_cleanly(path):
+    proc = subprocess.run(
+        [sys.executable, str(path), "--help"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "usage" in proc.stdout.lower()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_uses_public_api_only(path):
+    """Examples must demonstrate the public API: no private-module
+    imports (``repro.x._y``) and no private attribute access on repro
+    objects."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            assert not any(
+                part.startswith("_") for part in node.module.split(".")
+            ), f"{path.name} imports private module {node.module}"

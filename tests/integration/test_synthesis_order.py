@@ -1,0 +1,53 @@
+"""Tests for the design → synthesis-order handoff."""
+
+import pytest
+
+from repro.core.designer import InhibitorDesigner
+from repro.sequences.codon import translate
+
+
+@pytest.fixture(scope="module")
+def design(tiny_world):
+    designer = InhibitorDesigner(
+        tiny_world, population_size=8, candidate_length=24, non_target_limit=4
+    )
+    return designer.design("YBL051C", seed=3, termination=3)
+
+
+def test_order_fields(design):
+    order = design.synthesis_order()
+    assert set(order) == {
+        "name",
+        "protein",
+        "coding_dna",
+        "gc_content",
+        "molecular_weight_da",
+        "net_charge",
+        "gravy",
+        "flags",
+    }
+    assert order["name"] == "anti-YBL051C"
+
+
+def test_dna_encodes_the_design(design):
+    order = design.synthesis_order()
+    translated = translate(order["coding_dna"])
+    protein = order["protein"]
+    # ATG may have been prepended for expression.
+    assert translated == protein or translated == "M" + protein
+
+
+def test_reasonable_physical_values(design):
+    order = design.synthesis_order()
+    assert 0.2 < order["gc_content"] < 0.7
+    assert order["molecular_weight_da"] > 24 * 57  # heavier than poly-Gly
+    assert isinstance(order["flags"], list)
+
+
+def test_seed_controls_codon_sampling(design):
+    a = design.synthesis_order(seed=1)["coding_dna"]
+    b = design.synthesis_order(seed=1)["coding_dna"]
+    c = design.synthesis_order(seed=2)["coding_dna"]
+    assert a == b
+    assert a != c
+    assert translate(a) == translate(c)

@@ -1,0 +1,45 @@
+"""Tests for the master/worker wire protocol."""
+
+import numpy as np
+import pytest
+
+from repro.ga.fitness import ScoreSet
+from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+
+
+def test_work_item_roundtrip():
+    seq = np.array([3, 1, 4, 1, 5], dtype=np.uint8)
+    item = WorkItem.from_encoded(7, seq)
+    assert item.sequence_id == 7
+    assert np.array_equal(item.decode(), seq)
+
+
+def test_work_item_validation():
+    with pytest.raises(ValueError):
+        WorkItem(-1, b"x")
+    with pytest.raises(ValueError):
+        WorkItem(0, b"")
+
+
+def test_work_item_payload_compact():
+    seq = np.arange(10, dtype=np.uint8)
+    assert len(WorkItem.from_encoded(0, seq).payload) == 10
+
+
+def test_work_result_carries_scores():
+    scores = ScoreSet(0.5, (0.1, 0.2))
+    r = WorkResult(3, 1, scores)
+    assert r.scores.max_non_target == 0.2
+
+
+def test_end_signal_default_reason():
+    assert EndSignal().reason == "complete"
+
+
+def test_messages_picklable():
+    import pickle
+
+    item = WorkItem.from_encoded(1, np.array([1, 2], dtype=np.uint8))
+    result = WorkResult(1, 0, ScoreSet(0.3, (0.1,)))
+    for msg in (item, result, EndSignal()):
+        assert pickle.loads(pickle.dumps(msg)) == msg

@@ -1,0 +1,62 @@
+"""Tests for the multiprocessing score provider (spawns real processes)."""
+
+import numpy as np
+import pytest
+
+from repro.ga.fitness import SerialScoreProvider
+from repro.parallel.mp_backend import MultiprocessScoreProvider
+
+
+@pytest.fixture()
+def mp_provider(tiny_engine, tiny_problem):
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=2, timeout=120.0
+    )
+    yield provider
+    provider.close()
+
+
+def test_matches_serial_provider(mp_provider, tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    serial = SerialScoreProvider(tiny_engine, target, non_targets)
+    seqs = [rng.integers(0, 20, size=25).astype(np.uint8) for _ in range(6)]
+    parallel_scores = mp_provider.scores(seqs)
+    serial_scores = serial.scores(seqs)
+    for p, s in zip(parallel_scores, serial_scores):
+        assert p.target_score == pytest.approx(s.target_score)
+        assert p.non_target_scores == pytest.approx(s.non_target_scores)
+
+
+def test_results_in_input_order(mp_provider, rng):
+    seqs = [rng.integers(0, 20, size=25).astype(np.uint8) for _ in range(8)]
+    first = mp_provider.scores(seqs)
+    again = mp_provider.scores(seqs)  # all cached now
+    for a, b in zip(first, again):
+        assert a.target_score == b.target_score
+    assert mp_provider.cache_hits == len(seqs)
+
+
+def test_duplicate_sequences_in_batch(mp_provider, rng):
+    seq = rng.integers(0, 20, size=25).astype(np.uint8)
+    out = mp_provider.scores([seq, seq.copy(), seq.copy()])
+    assert out[0].target_score == out[1].target_score == out[2].target_score
+
+
+def test_close_idempotent(mp_provider, rng):
+    mp_provider.scores([rng.integers(0, 20, size=10).astype(np.uint8)])
+    mp_provider.close()
+    mp_provider.close()
+
+
+def test_workers_lazy(tiny_engine, tiny_problem):
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(tiny_engine, target, non_targets, num_workers=1)
+    assert not provider._workers  # nothing spawned before first use
+    provider.close()
+
+
+def test_validation(tiny_engine, tiny_problem):
+    target, non_targets = tiny_problem
+    with pytest.raises(ValueError):
+        MultiprocessScoreProvider(tiny_engine, target, non_targets, num_workers=0)

@@ -1,0 +1,67 @@
+"""Tests for the worker main loop (in-process, no child processes)."""
+
+import queue
+
+import numpy as np
+import pytest
+
+from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+from repro.parallel.worker import WorkerContext, score_candidate, worker_loop
+
+
+@pytest.fixture()
+def context(tiny_engine, tiny_problem):
+    target, non_targets = tiny_problem
+    return WorkerContext(tiny_engine, target, non_targets)
+
+
+def test_context_validates_names(tiny_engine):
+    with pytest.raises(KeyError):
+        WorkerContext(tiny_engine, "NOPE", [])
+    with pytest.raises(KeyError):
+        WorkerContext(tiny_engine, "YBL051C", ["NOPE"])
+
+
+def test_score_candidate_matches_engine(context, rng):
+    seq = rng.integers(0, 20, size=30).astype(np.uint8)
+    scores = score_candidate(context, seq)
+    assert scores.target_score == pytest.approx(
+        context.engine.score(seq, context.target)
+    )
+    assert len(scores.non_target_scores) == len(context.non_targets)
+
+
+def test_warm_cache(context):
+    context.warm_cache()
+    info = context.engine.database.cache_info()
+    assert info["entries"] >= len(context.non_targets) + 1
+
+
+def test_worker_loop_processes_until_end(context, rng):
+    task_q = queue.Queue()
+    result_q = queue.Queue()
+    for i in range(3):
+        task_q.put(WorkItem.from_encoded(i, rng.integers(0, 20, size=20).astype(np.uint8)))
+    task_q.put(EndSignal())
+    processed = worker_loop(0, context, task_q, result_q, poll_timeout=0.05)
+    assert processed == 3
+    results = [result_q.get_nowait() for _ in range(3)]
+    assert {r.sequence_id for r in results} == {0, 1, 2}
+    assert all(isinstance(r, WorkResult) for r in results)
+    # The END signal is re-enqueued for sibling workers.
+    assert isinstance(task_q.get_nowait(), EndSignal)
+
+
+def test_worker_loop_rejects_garbage(context):
+    task_q = queue.Queue()
+    result_q = queue.Queue()
+    task_q.put("garbage")
+    with pytest.raises(TypeError):
+        worker_loop(0, context, task_q, result_q, poll_timeout=0.05)
+
+
+def test_worker_loop_immediate_end(context):
+    task_q = queue.Queue()
+    result_q = queue.Queue()
+    task_q.put(EndSignal())
+    assert worker_loop(1, context, task_q, result_q, poll_timeout=0.05) == 0

@@ -1,0 +1,91 @@
+"""Tests for PIPE accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.ppi.evaluation import PipeEvaluation, evaluate_pipe
+
+
+@pytest.fixture(scope="module")
+def evaluation(tiny_world):
+    return evaluate_pipe(
+        tiny_world.engine, max_positive=40, num_negative=40, seed=0
+    )
+
+
+def test_sample_sizes(evaluation):
+    assert evaluation.positive_scores.size == 40
+    assert evaluation.negative_scores.size == 40
+
+
+def test_scores_in_unit_interval(evaluation):
+    for arr in (evaluation.positive_scores, evaluation.negative_scores):
+        assert arr.min() >= 0.0
+        assert arr.max() < 1.0
+
+
+def test_pipe_discriminates(evaluation):
+    """PIPE must separate known interactions from random pairs — the
+    property the whole fitness function rests on."""
+    assert evaluation.auc() > 0.7
+    assert evaluation.separation() > 0.1
+
+
+def test_rates_at_extreme_thresholds(evaluation):
+    assert evaluation.true_positive_rate(0.0) == 1.0
+    assert evaluation.false_positive_rate(0.0) == 1.0
+    assert evaluation.true_positive_rate(1.1) == 0.0
+    assert evaluation.false_positive_rate(1.1) == 0.0
+
+
+def test_roc_monotone(evaluation):
+    fpr, tpr, thresholds = evaluation.roc_curve()
+    assert np.all(np.diff(fpr) >= 0)
+    assert np.all(np.diff(tpr) >= 0)
+    assert np.all(np.diff(thresholds) <= 0)
+    assert np.all(tpr >= fpr - 1e-12) or evaluation.auc() < 0.5
+
+
+def test_threshold_at_fpr(evaluation):
+    for target in (0.2, 0.05, 0.0):
+        thr = evaluation.threshold_at_fpr(target)
+        assert evaluation.false_positive_rate(thr) <= target
+    with pytest.raises(ValueError):
+        evaluation.threshold_at_fpr(1.5)
+
+
+def test_auc_matches_rank_statistic(evaluation):
+    pos = evaluation.positive_scores
+    neg = evaluation.negative_scores
+    wins = sum(
+        1.0 if p > n else (0.5 if p == n else 0.0) for p in pos for n in neg
+    )
+    assert evaluation.auc() == pytest.approx(wins / (pos.size * neg.size))
+
+
+def test_leave_one_out_is_used(tiny_world):
+    """Positive scores must be computed WITHOUT the pair's own edge —
+    scoring with the edge included would inflate every positive."""
+    engine = tiny_world.engine
+    a, b = tiny_world.graph.edges()[0]
+    h_loo = engine.result_matrix(
+        engine.similarity_of(a), engine.similarity_of(b), exclude_edge=(a, b)
+    )
+    h_full = engine.result_matrix(
+        engine.similarity_of(a), engine.similarity_of(b)
+    )
+    assert h_loo.sum() <= h_full.sum()
+
+
+def test_deterministic(tiny_world):
+    a = evaluate_pipe(tiny_world.engine, max_positive=10, num_negative=10, seed=3)
+    b = evaluate_pipe(tiny_world.engine, max_positive=10, num_negative=10, seed=3)
+    assert np.array_equal(a.positive_scores, b.positive_scores)
+    assert np.array_equal(a.negative_scores, b.negative_scores)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PipeEvaluation(np.array([]), np.array([0.5]))
+    with pytest.raises(ValueError):
+        PipeEvaluation(np.array([0.5]), np.array([[0.5]]))

@@ -1,0 +1,153 @@
+"""Tests for fragment similarity scoring and threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.ppi.similarity import (
+    calibrate_threshold,
+    exact_threshold,
+    random_match_score_pmf,
+    similar_window_mask,
+    window_similarity_scores,
+    windowed_diagonal_sums,
+)
+from repro.sequences.encoding import encode
+from repro.substitution import BLOSUM62, PAM120, SubstitutionMatrix
+
+
+class TestWindowedDiagonalSums:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        s = rng.normal(size=(7, 9))
+        w = 3
+        out = windowed_diagonal_sums(s, w)
+        assert out.shape == (5, 7)
+        for i in range(5):
+            for j in range(7):
+                expected = sum(s[i + t, j + t] for t in range(w))
+                assert out[i, j] == pytest.approx(expected)
+
+    def test_window_one_is_identity(self):
+        s = np.arange(12, dtype=float).reshape(3, 4)
+        assert np.array_equal(windowed_diagonal_sums(s, 1), s)
+
+    def test_empty_when_too_short(self):
+        s = np.ones((2, 5))
+        out = windowed_diagonal_sums(s, 3)
+        assert out.shape == (0, 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            windowed_diagonal_sums(np.ones(5), 2)
+
+
+class TestWindowSimilarityScores:
+    def test_self_alignment_peak(self):
+        seq = encode("MKTLLVWAC")
+        scores = window_similarity_scores(seq, seq, 4, PAM120)
+        # The diagonal holds perfect self-matches and dominates its row.
+        for i in range(scores.shape[0]):
+            assert scores[i, i] == scores[i].max()
+
+    def test_known_value(self):
+        a = encode("AAA")
+        b = encode("AAA")
+        out = window_similarity_scores(a, b, 3, PAM120)
+        assert out.shape == (1, 1)
+        assert out[0, 0] == 3 * PAM120.score("A", "A")
+
+    def test_mask_thresholding(self):
+        a = encode("WWWW")
+        b = encode("WWWW")
+        w_self = 4 * PAM120.score("W", "W")
+        mask = similar_window_mask(a, b, 4, PAM120, w_self)
+        assert mask[0, 0]
+        mask2 = similar_window_mask(a, b, 4, PAM120, w_self + 1)
+        assert not mask2[0, 0]
+
+
+class TestExactThreshold:
+    def test_pmf_normalised(self):
+        support, pmf = random_match_score_pmf(PAM120, 4)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+        assert support.size == pmf.size
+
+    def test_pmf_support_bounds(self):
+        support, _ = random_match_score_pmf(PAM120, 3)
+        assert support[0] == 3 * PAM120.scores.min()
+        assert support[-1] == 3 * PAM120.scores.max()
+
+    def test_pmf_window_one_matches_direct(self):
+        support, pmf = random_match_score_pmf(PAM120, 1)
+        from repro.constants import YEAST_AA_FREQUENCIES as f
+
+        joint = np.outer(f, f)
+        for value in (-8, 0, 12):
+            expected = joint[PAM120.scores == value].sum()
+            got = pmf[support == value]
+            assert got[0] == pytest.approx(expected)
+
+    def test_threshold_respects_match_rate(self):
+        support, pmf = random_match_score_pmf(PAM120, 5)
+        for rate in (1e-2, 1e-4, 1e-6):
+            thr = exact_threshold(PAM120, 5, match_rate=rate)
+            actual = pmf[support >= thr].sum()
+            assert actual <= rate
+
+    def test_threshold_monotone_in_rate(self):
+        t_loose = exact_threshold(PAM120, 5, match_rate=1e-2)
+        t_tight = exact_threshold(PAM120, 5, match_rate=1e-6)
+        assert t_tight > t_loose
+
+    def test_threshold_grows_with_window(self):
+        t4 = exact_threshold(PAM120, 4, match_rate=1e-4)
+        t8 = exact_threshold(PAM120, 8, match_rate=1e-4)
+        assert t8 > t4
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            exact_threshold(PAM120, 4, match_rate=0.0)
+        with pytest.raises(ValueError):
+            exact_threshold(PAM120, 4, match_rate=1.0)
+
+    def test_non_integer_matrix_rejected(self):
+        frac = SubstitutionMatrix("frac", PAM120.scores * 0.5)
+        with pytest.raises(ValueError, match="integer"):
+            random_match_score_pmf(frac, 3)
+
+
+class TestCalibrateThreshold:
+    def test_integer_matrix_uses_exact_path(self):
+        assert calibrate_threshold(PAM120, 5, match_rate=1e-4) == exact_threshold(
+            PAM120, 5, match_rate=1e-4
+        )
+
+    def test_sampling_fallback_for_fractional_matrix(self):
+        frac = SubstitutionMatrix("frac", PAM120.scores * 0.5)
+        thr = calibrate_threshold(frac, 4, match_rate=1e-2, samples=20_000)
+        # Should be roughly half of the integer-matrix threshold.
+        ref = calibrate_threshold(PAM120, 4, match_rate=1e-2)
+        assert thr == pytest.approx(ref / 2, abs=2.0)
+
+    def test_empirical_match_rate(self, rng):
+        thr = calibrate_threshold(PAM120, 4, match_rate=1e-3)
+        from repro.constants import NUM_AMINO_ACIDS, YEAST_AA_FREQUENCIES
+
+        n = 200_000
+        a = rng.choice(NUM_AMINO_ACIDS, size=(n, 4), p=YEAST_AA_FREQUENCIES)
+        b = rng.choice(NUM_AMINO_ACIDS, size=(n, 4), p=YEAST_AA_FREQUENCIES)
+        scores = PAM120.scores[a, b].sum(axis=1)
+        rate = (scores >= thr).mean()
+        assert rate <= 2e-3  # at most ~2x the target, sampling noise aside
+
+    def test_blosum_threshold_also_works(self):
+        thr = calibrate_threshold(BLOSUM62, 6, match_rate=1e-5)
+        assert thr > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(PAM120, 4, match_rate=2.0)
+        frac = SubstitutionMatrix("frac", PAM120.scores * 0.5)
+        with pytest.raises(ValueError):
+            calibrate_threshold(frac, 4, samples=10)

@@ -1,0 +1,118 @@
+"""Tests for binding-site localisation."""
+
+import numpy as np
+import pytest
+
+from repro.ppi.sites import BindingSite, predict_binding_sites
+
+
+def _matrix_with_block(shape, block, value):
+    h = np.zeros(shape)
+    (r0, r1), (c0, c1) = block
+    h[r0:r1, c0:c1] = value
+    return h
+
+
+class TestSingleSite:
+    def test_localises_the_block(self):
+        h = _matrix_with_block((20, 30), ((5, 9), (10, 14)), 10.0)
+        sites = predict_binding_sites(h, window_size=4, smooth_radius=0)
+        assert len(sites) == 1
+        s = sites[0]
+        assert s.a_span == (5, 9 - 1 + 4)
+        assert s.b_span == (10, 14 - 1 + 4)
+
+    def test_peak_and_total_evidence(self):
+        h = _matrix_with_block((10, 10), ((2, 4), (3, 5)), 7.0)
+        (site,) = predict_binding_sites(h, window_size=3, smooth_radius=0)
+        assert site.peak_evidence == pytest.approx(7.0)
+        assert site.total_evidence == pytest.approx(4 * 7.0)
+
+    def test_window_size_extends_span(self):
+        h = _matrix_with_block((10, 10), ((4, 5), (4, 5)), 5.0)
+        (site,) = predict_binding_sites(h, window_size=6, smooth_radius=0)
+        assert site.a_span == (4, 10)
+        assert site.b_span == (4, 10)
+
+
+class TestMultipleSites:
+    def test_two_separate_blocks(self):
+        h = np.zeros((30, 30))
+        h[2:5, 2:5] = 10.0
+        h[20:23, 20:23] = 6.0
+        sites = predict_binding_sites(
+            h, window_size=3, max_sites=5, smooth_radius=0
+        )
+        assert len(sites) == 2
+        # Strongest first.
+        assert sites[0].peak_evidence > sites[1].peak_evidence
+        assert sites[0].a_start == 2
+        assert sites[1].a_start == 20
+
+    def test_weak_echo_suppressed(self):
+        h = np.zeros((20, 20))
+        h[2:4, 2:4] = 10.0
+        h[15, 15] = 1.0  # below min_peak_fraction * 10
+        sites = predict_binding_sites(
+            h, window_size=3, max_sites=5, min_peak_fraction=0.25, smooth_radius=0
+        )
+        assert len(sites) == 1
+
+    def test_max_sites_cap(self):
+        h = np.zeros((40, 40))
+        for k in range(4):
+            h[10 * k : 10 * k + 2, 10 * k : 10 * k + 2] = 10.0
+        sites = predict_binding_sites(
+            h, window_size=2, max_sites=2, smooth_radius=0
+        )
+        assert len(sites) == 2
+
+
+class TestEdgeCases:
+    def test_empty_matrix(self):
+        assert predict_binding_sites(np.zeros((0, 5)), 3) == []
+
+    def test_all_zero(self):
+        assert predict_binding_sites(np.zeros((5, 5)), 3) == []
+
+    def test_smoothing_merges_speckle(self):
+        # A dense speckled block is one site after smoothing.
+        h = np.zeros((12, 12))
+        h[3:8:2, 3:8:2] = 9.0
+        sites = predict_binding_sites(h, window_size=3, smooth_radius=1)
+        assert len(sites) >= 1
+        assert sites[0].a_start <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_binding_sites(np.zeros(5), 3)
+        with pytest.raises(ValueError):
+            predict_binding_sites(np.zeros((5, 5)), 0)
+        with pytest.raises(ValueError):
+            predict_binding_sites(np.zeros((5, 5)), 3, region_fraction=0.0)
+        with pytest.raises(ValueError):
+            predict_binding_sites(np.zeros((5, 5)), 3, max_sites=0)
+        with pytest.raises(ValueError):
+            BindingSite(5, 5, 0, 1, 1.0, 1.0)
+
+
+class TestOnRealEngine:
+    def test_site_covers_planted_motif(self, tiny_world, tiny_engine):
+        """A candidate carrying the target's complementary lock should
+        yield a binding site covering the lock's position."""
+        tp = tiny_world.protein("YBL051C")
+        keys = [t for t in tp.annotations["motifs"] if str(t).startswith("key:")]
+        pair = tiny_world.library[int(str(keys[0]).split(":")[1])]
+        rng = np.random.default_rng(3)
+        seq = rng.integers(0, 20, size=40).astype(np.uint8)
+        lock_pos = 12
+        seq[lock_pos : lock_pos + pair.lock.size] = pair.lock
+        res = tiny_engine.evaluate(seq, "YBL051C", keep_matrix=True)
+        sites = predict_binding_sites(
+            res.result_matrix, tiny_engine.config.window_size
+        )
+        assert sites, "expected at least one site"
+        top = sites[0]
+        # The candidate-side span overlaps the planted lock.
+        assert top.a_start <= lock_pos + pair.lock.size
+        assert top.a_end >= lock_pos

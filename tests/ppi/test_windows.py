@@ -1,0 +1,49 @@
+"""Tests for window fragmentation."""
+
+import numpy as np
+import pytest
+
+from repro.ppi.windows import num_windows, window_view
+from repro.sequences.encoding import encode
+
+
+def test_num_windows_basic():
+    assert num_windows(10, 3) == 8
+    assert num_windows(5, 5) == 1
+
+
+def test_num_windows_short_sequence():
+    assert num_windows(4, 5) == 0
+    assert num_windows(0, 5) == 0
+
+
+def test_num_windows_validation():
+    with pytest.raises(ValueError):
+        num_windows(10, 0)
+    with pytest.raises(ValueError):
+        num_windows(-1, 3)
+
+
+def test_window_view_contents():
+    seq = encode("ACDEF")
+    v = window_view(seq, 3)
+    assert v.shape == (3, 3)
+    assert np.array_equal(v[0], seq[0:3])
+    assert np.array_equal(v[2], seq[2:5])
+
+
+def test_window_view_zero_copy():
+    seq = encode("ACDEFGH")
+    v = window_view(seq, 4)
+    assert v.base is not None  # a view, not a copy
+
+
+def test_window_view_empty():
+    seq = encode("AC")
+    v = window_view(seq, 5)
+    assert v.shape == (0, 5)
+
+
+def test_window_view_rejects_2d():
+    with pytest.raises(ValueError):
+        window_view(np.zeros((2, 2), dtype=np.uint8), 2)

@@ -1,0 +1,88 @@
+"""Hypothesis property tests for the cluster simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.bgq import BGQClusterConfig, simulate_generation
+from repro.cluster.simulator import Simulator
+from repro.cluster.throughput import MemoryBoundThroughput
+from repro.cluster.workload import SequenceWorkload
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+def test_simulator_time_monotone(delays):
+    sim = Simulator()
+    times = []
+    for d in delays:
+        sim.schedule(d, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert sim.now == pytest.approx(max(delays))
+
+
+workloads = st.lists(
+    st.floats(min_value=0.5, max_value=200.0), min_size=1, max_size=60
+).map(
+    lambda ws: [
+        SequenceWorkload(f"s{i}", w * 0.4, w * 0.6, fixed_overhead=0.05)
+        for i, w in enumerate(ws)
+    ]
+)
+
+
+@settings(deadline=None, max_examples=25)
+@given(workloads, st.integers(min_value=2, max_value=40))
+def test_generation_time_bounds(wl, procs):
+    """Makespan is at least the critical path (one worker doing the biggest
+    item, or all work split perfectly) and at most one worker doing
+    everything."""
+    cfg = BGQClusterConfig(
+        request_service_time=0.0, network_latency=0.0, master_work_per_sequence=0.0
+    )
+    res = simulate_generation(wl, procs, cfg)
+    node = MemoryBoundThroughput()
+    per_item = [
+        w.fixed_overhead + w.parallel_work / node.throughput(64) for w in wl
+    ]
+    workers = procs - 1
+    lower = max(max(per_item), sum(per_item) / workers)
+    upper = sum(per_item)
+    assert res.total_time >= lower - 1e-9
+    assert res.total_time <= upper + 1e-9
+
+
+@settings(deadline=None, max_examples=25)
+@given(workloads)
+def test_busy_time_conserved(wl):
+    cfg = BGQClusterConfig(
+        request_service_time=0.0, network_latency=0.0, master_work_per_sequence=0.0
+    )
+    res = simulate_generation(wl, 5, cfg)
+    node = MemoryBoundThroughput()
+    expected = sum(
+        w.fixed_overhead + w.parallel_work / node.throughput(64) for w in wl
+    )
+    assert res.worker_busy.sum() == pytest.approx(expected)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    workloads,
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=11, max_value=60),
+)
+def test_more_workers_never_slower(wl, few, many):
+    cfg = BGQClusterConfig(request_service_time=0.0, network_latency=0.0)
+    t_few = simulate_generation(wl, few, cfg).total_time
+    t_many = simulate_generation(wl, many, cfg).total_time
+    assert t_many <= t_few + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_throughput_bounds(threads):
+    node = MemoryBoundThroughput()
+    t = node.throughput(threads)
+    assert 1.0 <= t <= threads
+    assert t <= node.throughput(64)

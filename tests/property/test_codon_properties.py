@@ -1,0 +1,85 @@
+"""Hypothesis property tests for reverse translation and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import AMINO_ACIDS
+from repro.sequences.codon import gc_content, reverse_translate, translate
+from repro.sequences.properties import (
+    gravy,
+    hydropathy_profile,
+    molecular_weight,
+    net_charge,
+)
+
+proteins = st.text(alphabet=st.sampled_from(AMINO_ACIDS), min_size=1, max_size=120)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(proteins, seeds, st.sampled_from(["optimal", "sampled"]))
+def test_reverse_translate_roundtrip(protein, seed, mode):
+    dna = reverse_translate(
+        protein, mode=mode, seed=seed, add_start=False, add_stop=False
+    )
+    assert translate(dna) == protein
+    assert len(dna) == 3 * len(protein)
+    assert set(dna) <= set("ACGT")
+
+
+@given(proteins, seeds)
+def test_reverse_translate_with_flanks(protein, seed):
+    dna = reverse_translate(protein, mode="sampled", seed=seed)
+    assert dna.startswith("ATG")
+    translated = translate(dna)
+    assert translated == protein or translated == "M" + protein
+
+
+@given(proteins, seeds)
+def test_gc_content_bounded(protein, seed):
+    dna = reverse_translate(protein, mode="sampled", seed=seed)
+    assert 0.0 <= gc_content(dna) <= 1.0
+
+
+@given(proteins)
+def test_molecular_weight_additive_and_positive(protein):
+    w = molecular_weight(protein)
+    assert w > 0
+    doubled = molecular_weight(protein + protein)
+    # Two chains joined lose one water relative to two separate chains.
+    assert doubled == pytest.approx(2 * w - 18.02, abs=0.5)
+
+
+@given(proteins)
+def test_gravy_bounded_by_extremes(protein):
+    g = gravy(protein)
+    assert -4.5 <= g <= 4.5
+
+
+@given(proteins, st.integers(min_value=1, max_value=15))
+def test_hydropathy_profile_bounds(protein, window):
+    profile = hydropathy_profile(protein, window=window)
+    expected = max(0, len(protein) - window + 1)
+    assert profile.size == expected
+    if profile.size:
+        assert profile.max() <= 4.5 + 1e-9
+        assert profile.min() >= -4.5 - 1e-9
+
+
+@given(proteins)
+def test_net_charge_antisymmetry(protein):
+    swapped = (
+        protein.replace("K", "#")
+        .replace("R", "%")
+        .replace("D", "K")
+        .replace("E", "R")
+        .replace("#", "D")
+        .replace("%", "E")
+    )
+    # Swapping K/R with D/E flips the charge contribution of those
+    # residues; histidine's +0.1 term is unaffected.
+    base = net_charge(protein)
+    flipped = net_charge(swapped)
+    h_term = 0.1 * protein.count("H")
+    assert flipped - h_term == pytest.approx(-(base - h_term), abs=1e-9)

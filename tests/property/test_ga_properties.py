@@ -1,0 +1,93 @@
+"""Hypothesis property tests for GA operators and selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.fitness import ScoreSet, combine_scores
+from repro.ga.operators import crossover, crossover_cut_range, mutate, point_copy
+from repro.ga.selection import selection_probabilities
+
+encoded = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=2, max_size=120
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+rates = st.floats(min_value=0.0, max_value=1.0)
+margins = st.floats(min_value=0.0, max_value=0.49)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(encoded)
+def test_copy_identity(seq):
+    assert np.array_equal(point_copy(seq), seq)
+
+
+@given(encoded, rates, seeds)
+def test_mutate_preserves_length_and_alphabet(seq, rate, seed):
+    out = mutate(seq, rate, np.random.default_rng(seed))
+    assert out.size == seq.size
+    assert out.dtype == np.uint8
+    assert out.max() < 20
+
+
+@given(encoded, seeds)
+def test_mutate_full_rate_changes_all(seq, seed):
+    out = mutate(seq, 1.0, np.random.default_rng(seed))
+    assert not np.any(out == seq)
+
+
+@given(st.integers(min_value=2, max_value=5000), margins)
+def test_cut_range_invariants(length, margin):
+    lo, hi = crossover_cut_range(length, margin)
+    assert 1 <= lo < hi <= length
+    # Both sides of any permitted cut are non-empty.
+    assert lo >= 1 and hi - 1 <= length - 1
+
+
+@given(encoded, encoded, margins, seeds)
+def test_crossover_conserves_material(a, b, margin, seed):
+    c1, c2 = crossover(a, b, margin, np.random.default_rng(seed))
+    assert c1.size + c2.size == a.size + b.size
+    combined = np.sort(np.concatenate([c1, c2]))
+    original = np.sort(np.concatenate([a, b]))
+    assert np.array_equal(combined, original)
+
+
+@given(encoded, encoded, margins, seeds)
+def test_crossover_children_nonempty(a, b, margin, seed):
+    c1, c2 = crossover(a, b, margin, np.random.default_rng(seed))
+    assert c1.size >= 2 and c2.size >= 2
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50)
+)
+def test_selection_probabilities_normalised(fitness):
+    p = selection_probabilities(np.array(fitness))
+    assert p.size == len(fitness)
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(p >= 0)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20),
+)
+def test_fitness_bounds(target, nts):
+    f = combine_scores(ScoreSet(target, tuple(nts)))
+    assert 0.0 <= f <= 1.0
+    # Never exceeds the target score (the non-target factor is <= 1).
+    assert f <= target + 1e-12
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_fitness_monotone_in_max_non_target(target, nt_small, nt_big):
+    lo, hi = sorted([nt_small, nt_big])
+    f_lo = combine_scores(ScoreSet(target, (lo,)))
+    f_hi = combine_scores(ScoreSet(target, (hi,)))
+    assert f_lo >= f_hi

@@ -1,0 +1,51 @@
+"""Hypothesis property tests for persistence round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import AMINO_ACIDS
+from repro.io import load_interactome, save_interactome
+from repro.ppi.graph import InteractionGraph
+from repro.sequences.protein import Protein
+
+sequences = st.text(alphabet=st.sampled_from(AMINO_ACIDS), min_size=1, max_size=40)
+annotations = st.dictionaries(
+    st.sampled_from(["component", "abundance", "stressor", "motifs", "gene"]),
+    st.one_of(
+        st.text(max_size=20),
+        st.integers(min_value=0, max_value=10**6),
+        st.lists(st.text(max_size=10), max_size=4),
+    ),
+    max_size=4,
+)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    proteins = [
+        Protein(f"P{i}", draw(sequences), draw(annotations)) for i in range(n)
+    ]
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=20,
+        )
+    )
+    return InteractionGraph(proteins, [(f"P{a}", f"P{b}") for a, b in edges])
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_interactome_roundtrip(tmp_path_factory, graph):
+    path = tmp_path_factory.mktemp("io") / "world.json"
+    save_interactome(graph, path)
+    back = load_interactome(path)
+    assert back.names == graph.names
+    assert back.edges() == graph.edges()
+    for name in graph.names:
+        assert back.protein(name).sequence == graph.protein(name).sequence
+        assert back.protein(name).annotations == graph.protein(name).annotations

@@ -1,0 +1,107 @@
+"""Hypothesis property tests for PIPE kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ppi.similarity import (
+    exact_threshold,
+    random_match_score_pmf,
+    windowed_diagonal_sums,
+    window_similarity_scores,
+)
+from repro.ppi.windows import num_windows
+from repro.substitution import PAM120
+
+encoded = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=1, max_size=40
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+windows = st.integers(min_value=1, max_value=8)
+
+
+@given(st.integers(min_value=0, max_value=10_000), windows)
+def test_num_windows_bounds(length, w):
+    n = num_windows(length, w)
+    assert 0 <= n <= length
+    if length >= w:
+        assert n == length - w + 1
+
+
+@given(encoded, encoded, windows)
+def test_window_scores_shape(a, b, w):
+    out = window_similarity_scores(a, b, w, PAM120)
+    assert out.shape == (num_windows(a.size, w), num_windows(b.size, w))
+
+
+@given(encoded, encoded, windows)
+def test_window_scores_symmetry(a, b, w):
+    ab = window_similarity_scores(a, b, w, PAM120)
+    ba = window_similarity_scores(b, a, w, PAM120)
+    assert np.allclose(ab, ba.T)
+
+
+@given(encoded, windows)
+def test_self_diagonal_dominates(a, w):
+    scores = window_similarity_scores(a, a, w, PAM120)
+    n = scores.shape[0]
+    for i in range(n):
+        assert scores[i, i] == scores[i].max()
+
+
+@given(encoded, encoded, windows)
+def test_window_scores_bounded_by_extremes(a, b, w):
+    out = window_similarity_scores(a, b, w, PAM120)
+    if out.size:
+        assert out.max() <= w * PAM120.max_score
+        assert out.min() >= w * PAM120.min_score
+
+
+@settings(deadline=None, max_examples=20)
+@given(windows)
+def test_pmf_mean_matches_analytic(w):
+    support, pmf = random_match_score_pmf(PAM120, w)
+    from repro.constants import YEAST_AA_FREQUENCIES as f
+
+    per_residue_mean = float(f @ PAM120.scores @ f)
+    mean = float((support * pmf).sum())
+    assert mean == pytest.approx(w * per_residue_mean, rel=1e-9, abs=1e-9)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    windows,
+    st.floats(min_value=1e-8, max_value=0.5, allow_nan=False),
+)
+def test_exact_threshold_is_tightest(w, rate):
+    support, pmf = random_match_score_pmf(PAM120, w)
+    thr = exact_threshold(PAM120, w, match_rate=rate)
+    tail = pmf[support >= thr].sum()
+    if thr == support[-1] and tail > rate:
+        # Unachievable rate: even demanding the maximum score exceeds it;
+        # the implementation documents falling back to the maximum.
+        return
+    assert tail <= rate
+    if thr > support[0]:
+        # One step looser would violate the rate (tightness).
+        looser = pmf[support >= thr - 1].sum()
+        assert looser > rate
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=-20, max_value=20, allow_nan=False),
+            min_size=1,
+            max_size=15,
+        ),
+        min_size=1,
+        max_size=15,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+    windows,
+)
+def test_diagonal_sums_linear_in_input(rows, w):
+    s = np.array(rows)
+    out2 = windowed_diagonal_sums(2.0 * s, w)
+    out = windowed_diagonal_sums(s, w)
+    assert np.allclose(out2, 2.0 * out)

@@ -1,0 +1,57 @@
+"""Hypothesis property tests for the sequence substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import AMINO_ACIDS
+from repro.sequences.alphabet import is_valid_sequence, validate_sequence
+from repro.sequences.encoding import decode, encode
+
+residue = st.sampled_from(AMINO_ACIDS)
+sequences = st.text(alphabet=residue, min_size=1, max_size=200)
+index_arrays = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=1, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+
+@given(sequences)
+def test_encode_decode_roundtrip(seq):
+    assert decode(encode(seq)) == seq
+
+
+@given(index_arrays)
+def test_decode_encode_roundtrip(arr):
+    assert np.array_equal(encode(decode(arr)), arr)
+
+
+@given(sequences)
+def test_encode_range(seq):
+    enc = encode(seq)
+    assert enc.dtype == np.uint8
+    assert enc.min() >= 0
+    assert enc.max() < 20
+    assert enc.size == len(seq)
+
+
+@given(sequences)
+def test_valid_sequences_validate(seq):
+    assert is_valid_sequence(seq)
+    assert validate_sequence(seq) == seq
+
+
+@given(sequences)
+def test_case_insensitivity(seq):
+    assert np.array_equal(encode(seq.lower()), encode(seq))
+
+
+@given(st.text(min_size=1, max_size=50))
+def test_validator_and_predicate_agree(text):
+    upper = text.upper()
+    if is_valid_sequence(upper):
+        assert validate_sequence(text) == upper
+    else:
+        import pytest
+
+        with pytest.raises((ValueError, TypeError)):
+            validate_sequence(text)

@@ -1,0 +1,76 @@
+"""Hypothesis property tests for the wet-lab substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wetlab.assays import STANDARD_ASSAYS, StressAssay
+from repro.wetlab.binding import BindingModel, InhibitionProfile
+from repro.wetlab.strains import Strain, make_standard_strains
+
+scores = st.floats(min_value=0.0, max_value=1.0)
+activities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(scores)
+def test_occupancy_bounds(score):
+    model = BindingModel()
+    occ = model.occupancy(score)
+    assert 0.0 <= occ < 1.0
+    assert 0.0 < model.residual_activity(score) <= 1.0
+
+
+@given(scores, scores)
+def test_occupancy_monotone(a, b):
+    model = BindingModel()
+    lo, hi = sorted([a, b])
+    assert model.occupancy(lo) <= model.occupancy(hi)
+    assert model.residual_activity(lo) >= model.residual_activity(hi)
+
+
+@given(activities, activities, st.sampled_from(sorted(STANDARD_ASSAYS)))
+def test_survival_monotone_in_activity(a, b, stressor):
+    assay = STANDARD_ASSAYS[stressor]
+    lo, hi = sorted([a, b])
+    s_lo = assay.survival_probability(Strain("S", lo))
+    s_hi = assay.survival_probability(Strain("S", hi))
+    assert s_lo <= s_hi + 1e-12
+
+
+@given(activities, st.sampled_from(sorted(STANDARD_ASSAYS)))
+def test_survival_bracketed_by_controls(activity, stressor):
+    assay = STANDARD_ASSAYS[stressor]
+    s = assay.survival_probability(Strain("S", activity))
+    assert assay.knockout_survival - 1e-12 <= s <= assay.wt_survival + 1e-12
+
+
+@settings(max_examples=40)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_strain_construction_total(target, max_off, avg_off):
+    profile = InhibitionProfile("T", target, max_off, avg_off)
+    strains = make_standard_strains(profile)
+    names = [s.name for s in strains]
+    assert names[0] == "WT" and names[-1] == "ΔT"
+    wt, wt_plus, inhibitor, knockout = strains
+    # The inhibitor strain always sits between knockout and wild type.
+    assert 0.0 <= inhibitor.target_activity <= 1.0
+    assert knockout.target_activity == 0.0
+    assert wt.target_activity == 1.0
+    # Stronger binding ⇒ never more residual activity than the controls.
+    assert inhibitor.target_activity <= wt.target_activity
+
+
+@given(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.0, max_value=0.9),
+)
+def test_assay_validation_invariant(wt_survival, ko_fraction):
+    ko = wt_survival * ko_fraction
+    assay = StressAssay("x", "s", "d", wt_survival=wt_survival, knockout_survival=ko)
+    assert assay.survival_probability(Strain("A", 1.0)) == pytest.approx(wt_survival)
+    assert assay.survival_probability(Strain("A", 0.0)) == pytest.approx(ko)

@@ -1,0 +1,51 @@
+"""Tests for alphabet validation."""
+
+import pytest
+
+from repro.sequences.alphabet import is_valid_sequence, validate_sequence
+
+
+def test_valid_sequence():
+    assert is_valid_sequence("ACDEFGHIKLMNPQRSTVWY")
+
+
+def test_empty_invalid():
+    assert not is_valid_sequence("")
+
+
+def test_lowercase_not_valid_for_is_valid():
+    assert not is_valid_sequence("acd")
+
+
+def test_ambiguity_codes_rejected():
+    for ch in "BZXJUO*-":
+        assert not is_valid_sequence(f"AC{ch}DE")
+
+
+def test_validate_normalises_case():
+    assert validate_sequence("acDef") == "ACDEF"
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ValueError, match="non-empty"):
+        validate_sequence("")
+
+
+def test_validate_rejects_bad_residues_with_names():
+    with pytest.raises(ValueError, match="X"):
+        validate_sequence("AXA")
+
+
+def test_validate_lists_all_bad_residues():
+    with pytest.raises(ValueError, match="BX"):
+        validate_sequence("ABXA")
+
+
+def test_validate_type_error():
+    with pytest.raises(TypeError):
+        validate_sequence(123)
+
+
+def test_validate_custom_name_in_message():
+    with pytest.raises(ValueError, match="myseq"):
+        validate_sequence("", name="myseq")

@@ -1,0 +1,124 @@
+"""Tests for reverse translation and codon usage."""
+
+import pytest
+
+from repro.constants import AMINO_ACIDS
+from repro.sequences.codon import (
+    CODON_TABLE,
+    STOP_CODONS,
+    YEAST_CODON_USAGE,
+    gc_content,
+    reverse_translate,
+    translate,
+)
+
+
+class TestTables:
+    def test_code_covers_61_codons(self):
+        assert len(CODON_TABLE) == 61
+        assert not set(STOP_CODONS) & set(CODON_TABLE)
+
+    def test_every_amino_acid_encodable(self):
+        assert set(CODON_TABLE.values()) == set(AMINO_ACIDS)
+
+    def test_usage_normalised_per_residue(self):
+        for aa, usage in YEAST_CODON_USAGE.items():
+            assert sum(usage.values()) == pytest.approx(1.0)
+            for codon in usage:
+                assert CODON_TABLE[codon] == aa
+
+    def test_usage_covers_all_residues(self):
+        assert set(YEAST_CODON_USAGE) == set(AMINO_ACIDS)
+
+    def test_usage_covers_all_codons(self):
+        covered = {c for usage in YEAST_CODON_USAGE.values() for c in usage}
+        assert covered == set(CODON_TABLE)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["optimal", "sampled"])
+    def test_translate_inverts_reverse_translate(self, mode):
+        protein = "MKTLLVACDEFGHIKWYRNPQS"
+        dna = reverse_translate(protein, mode=mode, seed=3)
+        assert translate(dna) == protein
+
+    def test_start_codon_added_when_needed(self):
+        dna = reverse_translate("KTL")
+        assert dna.startswith("ATG")
+        assert translate(dna) == "MKTL"
+
+    def test_start_codon_not_duplicated(self):
+        dna = reverse_translate("MKT")
+        assert dna.startswith("ATG")
+        assert translate(dna) == "MKT"
+
+    def test_stop_codon_appended(self):
+        dna = reverse_translate("MKT")
+        assert dna[-3:] in STOP_CODONS
+
+    def test_no_flanks(self):
+        dna = reverse_translate("KT", add_start=False, add_stop=False)
+        assert len(dna) == 6
+        assert translate(dna) == "KT"
+
+    def test_optimal_is_deterministic(self):
+        assert reverse_translate("MKTLLV") == reverse_translate("MKTLLV")
+
+    def test_sampled_varies_by_seed_but_reproducible(self):
+        a = reverse_translate("MKTLLV" * 5, mode="sampled", seed=1)
+        b = reverse_translate("MKTLLV" * 5, mode="sampled", seed=1)
+        c = reverse_translate("MKTLLV" * 5, mode="sampled", seed=2)
+        assert a == b
+        assert a != c
+        assert translate(a) == translate(c)
+
+    def test_optimal_uses_preferred_codons(self):
+        # Glutamate's preferred yeast codon is GAA.
+        dna = reverse_translate("E", add_start=False, add_stop=False)
+        assert dna == "GAA"
+
+
+class TestTranslate:
+    def test_stops_at_stop(self):
+        assert translate("ATGAAATAAGGG") == "MK"
+
+    def test_invalid_codon(self):
+        with pytest.raises(ValueError, match="invalid codon"):
+            translate("ATGXYZ")
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            translate("ATGA")
+
+    def test_rna_accepted(self):
+        assert translate("AUGAAA") == "MK"
+
+    def test_stop_only_rejected(self):
+        with pytest.raises(ValueError, match="no residues"):
+            translate("TAA")
+
+
+class TestGC:
+    def test_known_values(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("ATAT") == 0.0
+        assert gc_content("ATGC") == 0.5
+
+    def test_designed_dna_in_sane_band(self):
+        dna = reverse_translate("MKTLLVACDEFGHIKWYRNPQS" * 4, mode="sampled", seed=0)
+        assert 0.25 < gc_content(dna) < 0.65
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gc_content("")
+        with pytest.raises(ValueError):
+            gc_content("ATGQ")
+
+
+def test_reverse_translate_validation():
+    with pytest.raises(ValueError):
+        reverse_translate("")
+    with pytest.raises(ValueError):
+        reverse_translate("MKT", mode="magic")
+    with pytest.raises(ValueError):
+        reverse_translate("MXT")

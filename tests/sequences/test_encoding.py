@@ -1,0 +1,69 @@
+"""Tests for sequence encoding/decoding."""
+
+import numpy as np
+import pytest
+
+from repro.constants import AA_TO_INDEX, AMINO_ACIDS
+from repro.sequences.encoding import decode, encode, encode_many
+
+
+def test_roundtrip():
+    seq = "MKTLLVLAVCLGA"
+    assert decode(encode(seq)) == seq
+
+
+def test_encode_dtype_and_values():
+    arr = encode(AMINO_ACIDS)
+    assert arr.dtype == np.uint8
+    assert np.array_equal(arr, np.arange(20))
+
+
+def test_encode_respects_index_map():
+    arr = encode("WAY")
+    assert arr[0] == AA_TO_INDEX["W"]
+    assert arr[1] == AA_TO_INDEX["A"]
+    assert arr[2] == AA_TO_INDEX["Y"]
+
+
+def test_encode_lowercase():
+    assert np.array_equal(encode("acd"), encode("ACD"))
+
+
+def test_encode_invalid_raises():
+    with pytest.raises(ValueError):
+        encode("ACX")
+
+
+def test_encode_empty_raises():
+    with pytest.raises(ValueError):
+        encode("")
+
+
+def test_encode_non_ascii_raises():
+    with pytest.raises(ValueError):
+        encode("ACé")
+
+
+def test_decode_rejects_bad_indices():
+    with pytest.raises(ValueError):
+        decode(np.array([0, 20], dtype=np.uint8))
+
+
+def test_decode_rejects_2d():
+    with pytest.raises(ValueError):
+        decode(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_decode_accepts_lists():
+    assert decode([0, 1, 2]) == AMINO_ACIDS[:3]
+
+
+def test_decode_empty():
+    assert decode(np.array([], dtype=np.uint8)) == ""
+
+
+def test_encode_many():
+    out = encode_many(["AC", "DE"])
+    assert len(out) == 2
+    assert decode(out[0]) == "AC"
+    assert decode(out[1]) == "DE"

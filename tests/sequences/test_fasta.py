@@ -1,0 +1,65 @@
+"""Tests for FASTA I/O."""
+
+import pytest
+
+from repro.sequences.fasta import parse_fasta, read_fasta, write_fasta
+from repro.sequences.protein import Protein
+
+
+def test_parse_basic():
+    text = ">P1 first protein\nMKT\nLLV\n>P2\nACDE\n"
+    proteins = parse_fasta(text)
+    assert [p.name for p in proteins] == ["P1", "P2"]
+    assert proteins[0].sequence == "MKTLLV"
+    assert proteins[0].annotations["description"] == "first protein"
+    assert proteins[1].sequence == "ACDE"
+    assert "description" not in proteins[1].annotations
+
+
+def test_parse_blank_lines_ignored():
+    proteins = parse_fasta(">P1\n\nMKT\n\n\nLLV\n")
+    assert proteins[0].sequence == "MKTLLV"
+
+
+def test_parse_empty_header_rejected():
+    with pytest.raises(ValueError, match="empty FASTA header"):
+        parse_fasta(">\nMKT\n")
+
+
+def test_parse_data_before_header_rejected():
+    with pytest.raises(ValueError, match="before any header"):
+        parse_fasta("MKT\n>P1\nACD\n")
+
+
+def test_parse_duplicate_names_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_fasta(">P1\nMKT\n>P1\nACD\n")
+
+
+def test_parse_empty_text():
+    assert parse_fasta("") == []
+
+
+def test_roundtrip(tmp_path):
+    proteins = [
+        Protein("P1", "MKTLLV" * 20, {"description": "long one"}),
+        Protein("P2", "ACDE"),
+    ]
+    path = tmp_path / "out.fasta"
+    write_fasta(proteins, path, width=30)
+    back = read_fasta(path)
+    assert back == proteins
+    assert back[0].annotations["description"] == "long one"
+
+
+def test_write_wraps_lines(tmp_path):
+    path = tmp_path / "w.fasta"
+    write_fasta([Protein("P1", "A" * 100)], path, width=40)
+    lines = path.read_text().strip().split("\n")
+    assert lines[0] == ">P1"
+    assert [len(l) for l in lines[1:]] == [40, 40, 20]
+
+
+def test_write_invalid_width(tmp_path):
+    with pytest.raises(ValueError):
+        write_fasta([Protein("P1", "ACD")], tmp_path / "x.fasta", width=0)

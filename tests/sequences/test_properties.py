@@ -1,0 +1,99 @@
+"""Tests for physicochemical sequence properties."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.properties import (
+    KYTE_DOOLITTLE,
+    RESIDUE_MASS,
+    aromaticity,
+    gravy,
+    hydropathy_profile,
+    molecular_weight,
+    net_charge,
+    synthesis_flags,
+)
+
+
+class TestTables:
+    def test_cover_alphabet(self):
+        from repro.constants import AMINO_ACIDS
+
+        assert set(KYTE_DOOLITTLE) == set(AMINO_ACIDS)
+        assert set(RESIDUE_MASS) == set(AMINO_ACIDS)
+
+    def test_known_extremes(self):
+        assert KYTE_DOOLITTLE["I"] == 4.5  # most hydrophobic
+        assert KYTE_DOOLITTLE["R"] == -4.5  # most hydrophilic
+        assert RESIDUE_MASS["G"] < RESIDUE_MASS["W"]
+
+
+class TestHydropathy:
+    def test_profile_length(self):
+        assert hydropathy_profile("A" * 20, window=9).size == 12
+
+    def test_short_sequence_empty_profile(self):
+        assert hydropathy_profile("ACD", window=9).size == 0
+
+    def test_hydrophobic_stretch_detected(self):
+        seq = "D" * 10 + "I" * 10 + "D" * 10
+        profile = hydropathy_profile(seq, window=5)
+        assert profile.max() == pytest.approx(4.5)
+        assert profile.min() == pytest.approx(-3.5)
+
+    def test_gravy_known_value(self):
+        assert gravy("I") == 4.5
+        assert gravy("IR") == pytest.approx(0.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            hydropathy_profile("ACD", window=0)
+
+
+class TestMassAndCharge:
+    def test_glycine_weight(self):
+        # Free glycine: residue mass + water = 75.07.
+        assert molecular_weight("G") == pytest.approx(75.07, abs=0.1)
+
+    def test_weight_additive(self):
+        w1 = molecular_weight("MK")
+        assert w1 == pytest.approx(
+            RESIDUE_MASS["M"] + RESIDUE_MASS["K"] + 18.02, abs=0.01
+        )
+
+    def test_net_charge_signs(self):
+        assert net_charge("KKRR") == pytest.approx(4.0)
+        assert net_charge("DDEE") == pytest.approx(-4.0)
+        assert net_charge("KD") == pytest.approx(0.0)
+        assert net_charge("H") == pytest.approx(0.1)
+
+    def test_aromaticity(self):
+        assert aromaticity("FWY") == 1.0
+        assert aromaticity("AAAA") == 0.0
+        assert aromaticity("FA") == 0.5
+
+
+class TestSynthesisFlags:
+    def test_clean_sequence_unflagged(self):
+        seq = "MKTDERGSNQAYHPLVCIWF" * 3
+        assert synthesis_flags(seq) == []
+
+    def test_hydrophobic_stretch_flagged(self):
+        seq = "MKTDERGS" + "I" * 15 + "DERGSNQA"
+        flags = synthesis_flags(seq)
+        assert any("hydrophobic" in f for f in flags)
+
+    def test_extreme_charge_flagged(self):
+        flags = synthesis_flags("K" * 20)
+        assert any("charge" in f for f in flags)
+
+    def test_homopolymer_flagged(self):
+        flags = synthesis_flags("MKTDER" + "Q" * 8 + "SNAYHP")
+        assert any("homopolymer" in f for f in flags)
+
+    def test_random_designs_rarely_flagged(self):
+        from repro.sequences.random_gen import RandomSequenceGenerator
+
+        gen = RandomSequenceGenerator(60, 60, seed=4)
+        flagged = sum(1 for _ in range(20) if synthesis_flags(gen.sequence()))
+        assert flagged <= 6

@@ -1,0 +1,72 @@
+"""Tests for the Protein record."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.encoding import decode
+from repro.sequences.protein import Protein
+
+
+def test_basic_construction():
+    p = Protein("YAL001C", "MKTLLV")
+    assert p.name == "YAL001C"
+    assert len(p) == 6
+
+
+def test_sequence_normalised():
+    p = Protein("P1", "mktllv")
+    assert p.sequence == "MKTLLV"
+
+
+def test_invalid_sequence_names_protein():
+    with pytest.raises(ValueError, match="YBL051C"):
+        Protein("YBL051C", "MKX")
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        Protein("", "MKT")
+
+
+def test_whitespace_name_rejected():
+    with pytest.raises(ValueError):
+        Protein("A B", "MKT")
+
+
+def test_encoded_roundtrip_and_cache():
+    p = Protein("P1", "MKTLLV")
+    enc = p.encoded
+    assert decode(enc) == "MKTLLV"
+    assert p.encoded is enc  # cached
+
+
+def test_encoded_readonly():
+    p = Protein("P1", "MKTLLV")
+    with pytest.raises(ValueError):
+        p.encoded[0] = 3
+
+
+def test_with_annotations_merges():
+    p = Protein("P1", "MKT", {"a": 1})
+    q = p.with_annotations(b=2)
+    assert q.annotations == {"a": 1, "b": 2}
+    assert p.annotations == {"a": 1}
+    assert q.name == p.name
+
+
+def test_equality_ignores_annotations():
+    a = Protein("P1", "MKT", {"x": 1})
+    b = Protein("P1", "MKT", {"x": 2})
+    assert a == b
+
+
+def test_repr_truncates_long_sequences():
+    p = Protein("P1", "A" * 50)
+    assert "..." in repr(p)
+    assert "length=50" in repr(p)
+
+
+def test_frozen():
+    p = Protein("P1", "MKT")
+    with pytest.raises(AttributeError):
+        p.name = "other"

@@ -1,0 +1,104 @@
+"""Tests for random sequence generation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import NUM_AMINO_ACIDS, UNIFORM_AA_FREQUENCIES
+from repro.sequences.random_gen import RandomSequenceGenerator
+
+
+def test_fixed_length():
+    gen = RandomSequenceGenerator(30, 30, seed=0)
+    for _ in range(5):
+        assert gen.encoded().size == 30
+
+
+def test_length_range_respected():
+    gen = RandomSequenceGenerator(10, 20, seed=0)
+    sizes = {gen.encoded().size for _ in range(100)}
+    assert min(sizes) >= 10
+    assert max(sizes) <= 20
+    assert len(sizes) > 1
+
+
+def test_values_in_alphabet():
+    gen = RandomSequenceGenerator(50, 50, seed=1)
+    seq = gen.encoded()
+    assert seq.dtype == np.uint8
+    assert seq.min() >= 0
+    assert seq.max() < NUM_AMINO_ACIDS
+
+
+def test_seed_reproducible():
+    a = RandomSequenceGenerator(40, 40, seed=9).encoded()
+    b = RandomSequenceGenerator(40, 40, seed=9).encoded()
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomSequenceGenerator(40, 40, seed=1).encoded()
+    b = RandomSequenceGenerator(40, 40, seed=2).encoded()
+    assert not np.array_equal(a, b)
+
+
+def test_population_size():
+    gen = RandomSequenceGenerator(20, 20, seed=0)
+    pop = gen.population(17)
+    assert len(pop) == 17
+
+
+def test_population_negative_rejected():
+    gen = RandomSequenceGenerator(20, 20, seed=0)
+    with pytest.raises(ValueError):
+        gen.population(-1)
+
+
+def test_sequence_string_form():
+    gen = RandomSequenceGenerator(25, 25, seed=0)
+    s = gen.sequence()
+    assert isinstance(s, str)
+    assert len(s) == 25
+
+
+def test_explicit_length_override():
+    gen = RandomSequenceGenerator(25, 25, seed=0)
+    assert gen.encoded(7).size == 7
+
+
+def test_invalid_explicit_length():
+    gen = RandomSequenceGenerator(25, 25, seed=0)
+    with pytest.raises(ValueError):
+        gen.encoded(0)
+
+
+def test_composition_tracks_frequencies():
+    gen = RandomSequenceGenerator(
+        100, 100, frequencies=UNIFORM_AA_FREQUENCIES, seed=0
+    )
+    comp = gen.composition(samples=100)
+    assert np.isclose(comp.sum(), 1.0)
+    # Uniform within sampling noise.
+    assert comp.max() < 0.08
+    assert comp.min() > 0.02
+
+
+def test_yeast_composition_default():
+    gen = RandomSequenceGenerator(200, 200, seed=0)
+    comp = gen.composition(samples=100)
+    from repro.constants import AA_TO_INDEX
+
+    assert comp[AA_TO_INDEX["L"]] > comp[AA_TO_INDEX["W"]]
+
+
+def test_bad_bounds_rejected():
+    with pytest.raises(ValueError):
+        RandomSequenceGenerator(0, 5)
+    with pytest.raises(ValueError):
+        RandomSequenceGenerator(10, 5)
+
+
+def test_bad_frequencies_rejected():
+    with pytest.raises(ValueError):
+        RandomSequenceGenerator(5, 5, frequencies=np.ones(20))
+    with pytest.raises(ValueError):
+        RandomSequenceGenerator(5, 5, frequencies=np.ones(5) / 5)

@@ -1,0 +1,66 @@
+"""Structural tests of the bundled PAM120 and BLOSUM62 tables."""
+
+import numpy as np
+import pytest
+
+from repro.constants import AA_TO_INDEX
+from repro.substitution.data import BLOSUM62_SCORES, PAM120_SCORES
+
+
+@pytest.fixture(params=["pam", "blosum"])
+def scores(request):
+    return PAM120_SCORES if request.param == "pam" else BLOSUM62_SCORES
+
+
+def test_shape(scores):
+    assert scores.shape == (20, 20)
+
+
+def test_symmetric(scores):
+    assert np.array_equal(scores, scores.T)
+
+
+def test_diagonal_positive(scores):
+    assert np.all(np.diag(scores) > 0)
+
+
+def test_identity_maximises_each_row(scores):
+    # A residue is never more similar to another residue than to itself.
+    diag = np.diag(scores)
+    assert np.all(scores <= diag[None, :])
+    assert np.all(scores <= diag[:, None])
+
+
+def test_tryptophan_self_score_is_largest(scores):
+    # W is the rarest residue and gets the highest self-score in both
+    # families.
+    w = AA_TO_INDEX["W"]
+    assert scores[w, w] == np.diag(scores).max()
+
+
+def test_biochemically_similar_pairs_positive(scores):
+    pairs = [("I", "L"), ("I", "V"), ("D", "E"), ("K", "R"), ("F", "Y")]
+    for a, b in pairs:
+        assert scores[AA_TO_INDEX[a], AA_TO_INDEX[b]] > 0, (a, b)
+
+
+def test_dissimilar_pairs_negative(scores):
+    pairs = [("W", "G"), ("C", "D"), ("P", "F")]
+    for a, b in pairs:
+        assert scores[AA_TO_INDEX[a], AA_TO_INDEX[b]] < 0, (a, b)
+
+
+def test_pam120_harsher_than_blosum62_off_diagonal():
+    # PAM120 is a short-distance matrix: mismatch penalties are generally
+    # stronger than BLOSUM62's.
+    off = ~np.eye(20, dtype=bool)
+    assert PAM120_SCORES[off].mean() < BLOSUM62_SCORES[off].mean()
+
+
+def test_expected_background_score_negative(scores):
+    # A random alignment must score negative on average, or thresholding
+    # would not separate signal from noise.
+    from repro.constants import YEAST_AA_FREQUENCIES as f
+
+    expected = f @ scores @ f
+    assert expected < 0

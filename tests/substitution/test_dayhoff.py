@@ -1,0 +1,110 @@
+"""Tests for the Dayhoff PAM model machinery."""
+
+import numpy as np
+import pytest
+
+from repro.substitution import PAM120
+from repro.substitution.dayhoff import (
+    DayhoffModel,
+    log_odds_matrix,
+    markov_from_log_odds,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DayhoffModel.from_log_odds(PAM120.scores, pam_distance=120)
+
+
+def test_markov_rows_stochastic(model):
+    assert np.allclose(model.markov.sum(axis=1), 1.0)
+    assert np.all(model.markov >= 0)
+
+
+def test_markov_detailed_balance(model):
+    f = model.frequencies
+    flux = f[:, None] * model.markov
+    assert np.allclose(flux, flux.T, atol=1e-12)
+
+
+def test_stationary_distribution(model):
+    f = model.frequencies
+    assert np.allclose(f @ model.markov, f, atol=1e-10)
+
+
+def test_mutation_fraction_in_range(model):
+    mf = model.mutation_fraction()
+    # At 120 PAMs, well over half of positions have been hit at least once
+    # but the chain has not fully mixed.
+    assert 0.3 < mf < 0.9
+
+
+def test_at_distance_identity(model):
+    same = model.at_distance(120)
+    assert np.allclose(same.markov, model.markov, atol=1e-8)
+
+
+def test_at_distance_composition(model):
+    # M(240) == M(120)^2 (Chapman-Kolmogorov).
+    m240 = model.at_distance(240).markov
+    assert np.allclose(m240, model.markov @ model.markov, atol=1e-6)
+
+
+def test_shorter_distance_more_diagonal(model):
+    m30 = model.at_distance(30)
+    m250 = model.at_distance(250)
+    assert np.diag(m30.markov).mean() > np.diag(model.markov).mean()
+    assert np.diag(m250.markov).mean() < np.diag(model.markov).mean()
+
+
+def test_mutation_fraction_monotone_in_distance(model):
+    fracs = [model.at_distance(d).mutation_fraction() for d in (10, 60, 120, 250)]
+    assert fracs == sorted(fracs)
+
+
+def test_log_odds_roundtrip_close():
+    # Recovered log-odds at the calibration distance approximate the input;
+    # exact equality is impossible (the published table is integer-rounded
+    # and the joint-renormalisation shifts rare-residue cells the most).
+    model = DayhoffModel.from_log_odds(PAM120.scores, pam_distance=120)
+    table = model.log_odds(120).scores
+    deviation = np.abs(table - PAM120.scores)
+    assert deviation.mean() < 0.5
+    assert deviation.max() <= 3.0
+
+
+def test_derived_matrices_are_valid_substitution_matrices(model):
+    for d in (30, 250):
+        m = model.log_odds(d)
+        assert np.allclose(m.scores, m.scores.T)
+        assert np.all(np.diag(m.scores) > 0)
+
+
+def test_derived_diagonal_decreases_with_distance(model):
+    d30 = np.diag(model.log_odds(30).scores).mean()
+    d250 = np.diag(model.log_odds(250).scores).mean()
+    assert d30 > d250
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        markov_from_log_odds(np.zeros((5, 5)))
+    with pytest.raises(ValueError):
+        markov_from_log_odds(PAM120.scores, scale=0.0)
+    model = DayhoffModel.from_log_odds(PAM120.scores, pam_distance=120)
+    with pytest.raises(ValueError):
+        model.at_distance(0)
+
+
+def test_model_validation():
+    bad_markov = np.full((20, 20), 0.05)
+    bad_markov[0, 0] = 0.5  # row 0 no longer sums to 1
+    with pytest.raises(ValueError, match="sum to 1"):
+        DayhoffModel(bad_markov, np.full(20, 0.05), 1.0)
+
+
+def test_log_odds_matrix_symmetric_integer():
+    model = DayhoffModel.from_log_odds(PAM120.scores, pam_distance=120)
+    table = log_odds_matrix(model.markov, model.frequencies, integer=True)
+    assert np.array_equal(table, table.T)
+    assert np.array_equal(table, np.rint(table))

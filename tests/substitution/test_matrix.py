@@ -1,0 +1,70 @@
+"""Tests for the SubstitutionMatrix wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.encoding import encode
+from repro.substitution import BLOSUM62, PAM120, SubstitutionMatrix, get_matrix
+
+
+def test_registry_lookup():
+    assert get_matrix("pam120") is PAM120
+    assert get_matrix("BLOSUM62") is BLOSUM62
+
+
+def test_registry_unknown():
+    with pytest.raises(KeyError, match="PAM250"):
+        get_matrix("PAM250")
+
+
+def test_scores_read_only():
+    with pytest.raises(ValueError):
+        PAM120.scores[0, 0] = 99
+
+
+def test_score_single_pair():
+    assert PAM120.score("A", "A") == PAM120.scores[0, 0]
+    assert PAM120.score("a", "a") == PAM120.score("A", "A")
+
+
+def test_score_unknown_residue():
+    with pytest.raises(KeyError):
+        PAM120.score("X", "A")
+
+
+def test_pair_scores_shape_and_values():
+    a = encode("AR")
+    b = encode("NDC")
+    m = PAM120.pair_scores(a, b)
+    assert m.shape == (2, 3)
+    assert m[0, 0] == PAM120.score("A", "N")
+    assert m[1, 2] == PAM120.score("R", "C")
+
+
+def test_self_similarity():
+    a = encode("ARW")
+    s = PAM120.self_similarity(a)
+    assert s[0] == PAM120.score("A", "A")
+    assert s[2] == PAM120.score("W", "W")
+
+
+def test_max_min_score():
+    assert PAM120.max_score == PAM120.scores.max()
+    assert PAM120.min_score == PAM120.scores.min()
+    assert PAM120.max_score == PAM120.score("W", "W")
+
+
+def test_rejects_wrong_shape():
+    with pytest.raises(ValueError, match="20x20"):
+        SubstitutionMatrix("bad", np.zeros((5, 5)))
+
+
+def test_rejects_asymmetric():
+    bad = np.zeros((20, 20))
+    bad[0, 1] = 1.0
+    with pytest.raises(ValueError, match="symmetric"):
+        SubstitutionMatrix("bad", bad)
+
+
+def test_repr():
+    assert "PAM120" in repr(PAM120)

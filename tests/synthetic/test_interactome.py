@@ -1,0 +1,107 @@
+"""Tests for interactome generation."""
+
+import pytest
+
+from repro.sequences.protein import Protein
+from repro.synthetic.interactome import InteractomeConfig, generate_interactome
+
+
+def _protein(name, motifs):
+    return Protein(name, "MKTLLVACDE", {"motifs": motifs})
+
+
+def test_complementary_pair_always_connected_at_p1():
+    proteins = [
+        _protein("L", ["lock:0"]),
+        _protein("K", ["key:0"]),
+        _protein("N", []),
+    ]
+    cfg = InteractomeConfig(interaction_prob=1.0, noise_edge_fraction=0.0, seed=0)
+    graph = generate_interactome(proteins, cfg)
+    assert graph.has_edge("L", "K")
+    assert graph.degree("N") == 0
+    assert graph.num_edges == 1
+
+
+def test_same_role_not_connected():
+    proteins = [_protein("L1", ["lock:0"]), _protein("L2", ["lock:0"])]
+    cfg = InteractomeConfig(interaction_prob=1.0, noise_edge_fraction=0.0)
+    graph = generate_interactome(proteins, cfg)
+    assert graph.num_edges == 0
+
+
+def test_different_pairs_not_connected():
+    proteins = [_protein("L", ["lock:0"]), _protein("K", ["key:1"])]
+    cfg = InteractomeConfig(interaction_prob=1.0, noise_edge_fraction=0.0)
+    graph = generate_interactome(proteins, cfg)
+    assert graph.num_edges == 0
+
+
+def test_both_orientations_count():
+    proteins = [
+        _protein("A", ["key:0"]),
+        _protein("B", ["lock:0"]),
+    ]
+    cfg = InteractomeConfig(interaction_prob=1.0, noise_edge_fraction=0.0)
+    graph = generate_interactome(proteins, cfg)
+    assert graph.has_edge("A", "B")
+
+
+def test_interaction_probability_thins_edges():
+    proteins = [_protein(f"L{i}", ["lock:0"]) for i in range(12)] + [
+        _protein(f"K{i}", ["key:0"]) for i in range(12)
+    ]
+    dense = generate_interactome(
+        proteins, InteractomeConfig(interaction_prob=1.0, noise_edge_fraction=0.0)
+    )
+    sparse = generate_interactome(
+        proteins,
+        InteractomeConfig(interaction_prob=0.3, noise_edge_fraction=0.0, seed=3),
+    )
+    assert dense.num_edges == 144
+    assert 0 < sparse.num_edges < 144
+
+
+def test_noise_edges_added():
+    proteins = [
+        _protein("L", ["lock:0"]),
+        _protein("K", ["key:0"]),
+        _protein("N1", []),
+        _protein("N2", []),
+    ]
+    cfg = InteractomeConfig(
+        interaction_prob=1.0, noise_edge_fraction=2.0, seed=1
+    )
+    graph = generate_interactome(proteins, cfg)
+    # 1 motif edge + round(2.0 * 1) noise edges.
+    assert graph.num_edges == 3
+
+
+def test_deterministic():
+    proteins = [_protein(f"P{i}", ["lock:0"] if i % 2 else ["key:0"]) for i in range(10)]
+    cfg = InteractomeConfig(interaction_prob=0.5, seed=7)
+    a = generate_interactome(proteins, cfg).edges()
+    b = generate_interactome(proteins, cfg).edges()
+    assert a == b
+
+
+def test_multi_motif_protein():
+    proteins = [
+        _protein("AB", ["lock:0", "key:1"]),
+        _protein("C", ["key:0"]),
+        _protein("D", ["lock:1"]),
+    ]
+    cfg = InteractomeConfig(interaction_prob=1.0, noise_edge_fraction=0.0)
+    graph = generate_interactome(proteins, cfg)
+    assert graph.has_edge("AB", "C")
+    assert graph.has_edge("AB", "D")
+    assert not graph.has_edge("C", "D")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        InteractomeConfig(interaction_prob=0.0)
+    with pytest.raises(ValueError):
+        InteractomeConfig(interaction_prob=1.1)
+    with pytest.raises(ValueError):
+        InteractomeConfig(noise_edge_fraction=-0.5)

@@ -1,0 +1,92 @@
+"""Tests for the motif library."""
+
+import numpy as np
+import pytest
+
+from repro.substitution import PAM120
+from repro.synthetic.motifs import MotifLibrary, MotifPair
+
+
+@pytest.fixture(scope="module")
+def library():
+    return MotifLibrary(
+        5, 5, matrix=PAM120, similarity_threshold=20.0, seed=0
+    )
+
+
+def test_pair_count_and_length(library):
+    assert len(library) == 5
+    for pair in library.pairs:
+        assert pair.lock.size == 5
+        assert pair.key.size == 5
+
+
+def test_indexing(library):
+    assert library[0] is library.pairs[0]
+    assert library[2].index == 2
+
+
+def test_motifs_mutually_dissimilar(library):
+    motifs = [m for _, m in library.all_motifs()]
+    for i in range(len(motifs)):
+        for j in range(i + 1, len(motifs)):
+            score = PAM120.scores[
+                motifs[i].astype(int), motifs[j].astype(int)
+            ].sum()
+            assert score < 20.0
+
+
+def test_deterministic(library):
+    other = MotifLibrary(5, 5, matrix=PAM120, similarity_threshold=20.0, seed=0)
+    for a, b in zip(library.pairs, other.pairs):
+        assert np.array_equal(a.lock, b.lock)
+        assert np.array_equal(a.key, b.key)
+
+
+def test_different_seeds_differ():
+    a = MotifLibrary(3, 5, matrix=PAM120, similarity_threshold=20.0, seed=1)
+    b = MotifLibrary(3, 5, matrix=PAM120, similarity_threshold=20.0, seed=2)
+    assert not all(
+        np.array_equal(x.lock, y.lock) for x, y in zip(a.pairs, b.pairs)
+    )
+
+
+def test_all_motifs_tags(library):
+    tags = [t for t, _ in library.all_motifs()]
+    assert "lock:0" in tags
+    assert "key:4" in tags
+    assert len(tags) == 10
+
+
+def test_motifs_read_only(library):
+    with pytest.raises(ValueError):
+        library[0].lock[0] = 1
+
+
+def test_pair_string_forms(library):
+    p = library[0]
+    assert len(p.lock_str) == 5
+    assert len(p.key_str) == 5
+
+
+def test_impossible_library_raises():
+    # Demanding dissimilarity below the minimum possible pair score cannot
+    # be satisfied.
+    with pytest.raises(RuntimeError, match="dissimilar"):
+        MotifLibrary(
+            50,
+            3,
+            matrix=PAM120,
+            similarity_threshold=3 * PAM120.min_score,
+            seed=0,
+            max_attempts=200,
+        )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MotifLibrary(0, 5, matrix=PAM120, similarity_threshold=20.0)
+    with pytest.raises(ValueError):
+        MotifLibrary(2, 1, matrix=PAM120, similarity_threshold=20.0)
+    with pytest.raises(ValueError):
+        MotifPair(0, np.array([], dtype=np.uint8), np.array([1], dtype=np.uint8))

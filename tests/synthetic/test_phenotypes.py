@@ -1,0 +1,95 @@
+"""Tests for phenotype annotation and target selection."""
+
+import pytest
+
+from repro.sequences.protein import Protein
+from repro.synthetic.phenotypes import (
+    CELLULAR_COMPONENTS,
+    PhenotypeConfig,
+    STRESSORS,
+    annotate_phenotypes,
+    select_candidate_targets,
+)
+
+
+@pytest.fixture(scope="module")
+def annotated():
+    proteins = [Protein(f"P{i}", "MKTLLVACDE" * 5) for i in range(200)]
+    return annotate_phenotypes(proteins, PhenotypeConfig(seed=0))
+
+
+def test_every_protein_annotated(annotated):
+    for p in annotated:
+        assert p.annotations["component"] in CELLULAR_COMPONENTS
+        assert isinstance(p.annotations["abundance"], int)
+        assert p.annotations["abundance"] > 0
+
+
+def test_stressor_fraction_respected(annotated):
+    with_stressor = [p for p in annotated if "stressor" in p.annotations]
+    frac = len(with_stressor) / len(annotated)
+    assert 0.2 < frac < 0.5  # configured 0.35 +/- sampling noise
+    for p in with_stressor:
+        assert p.annotations["stressor"] in STRESSORS
+
+
+def test_component_mix_roughly_weighted(annotated):
+    cyto = sum(1 for p in annotated if p.annotations["component"] == "cytoplasm")
+    assert 0.3 < cyto / len(annotated) < 0.6
+
+
+def test_deterministic():
+    proteins = [Protein(f"P{i}", "MKTLLV") for i in range(20)]
+    a = annotate_phenotypes(proteins, PhenotypeConfig(seed=3))
+    b = annotate_phenotypes(proteins, PhenotypeConfig(seed=3))
+    assert [p.annotations for p in a] == [p.annotations for p in b]
+
+
+def test_originals_not_mutated():
+    proteins = [Protein("P0", "MKTLLV")]
+    annotate_phenotypes(proteins, PhenotypeConfig(seed=0))
+    assert "component" not in proteins[0].annotations
+
+
+class TestSelection:
+    def _make(self, **ann):
+        seq = "MKTLLVACDE"
+        return Protein("T", seq, ann)
+
+    def test_all_criteria(self):
+        good = self._make(
+            component="cytoplasm", abundance=5000, stressor="ultraviolet"
+        )
+        assert select_candidate_targets([good]) == [good]
+
+    def test_wrong_component(self):
+        p = self._make(component="nucleus", abundance=5000, stressor="heat")
+        assert select_candidate_targets([p]) == []
+
+    def test_abundance_bounds(self):
+        low = self._make(component="cytoplasm", abundance=100, stressor="heat")
+        high = self._make(component="cytoplasm", abundance=99999, stressor="heat")
+        assert select_candidate_targets([low, high]) == []
+
+    def test_stressor_required(self):
+        p = self._make(component="cytoplasm", abundance=5000)
+        assert select_candidate_targets([p]) == []
+        assert select_candidate_targets([p], require_stressor=False) == [p]
+
+    def test_length_cutoff(self):
+        long_p = Protein(
+            "L",
+            "MKTLLVACDE" * 200,
+            {"component": "cytoplasm", "abundance": 5000, "stressor": "heat"},
+        )
+        assert select_candidate_targets([long_p]) == []
+        assert select_candidate_targets([long_p], max_length=5000) == [long_p]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PhenotypeConfig(component_weights={})
+    with pytest.raises(ValueError):
+        PhenotypeConfig(component_weights={"a": -1.0})
+    with pytest.raises(ValueError):
+        PhenotypeConfig(stressor_fraction=1.5)

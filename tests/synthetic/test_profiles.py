@@ -1,0 +1,45 @@
+"""Tests for scale profiles."""
+
+import pytest
+
+from repro.synthetic.profiles import PROFILES, get_profile
+
+
+def test_all_profiles_present():
+    assert set(PROFILES) == {"tiny", "small", "medium", "paper"}
+
+
+def test_get_profile():
+    assert get_profile("tiny").name == "tiny"
+    with pytest.raises(KeyError, match="huge"):
+        get_profile("huge")
+
+
+def test_scales_monotone():
+    order = ["tiny", "small", "medium", "paper"]
+    sizes = [PROFILES[n].world.proteome.num_proteins for n in order]
+    assert sizes == sorted(sizes)
+    pops = [PROFILES[n].population_size for n in order]
+    assert pops == sorted(pops)
+
+
+def test_paper_profile_matches_publication():
+    paper = get_profile("paper")
+    assert paper.world.proteome.num_proteins == 6707
+    assert paper.population_size == 1000
+    assert paper.design_generations == 250
+    assert paper.stall_generations == 50
+    assert paper.world.pipe.window_size == 20
+    assert paper.non_target_limit is None
+
+
+def test_build_world_reseed():
+    prof = get_profile("tiny")
+    a = prof.build_world(seed=11)
+    b = prof.build_world(seed=12)
+    assert [p.sequence for p in a.proteins] != [p.sequence for p in b.proteins]
+
+
+def test_profiles_have_descriptions():
+    for prof in PROFILES.values():
+        assert prof.description

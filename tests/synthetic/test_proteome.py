@@ -1,0 +1,146 @@
+"""Tests for synthetic proteome generation."""
+
+import numpy as np
+import pytest
+
+from repro.substitution import PAM120
+from repro.synthetic.motifs import MotifLibrary
+from repro.synthetic.proteome import (
+    ProteomeConfig,
+    diverge_motif,
+    embed_motif,
+    generate_proteome,
+    orf_names,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return MotifLibrary(4, 5, matrix=PAM120, similarity_threshold=20.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def proteome(library):
+    cfg = ProteomeConfig(num_proteins=40, min_length=30, max_length=80, seed=5)
+    return generate_proteome(cfg, library)
+
+
+class TestOrfNames:
+    def test_format(self, rng):
+        names = orf_names(50, rng)
+        for n in names:
+            assert n[0] == "Y"
+            assert n[1] in "ABCDEFGHIJKLMNOP"
+            assert n[2] in "LR"
+            assert n[3:6].isdigit()
+            assert n[6] in "WC"
+
+    def test_unique(self, rng):
+        names = orf_names(500, rng)
+        assert len(set(names)) == 500
+
+    def test_count_validation(self, rng):
+        with pytest.raises(ValueError):
+            orf_names(0, rng)
+
+
+class TestDivergeMotif:
+    def test_zero_divergence_identical(self, library, rng):
+        m = library[0].lock
+        assert np.array_equal(diverge_motif(m, 0.0, rng), m)
+
+    def test_full_divergence_changes_everything(self, library, rng):
+        m = library[0].lock
+        d = diverge_motif(m, 1.0, rng)
+        assert not np.any(d == m)
+
+    def test_original_untouched(self, library, rng):
+        m = library[0].lock.copy()
+        diverge_motif(library[0].lock, 1.0, rng)
+        assert np.array_equal(library[0].lock, m)
+
+    def test_values_stay_in_alphabet(self, library, rng):
+        d = diverge_motif(library[0].lock, 1.0, rng)
+        assert d.max() < 20
+
+
+class TestEmbedMotif:
+    def test_embeds_at_returned_position(self, rng):
+        seq = np.zeros(30, dtype=np.uint8)
+        motif = np.array([5, 6, 7], dtype=np.uint8)
+        occupied = []
+        pos = embed_motif(seq, motif, occupied, rng)
+        assert pos is not None
+        assert np.array_equal(seq[pos : pos + 3], motif)
+        assert occupied == [(pos, pos + 3)]
+
+    def test_non_overlapping(self, rng):
+        seq = np.zeros(10, dtype=np.uint8)
+        motif = np.array([5, 6, 7, 8], dtype=np.uint8)
+        occupied = []
+        spans = []
+        for _ in range(2):
+            pos = embed_motif(seq, motif, occupied, rng)
+            if pos is not None:
+                spans.append((pos, pos + 4))
+        for a, b in zip(spans, spans[1:]):
+            assert a[1] <= b[0] or b[1] <= a[0]
+
+    def test_too_long_motif_returns_none(self, rng):
+        seq = np.zeros(3, dtype=np.uint8)
+        motif = np.zeros(5, dtype=np.uint8)
+        assert embed_motif(seq, motif, [], rng) is None
+
+    def test_full_sequence_gives_up(self, rng):
+        seq = np.zeros(6, dtype=np.uint8)
+        occupied = [(0, 6)]
+        motif = np.zeros(3, dtype=np.uint8)
+        assert embed_motif(seq, motif, occupied, rng) is None
+
+
+class TestGenerateProteome:
+    def test_count_and_lengths(self, proteome):
+        assert len(proteome) == 40
+        for p in proteome:
+            assert 30 <= len(p) <= 80
+
+    def test_names_unique(self, proteome):
+        assert len({p.name for p in proteome}) == 40
+
+    def test_motif_annotations_recorded(self, proteome, library):
+        tagged = [p for p in proteome if p.annotations.get("motifs")]
+        assert tagged, "expected at least some proteins to carry motifs"
+        for p in tagged:
+            for tag in p.annotations["motifs"]:
+                role, _, idx = tag.partition(":")
+                assert role in ("lock", "key")
+                assert 0 <= int(idx) < len(library)
+
+    def test_deterministic(self, library):
+        cfg = ProteomeConfig(num_proteins=10, min_length=30, max_length=60, seed=9)
+        a = generate_proteome(cfg, library)
+        b = generate_proteome(cfg, library)
+        assert [p.sequence for p in a] == [p.sequence for p in b]
+
+    def test_zero_motif_rate(self, library):
+        cfg = ProteomeConfig(
+            num_proteins=10,
+            min_length=30,
+            max_length=60,
+            motifs_per_protein=0.0,
+            seed=1,
+        )
+        proteome = generate_proteome(cfg, library)
+        assert all(not p.annotations["motifs"] for p in proteome)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProteomeConfig(num_proteins=1)
+        with pytest.raises(ValueError):
+            ProteomeConfig(min_length=0)
+        with pytest.raises(ValueError):
+            ProteomeConfig(min_length=50, max_length=40)
+        with pytest.raises(ValueError):
+            ProteomeConfig(motifs_per_protein=-1)
+        with pytest.raises(ValueError):
+            ProteomeConfig(motif_divergence=1.5)

@@ -1,0 +1,111 @@
+"""Tests for the assembled synthetic world."""
+
+import dataclasses
+
+import pytest
+
+from repro.synthetic.world import PAPER_TARGETS, WorldConfig, build_world
+from repro.synthetic.proteome import ProteomeConfig
+
+
+def test_paper_targets_all_present(tiny_world):
+    for name in PAPER_TARGETS:
+        assert name in tiny_world.graph
+
+
+def test_paper_targets_meet_wetlab_criteria(tiny_world):
+    for name, info in PAPER_TARGETS.items():
+        p = tiny_world.protein(name)
+        assert p.annotations["component"] == "cytoplasm"
+        assert 3000 <= p.annotations["abundance"] <= 10000
+        assert "stressor" in p.annotations
+
+
+def test_designated_stressors(tiny_world):
+    assert tiny_world.protein("YBL051C").annotations["stressor"] == "cycloheximide"
+    assert tiny_world.protein("YAL017W").annotations["stressor"] == "ultraviolet"
+    assert tiny_world.protein("YBL051C").annotations["gene"] == "PIN4"
+    assert tiny_world.protein("YAL017W").annotations["gene"] == "PSK1"
+
+
+def test_targets_carry_keys_and_partners(tiny_world):
+    for name, info in PAPER_TARGETS.items():
+        p = tiny_world.protein(name)
+        keys = [t for t in p.annotations["motifs"] if str(t).startswith("key:")]
+        assert keys, f"{name} carries no key motif"
+        assert tiny_world.graph.degree(name) >= 1
+
+
+def test_wetlab_targets_have_two_keys(tiny_world):
+    for name, info in PAPER_TARGETS.items():
+        if info.get("role") in ("wetlab", "tuning"):
+            p = tiny_world.protein(name)
+            keys = {t for t in p.annotations["motifs"] if str(t).startswith("key:")}
+            assert len(keys) >= 2, name
+
+
+def test_candidate_pool_size(tiny_world):
+    assert len(tiny_world.candidate_targets()) >= 18
+
+
+def test_non_targets_same_component(tiny_world):
+    nts = tiny_world.non_targets_for("YBL051C")
+    assert "YBL051C" not in nts
+    for name in nts:
+        assert tiny_world.protein(name).annotations["component"] == "cytoplasm"
+
+
+def test_non_target_limit_deterministic(tiny_world):
+    a = tiny_world.non_targets_for("YBL051C", limit=5)
+    b = tiny_world.non_targets_for("YBL051C", limit=5)
+    assert a == b
+    assert len(a) == 5
+
+
+def test_paper_target_names_by_role(tiny_world):
+    perf = tiny_world.paper_target_names("performance")
+    assert set(perf) == {
+        "YPL108W",
+        "YPL158C",
+        "YJR151C",
+        "YCL019W",
+        "YHR214C-B",
+    }
+    assert "YBL051C" in tiny_world.paper_target_names("wetlab")
+    assert len(tiny_world.paper_target_names()) == len(PAPER_TARGETS)
+
+
+def test_engine_cached(tiny_world):
+    assert tiny_world.engine is tiny_world.engine
+
+
+def test_build_deterministic():
+    cfg = WorldConfig(
+        proteome=ProteomeConfig(num_proteins=30, min_length=30, max_length=60, seed=2),
+        seed=2,
+    )
+    a = build_world(cfg)
+    b = build_world(cfg)
+    assert [p.sequence for p in a.proteins] == [p.sequence for p in b.proteins]
+    assert a.graph.edges() == b.graph.edges()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WorldConfig(num_motif_pairs=0)
+    with pytest.raises(ValueError):
+        WorldConfig(num_candidate_targets=-1)
+    with pytest.raises(ValueError):
+        WorldConfig(
+            proteome=ProteomeConfig(num_proteins=10),
+            num_candidate_targets=11,
+        )
+
+
+def test_too_small_world_rejected():
+    cfg = WorldConfig(
+        proteome=ProteomeConfig(num_proteins=5, min_length=30, max_length=60),
+        num_candidate_targets=0,
+    )
+    with pytest.raises(ValueError, match="designate"):
+        build_world(cfg)

@@ -1,0 +1,57 @@
+"""Tests for repro.constants."""
+
+import numpy as np
+
+from repro import constants
+
+
+def test_alphabet_has_20_unique_residues():
+    assert len(constants.AMINO_ACIDS) == 20
+    assert len(set(constants.AMINO_ACIDS)) == 20
+    assert constants.NUM_AMINO_ACIDS == 20
+
+
+def test_alphabet_is_standard_amino_acids():
+    assert set(constants.AMINO_ACIDS) == set("ACDEFGHIKLMNPQRSTVWY")
+
+
+def test_index_maps_are_inverse():
+    for aa, i in constants.AA_TO_INDEX.items():
+        assert constants.INDEX_TO_AA[i] == aa
+    assert len(constants.AA_TO_INDEX) == 20
+
+
+def test_yeast_frequencies_are_a_distribution():
+    f = constants.YEAST_AA_FREQUENCIES
+    assert f.shape == (20,)
+    assert np.all(f > 0)
+    assert np.isclose(f.sum(), 1.0)
+
+
+def test_yeast_frequencies_plausible():
+    # Leucine and serine are common; tryptophan and cysteine are rare.
+    f = constants.YEAST_AA_FREQUENCIES
+    idx = constants.AA_TO_INDEX
+    assert f[idx["L"]] > f[idx["W"]]
+    assert f[idx["S"]] > f[idx["C"]]
+    assert f[idx["W"]] < 0.02
+
+
+def test_uniform_frequencies():
+    f = constants.UNIFORM_AA_FREQUENCIES
+    assert np.allclose(f, 1.0 / 20)
+
+
+def test_ga_defaults_sum_to_one():
+    total = (
+        constants.DEFAULT_P_COPY
+        + constants.DEFAULT_P_CROSSOVER
+        + constants.DEFAULT_P_MUTATE
+    )
+    assert np.isclose(total, 1.0)
+
+
+def test_bgq_geometry():
+    assert constants.BGQ_MAX_THREADS == 64
+    assert constants.BGQ_RACK_NODES == 1024
+    assert constants.BGQ_MIN_JOB_NODES == 64

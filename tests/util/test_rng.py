@@ -1,0 +1,98 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_rng, spawn_streams
+
+
+def test_same_seed_same_stream():
+    a = derive_rng(42, "x").random(10)
+    b = derive_rng(42, "x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_paths_differ():
+    a = derive_rng(42, "x").random(10)
+    b = derive_rng(42, "y").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = derive_rng(1, "x").random(10)
+    b = derive_rng(2, "x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_integer_path_components():
+    a = derive_rng(0, "worker", 3).random(5)
+    b = derive_rng(0, "worker", 4).random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert derive_rng(gen) is gen
+
+
+def test_generator_with_path_derives_child():
+    gen = np.random.default_rng(7)
+    child = derive_rng(gen, "sub")
+    assert child is not gen
+
+
+def test_none_seed_gives_fresh_stream():
+    a = derive_rng(None)
+    b = derive_rng(None)
+    # Unseeded streams are independent (overwhelmingly unlikely to match).
+    assert not np.array_equal(a.random(10), b.random(10))
+
+
+def test_none_seed_with_path_is_deterministic():
+    a = derive_rng(None, "fixed").random(5)
+    b = derive_rng(None, "fixed").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_streams_count_and_independence():
+    streams = spawn_streams(9, 5, "workers")
+    assert len(streams) == 5
+    draws = [s.random(8) for s in streams]
+    for i in range(5):
+        for j in range(i + 1, 5):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+def test_spawn_streams_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_streams(0, -1)
+
+
+def test_spawn_streams_zero_is_empty():
+    assert spawn_streams(0, 0) == []
+
+
+class TestRngStream:
+    def test_lazy_and_cached(self):
+        s = RngStream(seed=3, name="t")
+        g1 = s.rng
+        assert s.rng is g1
+
+    def test_reset_restores_sequence(self):
+        s = RngStream(seed=3, name="t")
+        first = s.rng.random(4)
+        s.reset()
+        again = s.rng.random(4)
+        assert np.array_equal(first, again)
+
+    def test_child_does_not_disturb_parent(self):
+        s = RngStream(seed=3, name="t")
+        before = s.rng.bit_generator.state["state"]["state"]
+        s.child("sub", 1)
+        after = s.rng.bit_generator.state["state"]["state"]
+        assert before == after
+
+    def test_children_deterministic(self):
+        a = RngStream(seed=3, name="t").child(1).random(4)
+        b = RngStream(seed=3, name="t").child(1).random(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,42 @@
+"""Tests for the Timer utility."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer
+
+
+def test_timer_accumulates():
+    t = Timer()
+    with t:
+        time.sleep(0.01)
+    with t:
+        time.sleep(0.01)
+    assert t.calls == 2
+    assert t.elapsed >= 0.02
+
+
+def test_timer_mean():
+    t = Timer()
+    assert t.mean == 0.0
+    with t:
+        pass
+    assert t.mean == pytest.approx(t.elapsed)
+
+
+def test_timer_reset():
+    t = Timer()
+    with t:
+        pass
+    t.reset()
+    assert t.calls == 0
+    assert t.elapsed == 0.0
+
+
+def test_timer_reentrant_usage():
+    t = Timer()
+    for _ in range(5):
+        with t:
+            pass
+    assert t.calls == 5

@@ -1,0 +1,61 @@
+"""Tests for stress assays."""
+
+import pytest
+
+from repro.wetlab.assays import STANDARD_ASSAYS, StressAssay
+from repro.wetlab.strains import Strain
+
+
+def test_standard_assays_cover_all_stressors():
+    from repro.synthetic.phenotypes import STRESSORS
+
+    for stressor in STRESSORS:
+        assert stressor in STANDARD_ASSAYS
+
+
+def test_calibration_to_paper_controls():
+    chx = STANDARD_ASSAYS["cycloheximide"]
+    uv = STANDARD_ASSAYS["ultraviolet"]
+    wt = Strain("WT", 1.0)
+    ko = Strain("KO", 0.0)
+    # Table 4: WT ~90 %, knockout ~27 %.
+    assert chx.survival_probability(wt) == pytest.approx(0.90)
+    assert chx.survival_probability(ko) == pytest.approx(0.27)
+    # Table 5: WT ~55 %, knockout ~10 %.
+    assert uv.survival_probability(wt) == pytest.approx(0.55)
+    assert uv.survival_probability(ko) == pytest.approx(0.10)
+
+
+def test_survival_monotone_in_activity():
+    for assay in STANDARD_ASSAYS.values():
+        survivals = [
+            assay.survival_probability(Strain("S", a / 10)) for a in range(11)
+        ]
+        assert all(b >= a for a, b in zip(survivals, survivals[1:])), assay.name
+
+
+def test_uv_steeper_than_cycloheximide():
+    """The paper's UV assay separates partial inhibition from WT far more
+    sharply than the cycloheximide one (Tables 4 vs 5)."""
+    chx = STANDARD_ASSAYS["cycloheximide"]
+    uv = STANDARD_ASSAYS["ultraviolet"]
+    half = Strain("half", 0.5)
+    # Normalised position between knockout floor and WT ceiling:
+    chx_rel = (chx.survival_probability(half) - chx.knockout_survival) / (
+        chx.wt_survival - chx.knockout_survival
+    )
+    uv_rel = (uv.survival_probability(half) - uv.knockout_survival) / (
+        uv.wt_survival - uv.knockout_survival
+    )
+    assert uv_rel < chx_rel
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StressAssay("x", "s", "d", wt_survival=1.5, knockout_survival=0.1)
+    with pytest.raises(ValueError, match="sensitises"):
+        StressAssay("x", "s", "d", wt_survival=0.2, knockout_survival=0.5)
+    with pytest.raises(ValueError):
+        StressAssay(
+            "x", "s", "d", wt_survival=0.9, knockout_survival=0.1, activity_exponent=0
+        )

@@ -1,0 +1,77 @@
+"""Tests for the binding model."""
+
+import pytest
+
+from repro.wetlab.binding import BindingModel, InhibitionProfile
+
+
+@pytest.fixture()
+def model():
+    return BindingModel()
+
+
+class TestBindingModel:
+    def test_occupancy_bounds(self, model):
+        assert model.occupancy(0.0) == 0.0
+        assert 0.0 < model.occupancy(0.5) < 1.0
+        assert model.occupancy(1.0) < 1.0
+
+    def test_occupancy_monotone(self, model):
+        values = [model.occupancy(s / 10) for s in range(11)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_midpoint_is_half(self, model):
+        assert model.occupancy(model.midpoint) == pytest.approx(0.5)
+
+    def test_paper_design_scores_bind_strongly(self, model):
+        # The validated designs (0.6309 and 0.7183) should occupy most of
+        # the target, background scores (~0.08) essentially none.
+        assert model.occupancy(0.6309) > 0.7
+        assert model.occupancy(0.7183) > 0.8
+        assert model.occupancy(0.08) < 0.01
+
+    def test_residual_activity(self, model):
+        assert model.residual_activity(0.0) == 1.0
+        assert model.residual_activity(1.0) == pytest.approx(
+            1.0 - model.inhibition_efficiency * model.occupancy(1.0)
+        )
+
+    def test_score_validation(self, model):
+        with pytest.raises(ValueError):
+            model.occupancy(1.5)
+        with pytest.raises(ValueError):
+            model.occupancy(-0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BindingModel(midpoint=0.0)
+        with pytest.raises(ValueError):
+            BindingModel(hill_coefficient=0.0)
+        with pytest.raises(ValueError):
+            BindingModel(inhibition_efficiency=1.2)
+
+    def test_steeper_hill_sharper_transition(self):
+        soft = BindingModel(hill_coefficient=1.0)
+        sharp = BindingModel(hill_coefficient=8.0)
+        # Below the midpoint the sharp curve is lower; above, higher.
+        assert sharp.occupancy(0.3) < soft.occupancy(0.3)
+        assert sharp.occupancy(0.7) > soft.occupancy(0.7)
+
+
+class TestInhibitionProfile:
+    def test_from_paper_values(self):
+        p = InhibitionProfile("YBL051C", 0.6309, 0.3978, 0.0797)
+        assert p.target_score == 0.6309
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InhibitionProfile("T", 1.2, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            InhibitionProfile("T", 0.5, -0.1, 0.0)
+
+    def test_side_effect_burden_small_for_specific_design(self):
+        model = BindingModel()
+        specific = InhibitionProfile("T", 0.7, 0.2, 0.05)
+        sticky = InhibitionProfile("T", 0.7, 0.9, 0.5)
+        assert specific.side_effect_burden(model) < sticky.side_effect_burden(model)
+        assert specific.side_effect_burden(model) < 0.01

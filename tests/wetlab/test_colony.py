@@ -1,0 +1,107 @@
+"""Tests for colony-count assays."""
+
+import numpy as np
+import pytest
+
+from repro.wetlab.assays import STANDARD_ASSAYS
+from repro.wetlab.binding import InhibitionProfile
+from repro.wetlab.colony import run_colony_assay
+from repro.wetlab.strains import make_standard_strains
+
+
+@pytest.fixture(scope="module")
+def strains():
+    # The paper's validated anti-YBL051C design profile.
+    profile = InhibitionProfile("YBL051C", 0.6309, 0.3978, 0.0797)
+    return make_standard_strains(profile, knockout_label="ΔPIN4")
+
+
+@pytest.fixture(scope="module")
+def result(strains):
+    return run_colony_assay(
+        strains, STANDARD_ASSAYS["cycloheximide"], runs=5, seed=0
+    )
+
+
+def test_shape(result):
+    assert result.percentages.shape == (5, 4)
+    assert result.runs == 5
+    assert result.strains == ("WT", "WT+", "WT+InSiPS", "ΔPIN4")
+
+
+def test_reproduces_table4_structure(result):
+    wt, wt_plus, inhibitor, knockout = result.averages()
+    # Controls equivalent; inhibitor strain clearly sensitised; knockout
+    # most sensitive — the paper's comparison structure.
+    assert abs(wt - wt_plus) < 6.0
+    assert inhibitor < wt - 10.0
+    assert knockout < inhibitor
+    # Magnitudes near the paper's Table 4 (90/91/56/27).
+    assert 80 < wt < 100
+    assert 15 < knockout < 40
+
+
+def test_normalisation_is_to_unstressed(result):
+    # No strain can meaningfully exceed its unstressed baseline.
+    assert result.percentages.max() < 110.0
+    assert result.percentages.min() >= 0.0
+
+
+def test_std_devs_positive(result):
+    sd = result.std_devs()
+    assert sd.shape == (4,)
+    assert np.all(sd >= 0)
+    assert np.any(sd > 0)
+
+
+def test_column_accessor(result):
+    wt = result.column("WT")
+    assert wt.shape == (5,)
+    with pytest.raises(KeyError):
+        result.column("NOPE")
+
+
+def test_deterministic(strains):
+    a = run_colony_assay(strains, STANDARD_ASSAYS["cycloheximide"], seed=4)
+    b = run_colony_assay(strains, STANDARD_ASSAYS["cycloheximide"], seed=4)
+    assert np.array_equal(a.percentages, b.percentages)
+
+
+def test_different_seeds_vary(strains):
+    a = run_colony_assay(strains, STANDARD_ASSAYS["cycloheximide"], seed=1)
+    b = run_colony_assay(strains, STANDARD_ASSAYS["cycloheximide"], seed=2)
+    assert not np.array_equal(a.percentages, b.percentages)
+
+
+def test_uv_assay_reproduces_table5_structure():
+    profile = InhibitionProfile("YAL017W", 0.7183, 0.3524, 0.0721)
+    strains = make_standard_strains(profile, knockout_label="ΔPSK1")
+    result = run_colony_assay(strains, STANDARD_ASSAYS["ultraviolet"], seed=0)
+    wt, wt_plus, inhibitor, knockout = result.averages()
+    assert 45 < wt < 65  # paper: 55 %
+    assert abs(wt - wt_plus) < 6
+    assert inhibitor < 30  # paper: 14 % — dramatic sensitisation
+    assert knockout < inhibitor + 8
+
+
+def test_more_cells_tighter_estimates(strains):
+    small = run_colony_assay(
+        strains, STANDARD_ASSAYS["cycloheximide"], cells_per_plate=50, runs=20, seed=3
+    )
+    large = run_colony_assay(
+        strains,
+        STANDARD_ASSAYS["cycloheximide"],
+        cells_per_plate=5000,
+        runs=20,
+        seed=3,
+    )
+    assert large.std_devs().mean() < small.std_devs().mean()
+
+
+def test_validation(strains):
+    with pytest.raises(ValueError):
+        run_colony_assay(strains, STANDARD_ASSAYS["cycloheximide"], runs=1)
+    with pytest.raises(ValueError):
+        run_colony_assay(
+            strains, STANDARD_ASSAYS["cycloheximide"], cells_per_plate=5
+        )

@@ -1,0 +1,110 @@
+"""Tests for dose-response modelling."""
+
+import numpy as np
+import pytest
+
+from repro.wetlab.assays import STANDARD_ASSAYS
+from repro.wetlab.binding import InhibitionProfile
+from repro.wetlab.dosage import (
+    DoseResponseCurve,
+    DoseResponseModel,
+    dose_response,
+    ic50,
+)
+from repro.wetlab.strains import Strain, make_standard_strains
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DoseResponseModel(STANDARD_ASSAYS["cycloheximide"], reference_dose=65.0)
+
+
+@pytest.fixture(scope="module")
+def strains():
+    profile = InhibitionProfile("YBL051C", 0.6309, 0.3978, 0.0797)
+    return make_standard_strains(profile, knockout_label="ΔPIN4")
+
+
+class TestAssayScaling:
+    def test_zero_dose_harmless(self, model):
+        assay = model.assay_at(0.0)
+        assert assay.wt_survival == pytest.approx(1.0)
+        assert assay.knockout_survival == pytest.approx(1.0)
+
+    def test_reference_dose_reproduces_paper_levels(self, model):
+        assay = model.assay_at(65.0)
+        assert assay.wt_survival == pytest.approx(0.90, abs=1e-9)
+        assert assay.knockout_survival == pytest.approx(0.27, abs=1e-9)
+
+    def test_survival_decreases_with_dose(self, model):
+        wt_levels = [model.assay_at(d).wt_survival for d in (0, 30, 65, 130, 260)]
+        ko_levels = [
+            model.assay_at(d).knockout_survival for d in (0, 30, 65, 130, 260)
+        ]
+        assert all(b <= a for a, b in zip(wt_levels, wt_levels[1:]))
+        assert all(b <= a for a, b in zip(ko_levels, ko_levels[1:]))
+
+    def test_knockout_always_below_wt(self, model):
+        for dose in (0.0, 10.0, 65.0, 500.0):
+            assay = model.assay_at(dose)
+            assert assay.knockout_survival <= assay.wt_survival
+
+    def test_negative_dose_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.assay_at(-1.0)
+
+    def test_model_validation(self):
+        ref = STANDARD_ASSAYS["cycloheximide"]
+        with pytest.raises(ValueError):
+            DoseResponseModel(ref, reference_dose=0.0)
+        with pytest.raises(ValueError):
+            DoseResponseModel(ref, wt_decay=2.0, ko_decay=1.0)
+
+
+class TestCurvesAndIC50:
+    def test_curve_shapes(self, model, strains):
+        doses = np.linspace(0, 300, 30)
+        curve = dose_response(strains[0], model, doses)
+        assert curve.survival[0] == pytest.approx(
+            strains[0].plating_efficiency
+            * model.assay_at(0.0).survival_probability(strains[0])
+            / strains[0].plating_efficiency
+        )
+        assert np.all(np.diff(curve.survival) <= 1e-12)
+
+    def test_ic50_ordering_matches_sensitivity(self, model, strains):
+        """The discriminating readout: WT tolerates the most drug, the
+        knockout the least, the inhibitor strain in between."""
+        values = {s.name: ic50(s, model) for s in strains}
+        wt, wt_plus, inhibitor, knockout = (values[s.name] for s in strains)
+        assert knockout is not None and inhibitor is not None and wt is not None
+        assert knockout < inhibitor < wt
+        assert abs(wt - wt_plus) / wt < 0.2
+
+    def test_stronger_design_lower_ic50(self, model):
+        weak = make_standard_strains(
+            InhibitionProfile("T", 0.50, 0.2, 0.05)
+        )[2]
+        strong = make_standard_strains(
+            InhibitionProfile("T", 0.90, 0.2, 0.05)
+        )[2]
+        assert ic50(strong, model) < ic50(weak, model)
+
+    def test_ic50_none_when_unreachable(self, model):
+        wt = Strain("WT", 1.0)
+        curve = dose_response(wt, model, np.linspace(0, 5, 10))
+        assert curve.ic50() is None  # tiny doses never halve survival
+
+    def test_interpolation_exact_on_linear_segment(self):
+        curve = DoseResponseCurve(
+            "X", np.array([0.0, 1.0, 2.0]), np.array([1.0, 0.75, 0.25])
+        )
+        assert curve.ic50() == pytest.approx(1.5)
+
+    def test_validation(self, model, strains):
+        with pytest.raises(ValueError):
+            DoseResponseCurve("X", np.array([0.0, 0.0]), np.array([1.0, 0.5]))
+        with pytest.raises(ValueError):
+            ic50(strains[0], model, max_dose=0.0)
+        with pytest.raises(ValueError):
+            ic50(strains[0], model, points=3)

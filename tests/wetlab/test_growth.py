@@ -1,0 +1,107 @@
+"""Tests for growth-curve simulation."""
+
+import numpy as np
+import pytest
+
+from repro.wetlab.assays import STANDARD_ASSAYS
+from repro.wetlab.binding import InhibitionProfile
+from repro.wetlab.growth import GrowthCurve, GrowthModel, simulate_growth_curve
+from repro.wetlab.strains import Strain, make_standard_strains
+
+
+@pytest.fixture(scope="module")
+def strains():
+    profile = InhibitionProfile("YAL017W", 0.7183, 0.3524, 0.0721)
+    return make_standard_strains(profile, knockout_label="ΔPSK1")
+
+
+class TestUnstressedGrowth:
+    def test_logistic_saturation(self):
+        wt = Strain("WT", 1.0)
+        curve = simulate_growth_curve(wt, None, hours=72, dt=0.1)
+        model = GrowthModel()
+        assert curve.final_density == pytest.approx(
+            model.carrying_capacity, rel=0.05
+        )
+
+    def test_monotone_without_death(self):
+        wt = Strain("WT", 1.0)
+        curve = simulate_growth_curve(wt, None)
+        assert np.all(np.diff(curve.cells) >= -1e-9)
+
+    def test_time_to_density(self):
+        wt = Strain("WT", 1.0)
+        curve = simulate_growth_curve(wt, None, hours=48)
+        t_half = curve.time_to_density(GrowthModel().carrying_capacity / 2)
+        assert t_half is not None
+        assert 5 < t_half < 40
+
+    def test_burden_slows_growth(self):
+        light = simulate_growth_curve(Strain("A", 1.0), None, hours=10)
+        heavy = simulate_growth_curve(
+            Strain("B", 1.0, growth_burden=0.3), None, hours=10
+        )
+        assert heavy.final_density < light.final_density
+
+
+class TestStressedGrowth:
+    def test_strain_ordering_under_uv(self, strains):
+        assay = STANDARD_ASSAYS["ultraviolet"]
+        finals = {
+            s.name: simulate_growth_curve(s, assay, hours=24).final_density
+            for s in strains
+        }
+        wt, wt_plus, inhibitor, knockout = (finals[s.name] for s in strains)
+        assert knockout < inhibitor
+        assert inhibitor < wt
+        assert abs(wt - wt_plus) / wt < 0.35
+
+    def test_knockout_culture_declines(self, strains):
+        assay = STANDARD_ASSAYS["ultraviolet"]
+        knockout = strains[-1]
+        curve = simulate_growth_curve(knockout, assay, hours=24)
+        # Fully sensitised: death dominates, the culture shrinks.
+        assert curve.final_density < curve.cells[0]
+
+    def test_stress_reduces_inoculum_immediately(self, strains):
+        assay = STANDARD_ASSAYS["ultraviolet"]
+        wt = strains[0]
+        stressed = simulate_growth_curve(wt, assay, inoculum=1e5)
+        unstressed = simulate_growth_curve(wt, None, inoculum=1e5)
+        assert stressed.cells[0] < unstressed.cells[0]
+
+
+class TestNoiseAndDeterminism:
+    def test_deterministic_without_noise(self, strains):
+        a = simulate_growth_curve(strains[0], None)
+        b = simulate_growth_curve(strains[0], None)
+        assert np.array_equal(a.cells, b.cells)
+
+    def test_noise_reproducible_by_seed(self, strains):
+        a = simulate_growth_curve(strains[0], None, noise=0.05, seed=3)
+        b = simulate_growth_curve(strains[0], None, noise=0.05, seed=3)
+        c = simulate_growth_curve(strains[0], None, noise=0.05, seed=4)
+        assert np.array_equal(a.cells, b.cells)
+        assert not np.array_equal(a.cells, c.cells)
+
+
+class TestValidation:
+    def test_args(self, strains):
+        with pytest.raises(ValueError):
+            simulate_growth_curve(strains[0], None, hours=0)
+        with pytest.raises(ValueError):
+            simulate_growth_curve(strains[0], None, dt=100.0, hours=10.0)
+        with pytest.raises(ValueError):
+            simulate_growth_curve(strains[0], None, inoculum=0)
+        with pytest.raises(ValueError):
+            simulate_growth_curve(strains[0], None, noise=-1)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            GrowthModel(max_growth_rate=0)
+        with pytest.raises(ValueError):
+            GrowthModel(min_growth_fraction=2.0)
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            GrowthCurve(np.arange(3.0), np.arange(4.0), "X")

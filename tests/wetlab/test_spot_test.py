@@ -1,0 +1,75 @@
+"""Tests for the spot-test simulation."""
+
+import numpy as np
+import pytest
+
+from repro.wetlab.assays import STANDARD_ASSAYS
+from repro.wetlab.binding import InhibitionProfile
+from repro.wetlab.spot_test import run_spot_test
+from repro.wetlab.strains import make_standard_strains
+
+
+@pytest.fixture(scope="module")
+def strains():
+    profile = InhibitionProfile("YAL017W", 0.7183, 0.3524, 0.0721)
+    return make_standard_strains(profile, knockout_label="ΔPSK1")
+
+
+@pytest.fixture(scope="module")
+def spot(strains):
+    return run_spot_test(strains, STANDARD_ASSAYS["ultraviolet"], seed=0)
+
+
+def test_grid_shape(spot):
+    assert spot.intensity.shape == (4, 4)
+    assert spot.dilutions == (0.1, 0.01, 0.001, 0.0001)
+
+
+def test_intensity_bounds(spot):
+    assert spot.intensity.min() >= 0.0
+    assert spot.intensity.max() <= 1.0
+
+
+def test_growth_fades_down_the_dilution_series(spot):
+    for col in range(4):
+        column = spot.intensity[:, col]
+        # Monotone non-increasing down the plate (denser -> fainter).
+        assert all(b <= a + 1e-9 for a, b in zip(column, column[1:]))
+
+
+def test_sensitised_strains_fainter(spot):
+    """Figure 10's reading: decreased growth in the inhibitor and knockout
+    columns relative to the two controls."""
+    total = spot.intensity.sum(axis=0)
+    wt, wt_plus, inhibitor, knockout = total
+    assert inhibitor < wt
+    assert knockout < wt
+    assert abs(wt - wt_plus) < 0.5
+
+
+def test_render_contains_all_strains(spot):
+    text = spot.render()
+    for name in spot.strains:
+        assert name in text
+    assert "10^-1" in text
+    assert "10^-4" in text
+
+
+def test_deterministic(strains):
+    a = run_spot_test(strains, STANDARD_ASSAYS["ultraviolet"], seed=5)
+    b = run_spot_test(strains, STANDARD_ASSAYS["ultraviolet"], seed=5)
+    assert np.array_equal(a.intensity, b.intensity)
+
+
+def test_custom_dilution_steps(strains):
+    spot = run_spot_test(
+        strains, STANDARD_ASSAYS["ultraviolet"], dilution_steps=6, seed=0
+    )
+    assert spot.intensity.shape == (6, 4)
+
+
+def test_validation(strains):
+    with pytest.raises(ValueError):
+        run_spot_test(strains, STANDARD_ASSAYS["ultraviolet"], dilution_steps=0)
+    with pytest.raises(ValueError):
+        run_spot_test(strains, STANDARD_ASSAYS["ultraviolet"], initial_cells=0)

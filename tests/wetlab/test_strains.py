@@ -1,0 +1,59 @@
+"""Tests for strain construction."""
+
+import pytest
+
+from repro.wetlab.binding import InhibitionProfile
+from repro.wetlab.strains import STRAIN_ORDER, Strain, make_standard_strains
+
+
+@pytest.fixture()
+def profile():
+    # The paper's anti-YBL051C design.
+    return InhibitionProfile("YBL051C", 0.6309, 0.3978, 0.0797)
+
+
+def test_four_strains_in_paper_order(profile):
+    strains = make_standard_strains(profile, knockout_label="ΔPIN4")
+    assert [s.name for s in strains] == ["WT", "WT+", "WT+InSiPS", "ΔPIN4"]
+    assert len(STRAIN_ORDER) == 4
+
+
+def test_default_knockout_label(profile):
+    strains = make_standard_strains(profile)
+    assert strains[-1].name == "ΔYBL051C"
+
+
+def test_activity_ordering(profile):
+    wt, wt_plus, inhibitor, knockout = make_standard_strains(profile)
+    assert wt.target_activity == 1.0
+    assert wt_plus.target_activity == 1.0
+    assert 0.0 < inhibitor.target_activity < 1.0
+    assert knockout.target_activity == 0.0
+
+
+def test_burden_ordering(profile):
+    wt, wt_plus, inhibitor, knockout = make_standard_strains(profile)
+    assert wt.growth_burden == 0.0
+    assert wt_plus.growth_burden > 0.0
+    assert inhibitor.growth_burden > wt_plus.growth_burden
+    assert knockout.growth_burden == 0.0
+
+
+def test_stronger_design_inhibits_more(profile):
+    stronger = InhibitionProfile("YBL051C", 0.9, 0.2, 0.05)
+    weak_strain = make_standard_strains(profile)[2]
+    strong_strain = make_standard_strains(stronger)[2]
+    assert strong_strain.target_activity < weak_strain.target_activity
+
+
+def test_plating_efficiency(profile):
+    strains = make_standard_strains(profile)
+    for s in strains:
+        assert s.plating_efficiency == pytest.approx(1.0 - s.growth_burden)
+
+
+def test_strain_validation():
+    with pytest.raises(ValueError):
+        Strain("X", target_activity=1.5)
+    with pytest.raises(ValueError):
+        Strain("X", target_activity=0.5, growth_burden=1.0)
