@@ -3,6 +3,12 @@
 Heavy objects (worlds) are session-scoped.  GA-driver benchmarks use
 ``benchmark.pedantic`` with one round: they are end-to-end reproductions
 whose *output shape* is asserted, not microbenchmarks.
+
+Benchmarks that want a kernel-level breakdown in the exported
+``BENCH_*.json`` (``pytest --benchmark-json=...``) take the
+``telemetry_registry`` fixture and attach its snapshot to
+``benchmark.extra_info["telemetry"]``; the default registries stay null,
+so the headline numbers measure the uninstrumented path.
 """
 
 from __future__ import annotations
@@ -10,6 +16,12 @@ from __future__ import annotations
 import pytest
 
 from repro.synthetic import get_profile
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture()
+def telemetry_registry():
+    return MetricsRegistry()
 
 
 @pytest.fixture(scope="session")

@@ -84,10 +84,11 @@ def test_ablation_score_cache(benchmark, tiny_world):
         return provider
 
     provider = benchmark.pedantic(run_ga, rounds=1, iterations=1)
-    total = provider.cache_hits + provider.cache_misses
-    assert provider.cache_hits > 0
+    stats = provider.cache_stats
+    total = stats["hits"] + stats["misses"]
+    assert stats["hits"] > 0
     # Without the cache every request would be a miss.
-    assert provider.cache_misses < total
+    assert stats["misses"] < total
 
 
 def test_ablation_multirack_vs_single(benchmark, tiny_world):

@@ -40,6 +40,32 @@ def test_bench_score_against_problem(benchmark, small_world, candidate):
     assert len(scores) == 17
 
 
+def test_bench_score_against_instrumented(
+    benchmark, small_world, candidate, telemetry_registry
+):
+    """Algorithm 2's inner loop with live telemetry: measures the
+    instrumentation overhead against ``test_bench_score_against_problem``
+    and exports the per-kernel breakdown into BENCH_*.json via
+    ``extra_info``."""
+    engine = small_world.engine
+    target = "YBL051C"
+    nts = small_world.non_targets_for(target, limit=16)
+    engine.database.precompute([target, *nts])
+    engine.set_telemetry(telemetry_registry)
+    try:
+        scores = benchmark(engine.score_against, candidate, [target, *nts])
+    finally:
+        engine.set_telemetry(None)
+    assert len(scores) == 17
+    breakdown = telemetry_registry.snapshot()
+    assert breakdown["pipe.triple_product"]["count"] > 0
+    benchmark.extra_info["telemetry"] = {
+        name: payload
+        for name, payload in breakdown.items()
+        if name.startswith("pipe.")
+    }
+
+
 def test_bench_window_scores(benchmark):
     """Raw window-similarity kernel: 200x400 residue pair."""
     rng = np.random.default_rng(0)

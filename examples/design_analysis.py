@@ -67,11 +67,11 @@ def main() -> None:
     print()
 
     # 3. Deep mutational scan (restricted to every 2nd position for speed).
-    provider = SerialScoreProvider(
+    with SerialScoreProvider(
         world.engine, args.target, result.non_targets
-    )
-    positions = list(range(0, len(seq), 2))
-    scan = mutational_scan(provider, seq, positions=positions)
+    ) as provider:
+        positions = list(range(0, len(seq), 2))
+        scan = mutational_scan(provider, seq, positions=positions)
     critical = scan.critical_positions(5)
     sens = scan.position_sensitivity()
     print("Mutational scan:")

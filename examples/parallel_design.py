@@ -20,6 +20,7 @@ import numpy as np
 from repro import InhibitorDesigner, get_profile
 from repro.ga import InSiPSEngine, SerialScoreProvider, WETLAB_PARAMS
 from repro.parallel import MultiRackGA, MultiprocessScoreProvider
+from repro.telemetry import MetricsRegistry
 
 
 def main() -> None:
@@ -51,10 +52,13 @@ def main() -> None:
           f"in {t_serial:.1f}s ({serial_result.evaluations} evaluations)")
 
     # -- master/worker ------------------------------------------------------
-    mp_provider = MultiprocessScoreProvider(
-        world.engine, target, non_targets, num_workers=args.workers
-    )
-    try:
+    # Providers are context managers: the worker processes are reaped on
+    # any exit path, including exceptions raised by the GA.
+    telemetry = MetricsRegistry()
+    with MultiprocessScoreProvider(
+        world.engine, target, non_targets,
+        num_workers=args.workers, telemetry=telemetry,
+    ) as mp_provider:
         engine = InSiPSEngine(
             mp_provider,
             WETLAB_PARAMS,
@@ -65,12 +69,15 @@ def main() -> None:
         t0 = time.perf_counter()
         mp_result = engine.run(args.generations)
         t_mp = time.perf_counter() - t0
-    finally:
-        mp_provider.close()
+        worker_stats = mp_provider.worker_stats()
     identical = np.array_equal(serial_result.best.encoded, mp_result.best.encoded)
     print(f"master/worker: best fitness {mp_result.best_fitness:.4f} "
           f"in {t_mp:.1f}s with {args.workers} workers "
           f"(bit-identical to serial: {identical})")
+    for wid, w in worker_stats.items():
+        print(f"    worker {wid}: {int(w['items'])} candidates, "
+              f"{w['throughput_per_s']:.1f}/s, "
+              f"utilisation {w['utilisation'] * 100:.0f}%")
 
     # -- multi-rack ---------------------------------------------------------
     multirack = MultiRackGA(

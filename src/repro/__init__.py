@@ -25,6 +25,7 @@ from repro.ga import GAParams, InSiPSEngine, SerialScoreProvider, WETLAB_PARAMS
 from repro.ppi import InteractionGraph, PipeConfig, PipeEngine
 from repro.sequences import Protein
 from repro.synthetic import PROFILES, build_world, get_profile
+from repro.telemetry import MetricsRegistry, NullRegistry
 
 __version__ = "1.0.0"
 
@@ -34,6 +35,8 @@ __all__ = [
     "InSiPSEngine",
     "InhibitorDesigner",
     "InteractionGraph",
+    "MetricsRegistry",
+    "NullRegistry",
     "PROFILES",
     "PipeConfig",
     "PipeEngine",

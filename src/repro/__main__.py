@@ -5,6 +5,7 @@ Commands
 design      run InSiPS against a target and print/save the design
 profiles    list the scale profiles
 evaluate    measure PIPE prediction accuracy on a world (ROC / FPR)
+stats       run an instrumented design and report runtime telemetry
 experiments shortcut to ``python -m repro.experiments``
 """
 
@@ -18,9 +19,11 @@ def _cmd_design(args: argparse.Namespace) -> int:
     from repro import InhibitorDesigner, get_profile
     from repro.analysis.specificity import specificity_scan
     from repro.io import save_design_result
+    from repro.telemetry import MetricsRegistry, export_jsonl, summary
 
+    registry = MetricsRegistry() if args.telemetry else None
     designer = InhibitorDesigner.from_profile(
-        get_profile(args.profile), seed=args.seed
+        get_profile(args.profile), seed=args.seed, telemetry=registry
     )
     result = designer.design(
         args.target, seed=args.seed + 1, termination=args.generations
@@ -40,8 +43,69 @@ def _cmd_design(args: argparse.Namespace) -> int:
     if args.out:
         save_design_result(result, args.out)
         print(f"\nsaved design to {args.out}")
+    if registry is not None:
+        lines = export_jsonl(registry, args.telemetry)
+        print(f"\ntelemetry: {lines} records -> {args.telemetry}")
+        print(summary(registry))
     print(f"\n>{result.designed_protein().name}")
     print(result.best.sequence)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one instrumented design and report the runtime telemetry —
+    PIPE kernel breakdown, per-generation GA stats, cache hit rate and
+    (with ``--workers``) per-worker throughput/utilisation."""
+    from repro import InhibitorDesigner, get_profile
+    from repro.telemetry import MetricsRegistry, export_csv, export_jsonl, summary
+
+    registry = MetricsRegistry()
+    profile = get_profile(args.profile)
+    provider_factory = None
+    created = []
+    if args.workers:
+        from repro.parallel import MultiprocessScoreProvider
+
+        def provider_factory(engine, target, non_targets):
+            provider = MultiprocessScoreProvider(
+                engine, target, non_targets, num_workers=args.workers
+            )
+            created.append(provider)
+            return provider
+
+    designer = InhibitorDesigner.from_profile(
+        profile,
+        seed=args.seed,
+        telemetry=registry,
+        provider_factory=provider_factory,
+    )
+    result = designer.design(
+        args.target, seed=args.seed + 1, termination=args.generations
+    )
+    print(
+        f"instrumented design of anti-{args.target} "
+        f"({args.generations} generations, profile {args.profile!r}): "
+        f"fitness {result.fitness:.4f}\n"
+    )
+    print(summary(registry))
+    for provider in created:
+        stats = provider.runtime_stats()
+        print(f"\nworkers ({stats['num_workers']} processes, "
+              f"{stats['dispatched']} items dispatched):")
+        for wid, w in provider.worker_stats().items():
+            print(
+                f"  worker {wid}: items={int(w['items'])} "
+                f"busy={w['busy_s']:.3f}s "
+                f"throughput={w['throughput_per_s']:.1f}/s "
+                f"utilisation={w['utilisation'] * 100:.0f}%"
+            )
+    if args.out:
+        if args.format == "csv":
+            rows = export_csv(registry, args.out)
+            print(f"\nexported {rows} CSV rows -> {args.out}")
+        else:
+            lines = export_jsonl(registry, args.out)
+            print(f"\nexported {lines} JSON-lines records -> {args.out}")
     return 0
 
 
@@ -98,7 +162,27 @@ def main(argv: list[str] | None = None) -> int:
         help="print the top-K off-target specificity scan",
     )
     p_design.add_argument("--out", default=None, help="save design JSON here")
+    p_design.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="record runtime telemetry, export it as JSON-lines to PATH "
+        "and print a summary",
+    )
     p_design.set_defaults(func=_cmd_design)
+
+    p_stats = sub.add_parser(
+        "stats", help="run an instrumented design and report telemetry"
+    )
+    p_stats.add_argument("target", nargs="?", default="YBL051C")
+    p_stats.add_argument("--profile", default="tiny")
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--generations", type=int, default=10)
+    p_stats.add_argument(
+        "--workers", type=int, default=0,
+        help="score through N worker processes (0 = serial)",
+    )
+    p_stats.add_argument("--out", default=None, help="export telemetry here")
+    p_stats.add_argument("--format", choices=("jsonl", "csv"), default="jsonl")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_profiles = sub.add_parser("profiles", help="list scale profiles")
     p_profiles.set_defaults(func=_cmd_profiles)

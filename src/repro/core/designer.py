@@ -12,6 +12,7 @@ from repro.ga.stats import RunHistory
 from repro.ga.termination import PaperTermination, TerminationCriterion
 from repro.sequences.protein import Protein
 from repro.synthetic.world import SyntheticWorld
+from repro.telemetry import MetricsRegistry
 from repro.wetlab.binding import InhibitionProfile
 
 __all__ = ["DesignResult", "InhibitorDesigner"]
@@ -105,6 +106,11 @@ class InhibitorDesigner:
         Optional callable ``(engine, target, non_targets) -> ScoreProvider``
         to swap in the multiprocessing runtime; default is the serial
         reference provider.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry`.  When given it
+        is attached to the PIPE engine, the score provider and the GA
+        engine, so one registry collects the kernel, cache and
+        per-generation metrics of every design run.
     """
 
     world: SyntheticWorld
@@ -113,6 +119,7 @@ class InhibitorDesigner:
     candidate_length: int = 64
     non_target_limit: int | None = None
     provider_factory: object | None = None
+    telemetry: MetricsRegistry | None = None
 
     @classmethod
     def from_profile(cls, profile, *, seed: int | None = None, **overrides):
@@ -131,8 +138,13 @@ class InhibitorDesigner:
 
     def _provider(self, target: str, non_targets: list[str]) -> ScoreProvider:
         if self.provider_factory is not None:
-            return self.provider_factory(self.world.engine, target, non_targets)
-        return SerialScoreProvider(self.world.engine, target, non_targets)
+            provider = self.provider_factory(self.world.engine, target, non_targets)
+            if self.telemetry is not None:
+                provider.telemetry = self.telemetry
+            return provider
+        return SerialScoreProvider(
+            self.world.engine, target, non_targets, telemetry=self.telemetry
+        )
 
     def design(
         self,
@@ -152,18 +164,20 @@ class InhibitorDesigner:
         nts = non_targets if non_targets is not None else self.non_targets_for(target)
         if termination is None:
             termination = PaperTermination(min_generations=30, stall=10, hard_limit=120)
-        provider = self._provider(target, nts)
-        try:
+        if self.telemetry is not None:
+            self.world.engine.set_telemetry(self.telemetry)
+        # The provider is a context manager: workers (in the parallel
+        # backend) are reaped even when the GA raises.
+        with self._provider(target, nts) as provider:
             engine = InSiPSEngine(
                 provider,
                 self.params,
                 population_size=self.population_size,
                 candidate_length=self.candidate_length,
                 seed=seed,
+                telemetry=self.telemetry,
             )
             result: GAResult = engine.run(termination, on_generation=on_generation)
-        finally:
-            provider.close()
         return DesignResult(
             target=target,
             non_targets=nts,

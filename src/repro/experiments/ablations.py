@@ -179,17 +179,18 @@ def _cache_ablation(result: ExperimentResult, world, prof, seed: int) -> None:
         candidate_length=prof.candidate_length,
         seed=seed,
     ).run(prof.tuning_generations)
-    total = provider.cache_hits + provider.cache_misses
-    saved = provider.cache_hits / total if total else 0.0
+    stats = provider.cache_stats
+    total = stats["hits"] + stats["misses"]
+    saved = provider.cache_hit_rate
     result.artifacts["score cache"] = (
-        f"requests {total}, PIPE evaluations {provider.cache_misses}, "
-        f"cache hits {provider.cache_hits} ({saved * 100:.0f}% of PIPE work "
+        f"requests {total}, PIPE evaluations {stats['misses']}, "
+        f"cache hits {stats['hits']} ({saved * 100:.0f}% of PIPE work "
         "avoided; the copy operation re-submits identical sequences)"
     )
     result.data["cache"] = {
         "requests": total,
-        "misses": provider.cache_misses,
-        "hits": provider.cache_hits,
+        "misses": stats["misses"],
+        "hits": stats["hits"],
     }
 
 

@@ -17,6 +17,7 @@ from repro.ga.config import (
 )
 from repro.ga.engine import GAResult, InSiPSEngine
 from repro.ga.fitness import (
+    CachingScoreProvider,
     FitnessFunction,
     ScoreProvider,
     ScoreSet,
@@ -49,6 +50,7 @@ from repro.ga.termination import (
 __all__ = [
     "AdaptiveInSiPSEngine",
     "AdaptiveOperatorController",
+    "CachingScoreProvider",
     "FitnessFunction",
     "GAParams",
     "GAResult",

@@ -9,6 +9,7 @@ termination decision.  PIPE scoring is delegated to a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.ga.selection import roulette_select
 from repro.ga.stats import GenerationStats, RunHistory
 from repro.ga.termination import MaxGenerations, TerminationCriterion
 from repro.sequences.random_gen import RandomSequenceGenerator
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 from repro.util.rng import derive_rng
 
 __all__ = ["GAResult", "InSiPSEngine"]
@@ -58,6 +60,14 @@ class InSiPSEngine:
     seed:
         Run seed; two runs with the same seed and problem are identical
         (the Sec. 4.1 "Seed 1/2/3" columns).
+    telemetry:
+        Metrics registry; defaults to the zero-overhead null registry.
+        When enabled, the engine times each generation's evaluation and
+        breeding phases (``ga.evaluate`` / ``ga.next_generation``), counts
+        operator applications (``ga.op.*``), records the population
+        fitness distribution (``ga.fitness``) and appends one
+        ``ga.generation`` event per generation.  Telemetry never affects
+        GA results.
     """
 
     def __init__(
@@ -69,6 +79,7 @@ class InSiPSEngine:
         candidate_length: int,
         seed: int | np.random.Generator | None = None,
         initializer=None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if population_size < 2:
             raise ValueError(f"population_size must be >= 2, got {population_size}")
@@ -83,6 +94,7 @@ class InSiPSEngine:
         self._init_rng = derive_rng(self._rng, "init-pop")
         self._initializer = initializer
         self.evaluations = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
 
     # -- population construction ------------------------------------------------
 
@@ -117,11 +129,13 @@ class InSiPSEngine:
         overshoot the population size by one, in which case the surplus
         child is dropped (keeping generations exactly equal-sized).
         """
+        telemetry = self.telemetry
         nxt = Population(generation=current.generation + 1)
         probs = np.array(self.params.operation_probabilities)
         while len(nxt) < self.population_size:
             op = _OPERATIONS[int(self._rng.choice(3, p=probs))]
             if op == "copy":
+                telemetry.count("ga.op.copy")
                 (i,) = roulette_select(current, self._rng, 1)
                 parent = current[i]
                 child = Individual(point_copy(parent.encoded))
@@ -132,6 +146,7 @@ class InSiPSEngine:
                 child.avg_non_target = parent.avg_non_target
                 nxt.append(child)
             elif op == "mutate":
+                telemetry.count("ga.op.mutate")
                 (i,) = roulette_select(current, self._rng, 1)
                 nxt.append(
                     Individual(
@@ -139,6 +154,7 @@ class InSiPSEngine:
                     )
                 )
             else:  # crossover
+                telemetry.count("ga.op.crossover")
                 i, j = roulette_select(current, self._rng, 2)
                 child1, child2 = crossover(
                     current[i].encoded,
@@ -160,6 +176,27 @@ class InSiPSEngine:
         self.evaluations += pending
         return pending
 
+    def _record_generation(self, population, stats, gen_start: float) -> None:
+        """Record one generation's telemetry (metrics + one event)."""
+        telemetry = self.telemetry
+        fitness_hist = telemetry.histogram("ga.fitness")
+        for member in population.members:
+            if member.fitness is not None:
+                fitness_hist.observe(float(member.fitness))
+        cache_hit_rate = getattr(self.provider, "cache_hit_rate", None)
+        telemetry.count("ga.generations")
+        telemetry.event(
+            "ga.generation",
+            generation=stats.generation,
+            best_fitness=stats.best_fitness,
+            mean_fitness=stats.mean_fitness,
+            best_target_score=stats.best_target_score,
+            best_max_non_target=stats.best_max_non_target,
+            evaluations=stats.evaluations,
+            cache_hit_rate=cache_hit_rate,
+            duration_s=time.perf_counter() - gen_start,
+        )
+
     def run(
         self,
         termination: TerminationCriterion | int,
@@ -175,21 +212,27 @@ class InSiPSEngine:
         """
         if isinstance(termination, int):
             termination = MaxGenerations(termination)
+        telemetry = self.telemetry
         history = RunHistory()
         population = self.initial_population()
         best: Individual | None = None
         while True:
-            evals = self.evaluate_population(population)
+            gen_start = time.perf_counter()
+            with telemetry.span("ga.evaluate"):
+                evals = self.evaluate_population(population)
             stats = GenerationStats.from_population(population, evaluations=evals)
             history.append(stats)
             gen_best = population.best()
             if best is None or gen_best.fitness > best.fitness:
                 best = gen_best
+            if telemetry.enabled:
+                self._record_generation(population, stats, gen_start)
             if on_generation is not None:
                 on_generation(population, stats)
             if termination.should_stop(history):
                 break
-            population = self.next_generation(population)
+            with telemetry.span("ga.next_generation"):
+                population = self.next_generation(population)
         assert best is not None
         return GAResult(
             best=best,

@@ -7,22 +7,44 @@ The division of labour mirrors the paper exactly: *score providers*
 serial path) return the raw PIPE scores of a candidate against the target
 and every non-target; the master-side :func:`combine_scores` folds them
 into the scalar fitness.
+
+Provider lifecycle
+------------------
+Every provider is a context manager: ``with provider: ...`` guarantees
+``close()`` runs (reaping worker processes in the multiprocessing
+backend) even when the GA raises.  ``close()`` is idempotent and
+providers may be reused after closing — the next scoring call re-acquires
+whatever resources were released.
+
+Caching
+-------
+Both concrete providers share one caching surface,
+:class:`CachingScoreProvider`: an exact sequence-keyed **bounded LRU**
+(the paper's ``copy`` operation re-submits identical sequences every
+generation, so the cache is load-bearing).  Hit/miss/eviction counts are
+reported through the telemetry registry under ``provider.cache.*``;
+the legacy ``cache_hits`` / ``cache_misses`` attributes remain available
+as deprecated read-only properties for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ga.population import Individual
 from repro.ppi.pipe import PipeEngine
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = [
     "ScoreSet",
     "combine_scores",
     "ScoreProvider",
+    "CachingScoreProvider",
     "SerialScoreProvider",
     "FitnessFunction",
 ]
@@ -64,15 +86,26 @@ class ScoreProvider(ABC):
 
     Implementations: :class:`SerialScoreProvider` (direct, in-process) and
     :class:`repro.parallel.mp_backend.MultiprocessScoreProvider` (the
-    paper's master/worker on-demand dispatch).
+    paper's master/worker on-demand dispatch).  Both are context managers;
+    prefer ``with provider:`` so resources are released on any exit path.
     """
+
+    def __init__(self, telemetry: MetricsRegistry | None = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._closed = False
 
     @abstractmethod
     def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
         """PIPE score sets for each sequence, in input order."""
 
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close` (until the provider is used again)."""
+        return self._closed
+
     def close(self) -> None:
         """Release any resources (worker processes); idempotent."""
+        self._closed = True
 
     def __enter__(self) -> "ScoreProvider":
         return self
@@ -81,14 +114,142 @@ class ScoreProvider(ABC):
         self.close()
 
 
-class SerialScoreProvider(ScoreProvider):
-    """In-process provider: the reference implementation of Algorithm 2's
-    per-candidate work, with a cross-generation score cache.
+class CachingScoreProvider(ScoreProvider):
+    """Shared caching surface of all concrete providers.
 
-    The cache is exact (keyed by sequence bytes) and bounded; it models the
-    fact that the paper's ``copy`` operation re-submits identical sequences
-    every generation.
+    Maintains an exact score cache keyed by the candidate's encoded bytes,
+    bounded by ``cache_size`` with least-recently-used eviction — a full
+    cache evicts one cold entry per insertion instead of throwing away
+    every hot entry at once.  Subclasses implement
+    :meth:`_score_uncached` for the sequences the cache cannot answer;
+    duplicates inside one batch are scored once.
+
+    Cache traffic is recorded on the telemetry registry as
+    ``provider.cache.hits`` / ``.misses`` / ``.evictions``.
     """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 100_000,
+        telemetry: MetricsRegistry | None = None,
+    ) -> None:
+        super().__init__(telemetry)
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[bytes, ScoreSet] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- the one scoring entry point ---------------------------------------
+
+    def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
+        self._closed = False
+        arrays = [np.asarray(s, dtype=np.uint8) for s in sequences]
+        results: list[ScoreSet | None] = [None] * len(arrays)
+        pending: list[tuple[int, bytes]] = []
+        seen_in_batch: dict[bytes, int] = {}
+        for i, arr in enumerate(arrays):
+            key = arr.tobytes()
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                results[i] = cached
+                self._hits += 1
+                self.telemetry.count("provider.cache.hits")
+            elif key in seen_in_batch:
+                # Duplicate within the batch: scored once, filled below.
+                self._hits += 1
+                self.telemetry.count("provider.cache.hits")
+            else:
+                seen_in_batch[key] = i
+                pending.append((i, key))
+                self._misses += 1
+                self.telemetry.count("provider.cache.misses")
+        if pending:
+            fresh = self._score_uncached([arrays[i] for i, _ in pending])
+            if len(fresh) != len(pending):
+                raise RuntimeError(
+                    f"{type(self).__name__}._score_uncached returned "
+                    f"{len(fresh)} results for {len(pending)} sequences"
+                )
+            for (i, key), score_set in zip(pending, fresh):
+                results[i] = score_set
+                self._store(key, score_set)
+            # Fill in-batch duplicates from the freshly cached entries.
+            for i, arr in enumerate(arrays):
+                if results[i] is None:
+                    results[i] = self._cache[arr.tobytes()]
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    @abstractmethod
+    def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
+        """Score sequences the cache could not answer, in input order."""
+
+    # -- cache management ---------------------------------------------------
+
+    def _store(self, key: bytes, score_set: ScoreSet) -> None:
+        while len(self._cache) >= self.cache_size:
+            self._cache.popitem(last=False)  # evict least recently used
+            self._evictions += 1
+            self.telemetry.count("provider.cache.evictions")
+        self._cache[key] = score_set
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else 0.0
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+        }
+
+    # -- deprecated pre-telemetry surface -----------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Deprecated: read ``cache_stats['hits']`` or the telemetry
+        counter ``provider.cache.hits`` instead."""
+        warnings.warn(
+            "cache_hits is deprecated; use cache_stats or the telemetry "
+            "counter provider.cache.hits",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Deprecated: read ``cache_stats['misses']`` or the telemetry
+        counter ``provider.cache.misses`` instead."""
+        warnings.warn(
+            "cache_misses is deprecated; use cache_stats or the telemetry "
+            "counter provider.cache.misses",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._misses
+
+
+class SerialScoreProvider(CachingScoreProvider):
+    """In-process provider: the reference implementation of Algorithm 2's
+    per-candidate work, with the shared cross-generation score cache."""
 
     def __init__(
         self,
@@ -97,6 +258,7 @@ class SerialScoreProvider(ScoreProvider):
         non_targets: list[str],
         *,
         cache_size: int = 100_000,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if target in non_targets:
             raise ValueError(f"target {target!r} also appears in the non-target list")
@@ -104,34 +266,26 @@ class SerialScoreProvider(ScoreProvider):
         engine.database.graph.index_of(target)
         for nt in non_targets:
             engine.database.graph.index_of(nt)
+        super().__init__(cache_size=cache_size, telemetry=telemetry)
         self.engine = engine
         self.target = target
         self.non_targets = list(non_targets)
-        self.cache_size = int(cache_size)
-        self._cache: dict[bytes, ScoreSet] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
 
-    def _score_one(self, sequence: np.ndarray) -> ScoreSet:
-        key = sequence.tobytes()
-        hit = self._cache.get(key)
-        if hit is not None:
-            self.cache_hits += 1
-            return hit
-        self.cache_misses += 1
+    def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
         names = [self.target, *self.non_targets]
-        scored = self.engine.score_against(sequence, names)
-        result = ScoreSet(
-            target_score=scored[self.target],
-            non_target_scores=tuple(scored[nt] for nt in self.non_targets),
-        )
-        if len(self._cache) >= self.cache_size:
-            self._cache.clear()  # simple epoch eviction; exactness preserved
-        self._cache[key] = result
-        return result
-
-    def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
-        return [self._score_one(np.asarray(s, dtype=np.uint8)) for s in sequences]
+        out: list[ScoreSet] = []
+        with self.telemetry.span("provider.serial.score"):
+            for arr in arrays:
+                scored = self.engine.score_against(arr, names)
+                out.append(
+                    ScoreSet(
+                        target_score=scored[self.target],
+                        non_target_scores=tuple(
+                            scored[nt] for nt in self.non_targets
+                        ),
+                    )
+                )
+        return out
 
 
 class FitnessFunction:

@@ -43,11 +43,17 @@ class WorkItem:
 
 @dataclass(frozen=True)
 class WorkResult:
-    """PIPE scores returned by a worker for one candidate."""
+    """PIPE scores returned by a worker for one candidate.
+
+    ``elapsed`` is the worker-side wall-clock seconds spent computing the
+    scores; the master aggregates it into per-worker busy time and
+    throughput telemetry (the Fig. 5/6 quantities).
+    """
 
     sequence_id: int
     worker_id: int
     scores: ScoreSet
+    elapsed: float = 0.0
 
 
 @dataclass(frozen=True)

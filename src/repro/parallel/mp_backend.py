@@ -5,6 +5,15 @@
 ``InSiPSEngine(provider, ...)`` runs the identical GA whether scores come
 from this parallel backend or the serial reference path — the property the
 integration tests assert.
+
+The provider shares the bounded-LRU score cache with the serial path
+through :class:`~repro.ga.fitness.CachingScoreProvider` and reports the
+master-side view of the runtime through telemetry: batch wall time
+(``parallel.batch``), dispatch counters, queue depth at dispatch
+(``parallel.queue_depth``) and — from the worker-reported per-item wall
+times — per-worker busy time, item counts, throughput and utilisation
+(:meth:`MultiprocessScoreProvider.worker_stats`), exactly the quantities
+behind the paper's Figures 5–6.
 """
 
 from __future__ import annotations
@@ -12,13 +21,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import time
 
 import numpy as np
 
-from repro.ga.fitness import ScoreProvider, ScoreSet
+from repro.ga.fitness import CachingScoreProvider, ScoreSet
 from repro.parallel.messages import EndSignal, WorkItem, WorkResult
 from repro.parallel.worker import WorkerContext, worker_loop
 from repro.ppi.pipe import PipeEngine
+from repro.telemetry import MetricsRegistry
 
 __all__ = ["MultiprocessScoreProvider"]
 
@@ -28,15 +39,18 @@ def _worker_entry(worker_id, context, task_queue, result_queue):
     worker_loop(worker_id, context, task_queue, result_queue)
 
 
-class MultiprocessScoreProvider(ScoreProvider):
+class MultiprocessScoreProvider(CachingScoreProvider):
     """Master-side score provider dispatching candidates to worker
     processes on demand.
+
+    Use as a context manager (``with MultiprocessScoreProvider(...) as p:``)
+    so the workers are reaped even when the surrounding GA raises.
 
     Parameters
     ----------
     engine:
         The broadcast PIPE engine (pickled to each worker at spawn — the
-    	paper's "broadcast all loaded data to worker processes").
+        paper's "broadcast all loaded data to worker processes").
     target, non_targets:
         The design problem.
     num_workers:
@@ -44,6 +58,10 @@ class MultiprocessScoreProvider(ScoreProvider):
     timeout:
         Per-result collection timeout in seconds; a worker death surfaces
         as a timeout error rather than a hang.
+    cache_size:
+        Bound of the shared LRU score cache.
+    telemetry:
+        Metrics registry; defaults to the zero-overhead null registry.
     """
 
     def __init__(
@@ -55,9 +73,12 @@ class MultiprocessScoreProvider(ScoreProvider):
         num_workers: int | None = None,
         timeout: float = 300.0,
         start_method: str | None = None,
+        cache_size: int = 100_000,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        super().__init__(cache_size=cache_size, telemetry=telemetry)
         self.context = WorkerContext(engine, target, list(non_targets))
         self.num_workers = num_workers or max(1, os.cpu_count() or 1)
         self.timeout = float(timeout)
@@ -66,9 +87,11 @@ class MultiprocessScoreProvider(ScoreProvider):
         self._task_queue = None
         self._result_queue = None
         self._workers: list[mp.Process] = []
-        self._cache: dict[bytes, ScoreSet] = {}
         self.dispatched = 0
-        self.cache_hits = 0
+        self._worker_items: dict[int, int] = {}
+        self._worker_busy: dict[int, float] = {}
+        self._batches = 0
+        self._batch_wall = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -78,20 +101,23 @@ class MultiprocessScoreProvider(ScoreProvider):
         # Warm the shared engine cache *before* forking so every worker
         # inherits the preprocessed target/non-target structures instead of
         # recomputing them (the paper's offline preprocessing + broadcast).
-        self.context.warm_cache()
-        self._task_queue = self._ctx.Queue()
-        self._result_queue = self._ctx.Queue()
-        for wid in range(self.num_workers):
-            proc = self._ctx.Process(
-                target=_worker_entry,
-                args=(wid, self.context, self._task_queue, self._result_queue),
-                daemon=True,
-            )
-            proc.start()
-            self._workers.append(proc)
+        with self.telemetry.span("parallel.spawn"):
+            self.context.warm_cache()
+            self._task_queue = self._ctx.Queue()
+            self._result_queue = self._ctx.Queue()
+            for wid in range(self.num_workers):
+                proc = self._ctx.Process(
+                    target=_worker_entry,
+                    args=(wid, self.context, self._task_queue, self._result_queue),
+                    daemon=True,
+                )
+                proc.start()
+                self._workers.append(proc)
+        self.telemetry.count("parallel.spawns")
 
     def close(self) -> None:
         if not self._workers:
+            super().close()
             return
         self._task_queue.put(EndSignal())
         for proc in self._workers:
@@ -101,47 +127,77 @@ class MultiprocessScoreProvider(ScoreProvider):
         self._workers = []
         self._task_queue = None
         self._result_queue = None
+        super().close()
 
     # -- scoring -----------------------------------------------------------
 
-    def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
-        arrays = [np.asarray(s, dtype=np.uint8) for s in sequences]
+    def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
+        self._ensure_started()
+        start = time.perf_counter()
         results: list[ScoreSet | None] = [None] * len(arrays)
-        pending: list[tuple[int, bytes]] = []
-        for i, arr in enumerate(arrays):
-            key = arr.tobytes()
-            cached = self._cache.get(key)
-            if cached is not None:
-                results[i] = cached
-                self.cache_hits += 1
-            else:
-                pending.append((i, key))
-        if pending:
-            self._ensure_started()
-            # Distinct sequence ids even for duplicate payloads within the
-            # batch: the first completed instance fills all duplicates.
-            for sid, (i, key) in enumerate(pending):
-                self._task_queue.put(WorkItem(sid, key))
+        with self.telemetry.span("parallel.batch"):
+            self.telemetry.set_gauge("parallel.queue_depth", len(arrays))
+            for sid, arr in enumerate(arrays):
+                self._task_queue.put(WorkItem.from_encoded(sid, arr))
                 self.dispatched += 1
+            self.telemetry.count("parallel.dispatched", len(arrays))
             received = 0
-            while received < len(pending):
+            while received < len(arrays):
                 try:
                     msg = self._result_queue.get(timeout=self.timeout)
                 except queue_mod.Empty:
                     raise RuntimeError(
                         f"timed out waiting for worker results "
-                        f"({received}/{len(pending)} received)"
+                        f"({received}/{len(arrays)} received)"
                     ) from None
                 if not isinstance(msg, WorkResult):  # pragma: no cover
                     raise TypeError(f"unexpected result {type(msg).__name__}")
-                i, key = pending[msg.sequence_id]
-                results[i] = msg.scores
-                self._cache[key] = msg.scores
+                results[msg.sequence_id] = msg.scores
                 received += 1
-            # Fill any duplicates that were dispatched separately but share
-            # a payload with an earlier entry.
-            for i, key in pending:
-                if results[i] is None:  # pragma: no cover - defensive
-                    results[i] = self._cache[key]
+                self._record_result(msg)
         assert all(r is not None for r in results)
+        self._batches += 1
+        self._batch_wall += time.perf_counter() - start
         return results  # type: ignore[return-value]
+
+    def _record_result(self, msg: WorkResult) -> None:
+        wid = msg.worker_id
+        self._worker_items[wid] = self._worker_items.get(wid, 0) + 1
+        self._worker_busy[wid] = self._worker_busy.get(wid, 0.0) + msg.elapsed
+        if self.telemetry.enabled:
+            self.telemetry.count(f"parallel.worker.{wid}.items")
+            self.telemetry.record_timing(f"parallel.worker.{wid}.busy", msg.elapsed)
+
+    # -- runtime statistics --------------------------------------------------
+
+    def worker_stats(self) -> dict[int, dict[str, float]]:
+        """Per-worker throughput summary from worker-reported wall times.
+
+        ``utilisation`` divides a worker's busy time by the provider's
+        total batch wall time — the per-worker efficiency panel of the
+        paper's worker-scaling figures.
+        """
+        out: dict[int, dict[str, float]] = {}
+        for wid in sorted(self._worker_items):
+            items = self._worker_items[wid]
+            busy = self._worker_busy[wid]
+            out[wid] = {
+                "items": float(items),
+                "busy_s": busy,
+                "throughput_per_s": items / busy if busy > 0 else 0.0,
+                "utilisation": (
+                    busy / self._batch_wall if self._batch_wall > 0 else 0.0
+                ),
+            }
+        return out
+
+    def runtime_stats(self) -> dict[str, object]:
+        """Master-side runtime summary (batches, wall time, cache, workers)."""
+        return {
+            "num_workers": self.num_workers,
+            "dispatched": self.dispatched,
+            "batches": self._batches,
+            "batch_wall_s": self._batch_wall,
+            "cache": self.cache_stats,
+            "workers": self.worker_stats(),
+        }

@@ -10,6 +10,7 @@ the target and every non-target, and return the scores.
 from __future__ import annotations
 
 import queue as queue_mod
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -86,7 +87,11 @@ def worker_loop(
             break
         if not isinstance(message, WorkItem):
             raise TypeError(f"unexpected message {type(message).__name__}")
+        start = time.perf_counter()
         scores = score_candidate(context, message.decode())
-        result_queue.put(WorkResult(message.sequence_id, worker_id, scores))
+        elapsed = time.perf_counter() - start
+        result_queue.put(
+            WorkResult(message.sequence_id, worker_id, scores, elapsed)
+        )
         processed += 1
     return processed

@@ -32,6 +32,7 @@ from repro.ppi.graph import InteractionGraph
 from repro.ppi.similarity import calibrate_threshold
 from repro.substitution import PAM120, get_matrix
 from repro.substitution.matrix import SubstitutionMatrix
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["PipeConfig", "PipeEngine", "PipeResult"]
 
@@ -134,7 +135,13 @@ class PipeEngine:
     all worker threads); all per-query state lives in the arguments.
     """
 
-    def __init__(self, database: PipeDatabase, config: PipeConfig) -> None:
+    def __init__(
+        self,
+        database: PipeDatabase,
+        config: PipeConfig,
+        *,
+        telemetry: MetricsRegistry | None = None,
+    ) -> None:
         if database.window_size != config.window_size:
             raise ValueError(
                 "database window size "
@@ -142,11 +149,23 @@ class PipeEngine:
             )
         self.database = database
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         # Per-known-protein cache of (adjacency @ M_Bᵀ): the right-hand
         # factor of the result-matrix triple product is identical for every
         # candidate scored against the same target/non-target, which is the
         # GA's hot loop.
         self._evidence_cache: dict[str, object] = {}
+
+    def set_telemetry(self, telemetry: MetricsRegistry | None) -> None:
+        """Attach (or, with None, detach) a metrics registry.
+
+        Kernel phases are reported as the nestable timer spans
+        ``pipe.window_build`` (candidate similarity structure),
+        ``pipe.triple_product`` (``M_A · G · M_Bᵀ``) and
+        ``pipe.box_filter`` (mean filter + saturating score map), plus the
+        counter ``pipe.evaluations``.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
 
     # -- construction helpers -------------------------------------------------
 
@@ -170,7 +189,10 @@ class PipeEngine:
         known-protein name."""
         if isinstance(query, str):
             return self.database.protein_similarity(query)
-        return self.database.sequence_similarity(np.asarray(query, dtype=np.uint8))
+        with self.telemetry.span("pipe.window_build"):
+            return self.database.sequence_similarity(
+                np.asarray(query, dtype=np.uint8)
+            )
 
     def result_matrix(
         self,
@@ -192,19 +214,21 @@ class PipeEngine:
                 adj = adj.tocsr()
         ma = sim_a.counts if self.config.count_positions else sim_a.binary
         mb = sim_b.counts if self.config.count_positions else sim_b.binary
-        h = (ma @ adj @ mb.T).toarray()
+        with self.telemetry.span("pipe.triple_product"):
+            h = (ma @ adj @ mb.T).toarray()
         return np.asarray(h, dtype=np.float64)
 
     def score_matrix(self, h: np.ndarray) -> tuple[float, float]:
         """Collapse a result matrix into ``(score, filtered_max)``."""
         if h.size == 0:
             return 0.0, 0.0
-        r = self.config.box_radius
-        if r > 0:
-            filtered = ndi.uniform_filter(h, size=2 * r + 1, mode="constant")
-        else:
-            filtered = h
-        fmax = float(filtered.max())
+        with self.telemetry.span("pipe.box_filter"):
+            r = self.config.box_radius
+            if r > 0:
+                filtered = ndi.uniform_filter(h, size=2 * r + 1, mode="constant")
+            else:
+                filtered = h
+            fmax = float(filtered.max())
         score = fmax / (fmax + self.config.saturation)
         return score, fmax
 
@@ -231,6 +255,7 @@ class PipeEngine:
             exclude = (a, b)
         h = self.result_matrix(sim_a, sim_b, exclude_edge=exclude)
         score, fmax = self.score_matrix(h)
+        self.telemetry.count("pipe.evaluations")
         return PipeResult(
             score=score,
             filtered_max=fmax,
@@ -259,6 +284,7 @@ class PipeEngine:
         similarity structure is built once and reused for the target and
         every non-target.
         """
+        telemetry = self.telemetry
         sim = similarity if similarity is not None else self.similarity_of(sequence)
         ma = sim.counts if self.config.count_positions else sim.binary
         out: dict[str, float] = {}
@@ -271,6 +297,8 @@ class PipeEngine:
                 )
                 evidence = (self.database.adjacency @ mb.T).tocsc()
                 self._evidence_cache[name] = evidence
-            h = np.asarray((ma @ evidence).toarray(), dtype=np.float64)
+            with telemetry.span("pipe.triple_product"):
+                h = np.asarray((ma @ evidence).toarray(), dtype=np.float64)
             out[name], _ = self.score_matrix(h)
+        telemetry.count("pipe.evaluations", len(protein_names))
         return out

@@ -1,0 +1,143 @@
+"""Exporters for :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+Three formats, matching the three consumers of the instrumentation:
+
+* **JSON-lines** (:func:`export_jsonl`) — one JSON object per line, events
+  first (in recording order) followed by final instrument values; the
+  machine-readable trace the scaling experiments post-process.
+* **CSV** (:func:`export_csv`) — flat ``name,type,field,value`` rows for
+  spreadsheet consumption.
+* **Human summary** (:func:`summary`) — the ``python -m repro stats``
+  output: instruments grouped by dotted prefix, timers sorted by total
+  time.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["export_jsonl", "export_csv", "read_jsonl", "summary"]
+
+
+def _jsonl_records(registry: MetricsRegistry) -> list[dict[str, object]]:
+    records: list[dict[str, object]] = [
+        {"record": "event", **event} for event in registry.events
+    ]
+    for name, payload in sorted(registry.snapshot().items()):
+        records.append({"record": "metric", "name": name, **payload})
+    return records
+
+
+def export_jsonl(registry: MetricsRegistry, path: str | Path) -> int:
+    """Write events + final metric values as JSON-lines; returns the
+    number of lines written."""
+    records = _jsonl_records(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+    """Parse a file written by :func:`export_jsonl`."""
+    out: list[dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def export_csv(registry: MetricsRegistry, path: str | Path) -> int:
+    """Write final instrument values as ``name,type,field,value`` rows;
+    returns the number of data rows."""
+    rows = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "type", "field", "value"])
+        for name, payload in sorted(registry.snapshot().items()):
+            kind = payload["type"]
+            for field_name, value in payload.items():
+                if field_name == "type":
+                    continue
+                writer.writerow([name, kind, field_name, value])
+                rows += 1
+    return rows
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def summary(registry: MetricsRegistry, *, stream: TextIO | None = None) -> str:
+    """Human-readable report of everything the registry recorded.
+
+    When ``stream`` is given the report is also written there.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    by_kind: dict[str, list[tuple[str, dict[str, object]]]] = {
+        "timer": [],
+        "counter": [],
+        "gauge": [],
+        "histogram": [],
+    }
+    for name, payload in snap.items():
+        by_kind[str(payload["type"])].append((name, payload))
+
+    timers = sorted(
+        by_kind["timer"], key=lambda item: float(item[1]["total_s"]), reverse=True
+    )
+    if timers:
+        lines.append("timers (by total time):")
+        width = max(len(name) for name, _ in timers)
+        for name, p in timers:
+            lines.append(
+                f"  {name:<{width}}  calls={p['count']:<8} "
+                f"total={_fmt(p['total_s'])}s self={_fmt(p['self_s'])}s "
+                f"mean={_fmt(p['mean_s'])}s"
+            )
+    if by_kind["counter"]:
+        lines.append("counters:")
+        width = max(len(name) for name, _ in by_kind["counter"])
+        for name, p in sorted(by_kind["counter"]):
+            lines.append(f"  {name:<{width}}  {_fmt(p['value'])}")
+    if by_kind["gauge"]:
+        lines.append("gauges:")
+        width = max(len(name) for name, _ in by_kind["gauge"])
+        for name, p in sorted(by_kind["gauge"]):
+            lines.append(
+                f"  {name:<{width}}  last={_fmt(p['value'])} "
+                f"min={_fmt(p['min'])} max={_fmt(p['max'])}"
+            )
+    if by_kind["histogram"]:
+        lines.append("distributions:")
+        width = max(len(name) for name, _ in by_kind["histogram"])
+        for name, p in sorted(by_kind["histogram"]):
+            lines.append(
+                f"  {name:<{width}}  n={p['count']} mean={_fmt(p['mean'])} "
+                f"std={_fmt(p['std'])} min={_fmt(p['min'])} "
+                f"p50={_fmt(p['p50'])} p95={_fmt(p['p95'])} max={_fmt(p['max'])}"
+            )
+    events = registry.events
+    if events:
+        kinds: dict[str, int] = {}
+        for event in events:
+            kinds[str(event["event"])] = kinds.get(str(event["event"]), 0) + 1
+        lines.append("events:")
+        for kind, n in sorted(kinds.items()):
+            lines.append(f"  {kind:<24}  {n} recorded")
+    if not lines:
+        lines.append("(no telemetry recorded)")
+    report = "\n".join(lines)
+    if stream is not None:
+        stream.write(report + "\n")
+    return report

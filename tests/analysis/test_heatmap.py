@@ -46,7 +46,6 @@ def test_iso_curves_are_hyperbolae(grid):
     # fitness = c  <=>  (1 - y) x = c: verify a sample point pair.
     f = grid["fitness"]
     t = grid["target"]
-    nt = grid["max_non_target"]
     c = f[10, 30]
     x2 = t[35]
     y2 = 1 - c / x2

@@ -113,4 +113,4 @@ class TestOnRealProvider:
         assert scan.fitness_matrix.min() >= 0.0
         assert scan.fitness_matrix.max() <= 1.0
         # 2 positions * 19 variants + 1 base evaluation.
-        assert tiny_provider.cache_misses <= 39
+        assert tiny_provider.cache_stats["misses"] <= 39

@@ -1,6 +1,5 @@
 """Tests for the BGQ benchmark simulations."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.bgq import (
@@ -38,7 +37,6 @@ class TestWorkerNode:
 def test_fixed_overhead_limits_speedup():
     cheap = SequenceWorkload("cheap", 5.0, 5.0, fixed_overhead=5.0)
     costly = SequenceWorkload("hard", 500.0, 500.0, fixed_overhead=5.0)
-    node = MemoryBoundThroughput()
     s_cheap = simulate_worker_node(cheap, 1) / simulate_worker_node(cheap, 64)
     s_costly = simulate_worker_node(costly, 1) / simulate_worker_node(costly, 64)
     assert s_costly > s_cheap  # easier sequences flatten out earlier

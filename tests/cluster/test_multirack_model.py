@@ -1,6 +1,5 @@
 """Tests for the multi-rack performance model."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.multirack import (

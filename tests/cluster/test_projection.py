@@ -3,11 +3,7 @@
 import pytest
 
 from repro.cluster.bgq import BGQClusterConfig
-from repro.cluster.projection import (
-    GenerationProjection,
-    project_generation_time,
-    validate_projection,
-)
+from repro.cluster.projection import project_generation_time, validate_projection
 from repro.cluster.workload import POPULATION_PRESETS, PopulationWorkloadModel
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.bgq import BGQClusterConfig, simulate_generation
+from repro.cluster.bgq import simulate_generation
 from repro.cluster.tracing import ExecutionTrace, TraceEvent, render_timeline
 from repro.cluster.workload import SequenceWorkload
 

@@ -1,6 +1,5 @@
 """Tests for the Figures 3-4 driver (thread scaling)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig3_fig4_thread_scaling import (

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ga.fitness import (
+    CachingScoreProvider,
     FitnessFunction,
     ScoreProvider,
     ScoreSet,
@@ -11,6 +12,7 @@ from repro.ga.fitness import (
     combine_scores,
 )
 from repro.ga.population import Individual
+from repro.telemetry import MetricsRegistry
 
 
 class TestScoreSet:
@@ -69,7 +71,7 @@ class TestSerialProvider:
         first = tiny_provider.scores([seq])[0]
         again = tiny_provider.scores([seq.copy()])[0]
         assert first is again
-        assert tiny_provider.cache_hits == 1
+        assert tiny_provider.cache_stats["hits"] == 1
 
     def test_matches_engine_directly(self, tiny_provider, tiny_engine, rng):
         seq = rng.integers(0, 20, size=30).astype(np.uint8)
@@ -96,12 +98,67 @@ class TestSerialProvider:
         provider = SerialScoreProvider(tiny_engine, target, nts[:2], cache_size=2)
         for _ in range(4):
             provider.scores([rng.integers(0, 20, size=20).astype(np.uint8)])
-        assert len(provider._cache) <= 2
+        assert provider.cache_len <= 2
+        assert provider.cache_stats["evictions"] >= 2
+
+    def test_lru_keeps_hot_entries(self, tiny_engine, tiny_problem, rng):
+        """A full cache evicts the *least recently used* entry, not the
+        whole cache (the old epoch eviction threw away every hot entry)."""
+        target, nts = tiny_problem
+        provider = SerialScoreProvider(tiny_engine, target, nts[:2], cache_size=2)
+        hot = rng.integers(0, 20, size=20).astype(np.uint8)
+        cold = rng.integers(0, 20, size=20).astype(np.uint8)
+        provider.scores([hot])
+        provider.scores([cold])
+        provider.scores([hot])  # touch: hot is now most recently used
+        new = rng.integers(0, 20, size=20).astype(np.uint8)
+        provider.scores([new])  # evicts cold, not hot
+        misses_before = provider.cache_stats["misses"]
+        provider.scores([hot])
+        assert provider.cache_stats["misses"] == misses_before  # still cached
+        provider.scores([cold])
+        assert provider.cache_stats["misses"] == misses_before + 1  # evicted
+
+    def test_duplicates_within_batch_scored_once(self, tiny_engine, tiny_problem, rng):
+        target, nts = tiny_problem
+        provider = SerialScoreProvider(tiny_engine, target, nts[:2])
+        seq = rng.integers(0, 20, size=20).astype(np.uint8)
+        out = provider.scores([seq, seq.copy(), seq.copy()])
+        assert out[0] == out[1] == out[2]
+        assert provider.cache_stats["misses"] == 1
+        assert provider.cache_stats["hits"] == 2
 
     def test_context_manager(self, tiny_engine, tiny_problem):
         target, nts = tiny_problem
         with SerialScoreProvider(tiny_engine, target, nts[:1]) as p:
             assert isinstance(p, ScoreProvider)
+            assert not p.closed
+        assert p.closed
+
+    def test_deprecated_cache_attributes(self, tiny_engine, tiny_problem, rng):
+        target, nts = tiny_problem
+        provider = SerialScoreProvider(tiny_engine, target, nts[:1])
+        provider.scores([rng.integers(0, 20, size=20).astype(np.uint8)])
+        with pytest.warns(DeprecationWarning):
+            assert provider.cache_hits == 0
+        with pytest.warns(DeprecationWarning):
+            assert provider.cache_misses == 1
+
+    def test_cache_telemetry_counters(self, tiny_engine, tiny_problem, rng):
+        target, nts = tiny_problem
+        registry = MetricsRegistry()
+        provider = SerialScoreProvider(
+            tiny_engine, target, nts[:1], telemetry=registry
+        )
+        seq = rng.integers(0, 20, size=20).astype(np.uint8)
+        provider.scores([seq])
+        provider.scores([seq.copy()])
+        assert registry.counter("provider.cache.misses").value == 1
+        assert registry.counter("provider.cache.hits").value == 1
+        assert provider.cache_hit_rate == pytest.approx(0.5)
+
+    def test_is_caching_provider(self, tiny_provider):
+        assert isinstance(tiny_provider, CachingScoreProvider)
 
 
 class TestFitnessFunction:

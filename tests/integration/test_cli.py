@@ -48,6 +48,64 @@ def test_design_command(capsys, tmp_path):
     assert saved.target == "YBL051C"
 
 
+def test_design_with_telemetry(capsys, tmp_path):
+    metrics_file = tmp_path / "metrics.jsonl"
+    assert (
+        main(
+            [
+                "design",
+                "YBL051C",
+                "--generations",
+                "2",
+                "--telemetry",
+                str(metrics_file),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "telemetry:" in out
+    assert "pipe.triple_product" in out
+    assert metrics_file.exists()
+
+    from repro.telemetry import read_jsonl
+
+    records = read_jsonl(metrics_file)
+    assert any(r.get("event") == "ga.generation" for r in records)
+
+
+def test_stats_command(capsys, tmp_path):
+    out_file = tmp_path / "stats.jsonl"
+    assert (
+        main(["stats", "--generations", "2", "--out", str(out_file)]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "instrumented design" in out
+    assert "ga.evaluate" in out
+    assert "provider.cache" in out
+    assert out_file.exists()
+
+
+def test_stats_command_csv(capsys, tmp_path):
+    out_file = tmp_path / "stats.csv"
+    assert (
+        main(
+            [
+                "stats",
+                "--generations",
+                "2",
+                "--format",
+                "csv",
+                "--out",
+                str(out_file),
+            ]
+        )
+        == 0
+    )
+    assert "CSV rows" in capsys.readouterr().out
+    assert out_file.exists()
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

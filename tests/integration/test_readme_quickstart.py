@@ -15,6 +15,20 @@ def test_readme_quickstart_snippet():
     assert len(protein.sequence) == get_profile("tiny").candidate_length
 
 
+def test_readme_telemetry_snippet(tmp_path):
+    from repro import InhibitorDesigner, get_profile
+    from repro.telemetry import MetricsRegistry, export_jsonl, summary
+
+    telemetry = MetricsRegistry()
+    designer = InhibitorDesigner.from_profile(
+        get_profile("tiny"), seed=0, telemetry=telemetry
+    )
+    designer.design("YBL051C", seed=1, termination=3)
+    report = summary(telemetry)
+    assert "pipe.triple_product" in report
+    assert export_jsonl(telemetry, tmp_path / "run.jsonl") > 0
+
+
 def test_top_level_exports_importable():
     import repro
 
@@ -36,6 +50,7 @@ def test_subpackage_all_exports_resolve():
         "repro.analysis",
         "repro.synthetic",
         "repro.experiments",
+        "repro.telemetry",
     ):
         module = importlib.import_module(module_name)
         for name in module.__all__:

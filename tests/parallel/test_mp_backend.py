@@ -34,7 +34,7 @@ def test_results_in_input_order(mp_provider, rng):
     again = mp_provider.scores(seqs)  # all cached now
     for a, b in zip(first, again):
         assert a.target_score == b.target_score
-    assert mp_provider.cache_hits == len(seqs)
+    assert mp_provider.cache_stats["hits"] == len(seqs)
 
 
 def test_duplicate_sequences_in_batch(mp_provider, rng):
@@ -60,3 +60,40 @@ def test_validation(tiny_engine, tiny_problem):
     target, non_targets = tiny_problem
     with pytest.raises(ValueError):
         MultiprocessScoreProvider(tiny_engine, target, non_targets, num_workers=0)
+
+
+def test_context_manager_reaps_workers(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    with MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=1, timeout=120.0
+    ) as provider:
+        provider.scores([rng.integers(0, 20, size=25).astype(np.uint8)])
+        assert provider._workers
+    assert not provider._workers
+    assert provider.closed
+
+
+def test_context_manager_reaps_on_exception(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=1, timeout=120.0
+    )
+    with pytest.raises(RuntimeError, match="boom"):
+        with provider:
+            provider.scores([rng.integers(0, 20, size=25).astype(np.uint8)])
+            raise RuntimeError("boom")
+    assert not provider._workers
+    assert provider.closed
+
+
+def test_worker_stats_recorded(mp_provider, rng):
+    seqs = [rng.integers(0, 20, size=25).astype(np.uint8) for _ in range(6)]
+    mp_provider.scores(seqs)
+    stats = mp_provider.worker_stats()
+    assert stats  # at least one worker reported
+    assert sum(int(w["items"]) for w in stats.values()) == 6
+    assert all(w["busy_s"] >= 0.0 for w in stats.values())
+    runtime = mp_provider.runtime_stats()
+    assert runtime["dispatched"] == 6
+    assert runtime["batches"] == 1
+    assert runtime["cache"]["misses"] == 6

@@ -1,8 +1,7 @@
 """Hypothesis property tests for reverse translation and properties."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.constants import AMINO_ACIDS

@@ -1,7 +1,7 @@
 """Hypothesis property tests for the sequence substrate."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.constants import AMINO_ACIDS

@@ -1,6 +1,5 @@
 """Hypothesis property tests for the wet-lab substrate."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

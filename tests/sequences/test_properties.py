@@ -1,6 +1,5 @@
 """Tests for physicochemical sequence properties."""
 
-import numpy as np
 import pytest
 
 from repro.sequences.properties import (

@@ -1,6 +1,5 @@
 """Tests for the Protein record."""
 
-import numpy as np
 import pytest
 
 from repro.sequences.encoding import decode

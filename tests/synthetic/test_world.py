@@ -1,6 +1,5 @@
 """Tests for the assembled synthetic world."""
 
-import dataclasses
 
 import pytest
 

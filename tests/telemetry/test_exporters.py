@@ -1,0 +1,87 @@
+"""Exporter round-trips: JSON-lines, CSV and the human summary."""
+
+import csv
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    export_csv,
+    export_jsonl,
+    read_jsonl,
+    summary,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.count("provider.cache.hits", 3)
+    reg.set_gauge("parallel.queue_depth", 7)
+    reg.observe("ga.fitness", 0.25)
+    reg.observe("ga.fitness", 0.75)
+    with reg.span("pipe.triple_product"):
+        pass
+    reg.event("ga.generation", generation=0, best_fitness=0.5)
+    return reg
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        lines = export_jsonl(reg, path)
+        records = read_jsonl(path)
+        assert len(records) == lines == 5
+        events = [r for r in records if r["record"] == "event"]
+        metrics = {r["name"]: r for r in records if r["record"] == "metric"}
+        assert events[0]["event"] == "ga.generation"
+        assert events[0]["best_fitness"] == 0.5
+        assert metrics["provider.cache.hits"]["value"] == 3
+        assert metrics["ga.fitness"]["mean"] == 0.5
+        assert metrics["pipe.triple_product"]["count"] == 1
+
+    def test_events_precede_metrics(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        export_jsonl(reg, path)
+        kinds = [r["record"] for r in read_jsonl(path)]
+        assert kinds == sorted(kinds, key=lambda k: k != "event")
+
+    def test_null_registry_exports_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert export_jsonl(NullRegistry(), path) == 0
+        assert read_jsonl(path) == []
+
+
+class TestCsv:
+    def test_rows_parse(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "metrics.csv"
+        rows = export_csv(reg, path)
+        with open(path, newline="") as fh:
+            parsed = list(csv.DictReader(fh))
+        assert len(parsed) == rows
+        hit_rows = [r for r in parsed if r["name"] == "provider.cache.hits"]
+        assert hit_rows[0]["type"] == "counter"
+        assert float(hit_rows[0]["value"]) == 3.0
+
+
+class TestSummary:
+    def test_mentions_every_instrument(self):
+        text = summary(populated_registry())
+        for needle in (
+            "pipe.triple_product",
+            "provider.cache.hits",
+            "parallel.queue_depth",
+            "ga.fitness",
+            "ga.generation",
+        ):
+            assert needle in text
+
+    def test_empty_registry(self):
+        assert "no telemetry" in summary(MetricsRegistry())
+
+    def test_writes_to_stream(self, tmp_path):
+        path = tmp_path / "summary.txt"
+        with open(path, "w") as fh:
+            text = summary(populated_registry(), stream=fh)
+        assert path.read_text().strip() == text.strip()
