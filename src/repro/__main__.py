@@ -55,7 +55,8 @@ def _cmd_design(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run one instrumented design and report the runtime telemetry —
     PIPE kernel breakdown, per-generation GA stats, cache hit rate and
-    (with ``--workers``) per-worker throughput/utilisation."""
+    (with ``--workers``) per-worker throughput/utilisation plus the
+    fault-tolerance counters (deaths/respawns/retries/stale/failures)."""
     from repro import InhibitorDesigner, get_profile
     from repro.telemetry import MetricsRegistry, export_csv, export_jsonl, summary
 
@@ -99,6 +100,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"throughput={w['throughput_per_s']:.1f}/s "
                 f"utilisation={w['utilisation'] * 100:.0f}%"
             )
+        ft = stats["fault_tolerance"]
+        print(
+            f"  fault tolerance: deaths={ft['worker_deaths']} "
+            f"respawns={ft['respawns']} retries={ft['retries']} "
+            f"stale_dropped={ft['stale_dropped']} failures={ft['failures']}"
+        )
     if args.out:
         if args.format == "csv":
             rows = export_csv(registry, args.out)

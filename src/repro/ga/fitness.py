@@ -175,13 +175,17 @@ class CachingScoreProvider(ScoreProvider):
                     f"{type(self).__name__}._score_uncached returned "
                     f"{len(fresh)} results for {len(pending)} sequences"
                 )
+            fresh_by_key: dict[bytes, ScoreSet] = {}
             for (i, key), score_set in zip(pending, fresh):
                 results[i] = score_set
+                fresh_by_key[key] = score_set
                 self._store(key, score_set)
-            # Fill in-batch duplicates from the freshly cached entries.
+            # Fill in-batch duplicates from this batch's fresh results, not
+            # the cache: a cache smaller than the batch may already have
+            # evicted the entry the duplicate needs.
             for i, arr in enumerate(arrays):
                 if results[i] is None:
-                    results[i] = self._cache[arr.tobytes()]
+                    results[i] = fresh_by_key[arr.tobytes()]
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 

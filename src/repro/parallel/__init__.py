@@ -21,26 +21,34 @@ parallelism (GIL); that level is modelled by the Blue Gene/Q discrete-event
 simulator in :mod:`repro.cluster` instead.
 """
 
-from repro.parallel.messages import EndSignal, WorkItem, WorkResult
-from repro.parallel.mp_backend import MultiprocessScoreProvider
+from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
+from repro.parallel.mp_backend import (
+    DeadWorkerError,
+    MultiprocessScoreProvider,
+    WorkerFailureError,
+)
 from repro.parallel.multirack import MultiRackGA, RackResult
 from repro.parallel.scheduler import (
     OnDemandScheduler,
     Scheduler,
     StaticScheduler,
 )
-from repro.parallel.worker import WorkerContext, score_candidate
+from repro.parallel.worker import FaultPlan, WorkerContext, score_candidate
 
 __all__ = [
+    "DeadWorkerError",
     "EndSignal",
+    "FaultPlan",
     "MultiRackGA",
     "MultiprocessScoreProvider",
     "OnDemandScheduler",
     "RackResult",
     "Scheduler",
     "StaticScheduler",
+    "WorkFailure",
     "WorkItem",
     "WorkResult",
     "WorkerContext",
+    "WorkerFailureError",
     "score_candidate",
 ]

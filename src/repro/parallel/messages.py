@@ -7,6 +7,14 @@ With :mod:`multiprocessing` queues the request/response pair collapses into
 a shared task queue (the queue *is* the on-demand dispatcher), but the
 message payloads are kept explicit so the scheduler logic stays testable
 and transport-independent.
+
+Every dispatch-side message carries a ``batch_epoch``: the master tags each
+batch with a monotonically increasing epoch and drops any reply stamped
+with an older one, so a result orphaned by a timeout or a worker death can
+never be mis-assigned to a later batch that happens to reuse the same
+``sequence_id``.  A worker-side exception travels back as a
+:class:`WorkFailure` (with the full traceback) instead of silently killing
+the worker process.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import numpy as np
 
 from repro.ga.fitness import ScoreSet
 
-__all__ = ["WorkItem", "WorkResult", "EndSignal"]
+__all__ = ["WorkItem", "WorkResult", "WorkFailure", "EndSignal"]
 
 
 @dataclass(frozen=True)
@@ -26,16 +34,25 @@ class WorkItem:
 
     sequence_id: int
     payload: bytes  # encoded (uint8) sequence bytes; cheap to pickle
+    batch_epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.sequence_id < 0:
             raise ValueError(f"sequence_id must be >= 0, got {self.sequence_id}")
         if not self.payload:
             raise ValueError("payload must be non-empty")
+        if self.batch_epoch < 0:
+            raise ValueError(f"batch_epoch must be >= 0, got {self.batch_epoch}")
 
     @classmethod
-    def from_encoded(cls, sequence_id: int, encoded: np.ndarray) -> "WorkItem":
-        return cls(sequence_id, np.asarray(encoded, dtype=np.uint8).tobytes())
+    def from_encoded(
+        cls, sequence_id: int, encoded: np.ndarray, *, batch_epoch: int = 0
+    ) -> "WorkItem":
+        return cls(
+            sequence_id,
+            np.asarray(encoded, dtype=np.uint8).tobytes(),
+            batch_epoch,
+        )
 
     def decode(self) -> np.ndarray:
         return np.frombuffer(self.payload, dtype=np.uint8)
@@ -47,13 +64,32 @@ class WorkResult:
 
     ``elapsed`` is the worker-side wall-clock seconds spent computing the
     scores; the master aggregates it into per-worker busy time and
-    throughput telemetry (the Fig. 5/6 quantities).
+    throughput telemetry (the Fig. 5/6 quantities).  ``batch_epoch`` echoes
+    the dispatching :class:`WorkItem`'s epoch so the master can reject
+    stale replies from an earlier, abandoned batch.
     """
 
     sequence_id: int
     worker_id: int
     scores: ScoreSet
     elapsed: float = 0.0
+    batch_epoch: int = 0
+
+
+@dataclass(frozen=True)
+class WorkFailure:
+    """Worker → master: ``score_candidate`` raised for one candidate.
+
+    Carries the exception summary and the full formatted traceback so the
+    master can surface the *worker-side* stack in its own error instead of
+    reporting an opaque timeout.
+    """
+
+    sequence_id: int
+    worker_id: int
+    error: str
+    traceback: str
+    batch_epoch: int = 0
 
 
 @dataclass(frozen=True)

@@ -6,12 +6,32 @@
 from this parallel backend or the serial reference path — the property the
 integration tests assert.
 
+The runtime is fault tolerant at the task level, the property the paper's
+days-long Blue Gene/Q campaigns depend on:
+
+* every batch is stamped with a monotonically increasing ``batch_epoch``;
+  a reply from an earlier epoch (orphaned by a timeout or a dead worker)
+  is counted and dropped, never assigned to a later candidate that reuses
+  the same ``sequence_id``;
+* the collection loop polls on short sub-timeouts and checks
+  ``Process.is_alive()`` whenever the result queue is quiet — a dead
+  worker is reaped, a replacement (with a fresh worker id) is spawned,
+  and the epoch's unacknowledged items are re-dispatched under a bounded
+  per-item retry budget; exhausting the budget raises
+  :class:`DeadWorkerError` naming the dead workers and the lost items;
+* a worker-side scoring exception arrives as a
+  :class:`~repro.parallel.messages.WorkFailure` and is re-raised on the
+  master as :class:`WorkerFailureError` carrying the worker traceback,
+  instead of killing the worker process silently.
+
 The provider shares the bounded-LRU score cache with the serial path
 through :class:`~repro.ga.fitness.CachingScoreProvider` and reports the
 master-side view of the runtime through telemetry: batch wall time
 (``parallel.batch``), dispatch counters, queue depth at dispatch
-(``parallel.queue_depth``) and — from the worker-reported per-item wall
-times — per-worker busy time, item counts, throughput and utilisation
+(``parallel.queue_depth``), the fault-tolerance counters
+(``parallel.{worker_deaths,respawns,retries,stale_dropped,failures}``)
+and — from the worker-reported per-item wall times — per-worker busy
+time, item counts, throughput and utilisation
 (:meth:`MultiprocessScoreProvider.worker_stats`), exactly the quantities
 behind the paper's Figures 5–6.
 """
@@ -26,12 +46,29 @@ import time
 import numpy as np
 
 from repro.ga.fitness import CachingScoreProvider, ScoreSet
-from repro.parallel.messages import EndSignal, WorkItem, WorkResult
-from repro.parallel.worker import WorkerContext, worker_loop
+from repro.parallel.messages import (
+    EndSignal,
+    WorkFailure,
+    WorkItem,
+    WorkResult,
+)
+from repro.parallel.worker import FaultPlan, WorkerContext, worker_loop
 from repro.ppi.pipe import PipeEngine
 from repro.telemetry import MetricsRegistry
 
-__all__ = ["MultiprocessScoreProvider"]
+__all__ = [
+    "MultiprocessScoreProvider",
+    "WorkerFailureError",
+    "DeadWorkerError",
+]
+
+
+class WorkerFailureError(RuntimeError):
+    """A worker's ``score_candidate`` raised; carries the worker traceback."""
+
+
+class DeadWorkerError(RuntimeError):
+    """Workers died and an item exhausted its re-dispatch retry budget."""
 
 
 def _worker_entry(worker_id, context, task_queue, result_queue):
@@ -41,7 +78,8 @@ def _worker_entry(worker_id, context, task_queue, result_queue):
 
 class MultiprocessScoreProvider(CachingScoreProvider):
     """Master-side score provider dispatching candidates to worker
-    processes on demand.
+    processes on demand, with task-level fault tolerance (see the module
+    docstring for the recovery semantics).
 
     Use as a context manager (``with MultiprocessScoreProvider(...) as p:``)
     so the workers are reaped even when the surrounding GA raises.
@@ -56,10 +94,20 @@ class MultiprocessScoreProvider(CachingScoreProvider):
     num_workers:
         Worker process count (paper: nodes - 1; default: available CPUs).
     timeout:
-        Per-result collection timeout in seconds; a worker death surfaces
-        as a timeout error rather than a hang.
+        Seconds of *no progress* (no reply received, no dead worker
+        recovered) the collection loop tolerates before raising.
+    poll_interval:
+        Sub-timeout of each result-queue poll; between polls the loop
+        checks worker liveness, so a worker death is detected within
+        roughly one interval instead of one full ``timeout``.
+    max_retries:
+        Per-item budget of re-dispatches after worker deaths; exceeding
+        it raises :class:`DeadWorkerError`.
     cache_size:
         Bound of the shared LRU score cache.
+    faults:
+        Test-only :class:`~repro.parallel.worker.FaultPlan` forwarded to
+        the workers; leave ``None`` in production.
     telemetry:
         Metrics registry; defaults to the zero-overhead null registry.
     """
@@ -72,28 +120,57 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         *,
         num_workers: int | None = None,
         timeout: float = 300.0,
+        poll_interval: float = 0.25,
+        max_retries: int = 3,
         start_method: str | None = None,
         cache_size: int = 100_000,
+        faults: FaultPlan | None = None,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         super().__init__(cache_size=cache_size, telemetry=telemetry)
-        self.context = WorkerContext(engine, target, list(non_targets))
+        self.context = WorkerContext(engine, target, list(non_targets), faults)
         self.num_workers = num_workers or max(1, os.cpu_count() or 1)
         self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+        self.max_retries = int(max_retries)
         method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else None)
         self._ctx = mp.get_context(method)
         self._task_queue = None
         self._result_queue = None
-        self._workers: list[mp.Process] = []
+        self._workers: dict[int, mp.Process] = {}
+        self._next_worker_id = 0
+        self._epoch = 0
         self.dispatched = 0
+        self.worker_deaths = 0
+        self.respawns = 0
+        self.retries = 0
+        self.stale_dropped = 0
+        self.failures = 0
         self._worker_items: dict[int, int] = {}
         self._worker_busy: dict[int, float] = {}
         self._batches = 0
         self._batch_wall = 0.0
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_worker(self) -> int:
+        """Start one worker process under a fresh, never-reused worker id."""
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(wid, self.context, self._task_queue, self._result_queue),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[wid] = proc
+        return wid
 
     def _ensure_started(self) -> None:
         if self._workers:
@@ -105,26 +182,27 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             self.context.warm_cache()
             self._task_queue = self._ctx.Queue()
             self._result_queue = self._ctx.Queue()
-            for wid in range(self.num_workers):
-                proc = self._ctx.Process(
-                    target=_worker_entry,
-                    args=(wid, self.context, self._task_queue, self._result_queue),
-                    daemon=True,
-                )
-                proc.start()
-                self._workers.append(proc)
+            for _ in range(self.num_workers):
+                self._spawn_worker()
         self.telemetry.count("parallel.spawns")
 
     def close(self) -> None:
         if not self._workers:
             super().close()
             return
+        # Drain replies orphaned by a failed batch so worker result puts
+        # cannot block shutdown.
+        while True:
+            try:
+                self._result_queue.get_nowait()
+            except queue_mod.Empty:
+                break
         self._task_queue.put(EndSignal())
-        for proc in self._workers:
+        for proc in self._workers.values():
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
-        self._workers = []
+        self._workers = {}
         self._task_queue = None
         self._result_queue = None
         super().close()
@@ -134,31 +212,110 @@ class MultiprocessScoreProvider(CachingScoreProvider):
     def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
         self._ensure_started()
         start = time.perf_counter()
+        self._epoch += 1
+        epoch = self._epoch
         results: list[ScoreSet | None] = [None] * len(arrays)
         with self.telemetry.span("parallel.batch"):
             self.telemetry.set_gauge("parallel.queue_depth", len(arrays))
+            items: dict[int, WorkItem] = {}
             for sid, arr in enumerate(arrays):
-                self._task_queue.put(WorkItem.from_encoded(sid, arr))
+                item = WorkItem.from_encoded(sid, arr, batch_epoch=epoch)
+                items[sid] = item
+                self._task_queue.put(item)
                 self.dispatched += 1
             self.telemetry.count("parallel.dispatched", len(arrays))
-            received = 0
-            while received < len(arrays):
+            pending = set(items)
+            retries: dict[int, int] = {}
+            last_progress = time.monotonic()
+            while pending:
                 try:
-                    msg = self._result_queue.get(timeout=self.timeout)
+                    msg = self._result_queue.get(timeout=self.poll_interval)
                 except queue_mod.Empty:
-                    raise RuntimeError(
-                        f"timed out waiting for worker results "
-                        f"({received}/{len(arrays)} received)"
-                    ) from None
+                    dead = self._reap_dead_workers()
+                    if dead:
+                        self._recover(dead, items, pending, retries)
+                        last_progress = time.monotonic()
+                    elif time.monotonic() - last_progress > self.timeout:
+                        missing = sorted(pending)
+                        raise RuntimeError(
+                            f"timed out waiting for worker results "
+                            f"({len(arrays) - len(pending)}/{len(arrays)} "
+                            f"received; missing sequence ids {missing[:10]})"
+                        ) from None
+                    continue
+                last_progress = time.monotonic()
+                if isinstance(msg, WorkFailure):
+                    if msg.batch_epoch != epoch:
+                        self._drop_stale()
+                        continue
+                    self.failures += 1
+                    self.telemetry.count("parallel.failures")
+                    raise WorkerFailureError(
+                        f"worker {msg.worker_id} failed on sequence "
+                        f"{msg.sequence_id}: {msg.error}\n"
+                        f"--- worker traceback ---\n{msg.traceback}"
+                    )
                 if not isinstance(msg, WorkResult):  # pragma: no cover
                     raise TypeError(f"unexpected result {type(msg).__name__}")
+                if msg.batch_epoch != epoch or msg.sequence_id not in pending:
+                    # Stale epoch, or a duplicate of a re-dispatched item
+                    # that completed twice — either way, not this batch's.
+                    self._drop_stale()
+                    continue
                 results[msg.sequence_id] = msg.scores
-                received += 1
+                pending.discard(msg.sequence_id)
                 self._record_result(msg)
         assert all(r is not None for r in results)
         self._batches += 1
         self._batch_wall += time.perf_counter() - start
         return results  # type: ignore[return-value]
+
+    # -- fault handling ----------------------------------------------------
+
+    def _reap_dead_workers(self) -> list[int]:
+        """Remove and count workers whose processes have exited."""
+        dead = [wid for wid, proc in self._workers.items() if not proc.is_alive()]
+        for wid in dead:
+            proc = self._workers.pop(wid)
+            proc.join(timeout=0.1)
+            self.worker_deaths += 1
+            self.telemetry.count("parallel.worker_deaths")
+        return dead
+
+    def _recover(
+        self,
+        dead: list[int],
+        items: dict[int, WorkItem],
+        pending: set[int],
+        retries: dict[int, int],
+    ) -> None:
+        """Respawn replacements and re-dispatch unacknowledged items.
+
+        The shared task queue hides *which* item a dead worker held, so
+        every unacknowledged item of the epoch is re-dispatched; the
+        epoch/pending guard in the collection loop drops the duplicate
+        replies this can produce.
+        """
+        for _ in dead:
+            self._spawn_worker()
+            self.respawns += 1
+            self.telemetry.count("parallel.respawns")
+        exhausted = sorted(sid for sid in pending if retries.get(sid, 0) >= self.max_retries)
+        if exhausted:
+            raise DeadWorkerError(
+                f"worker(s) {sorted(dead)} died and sequence(s) "
+                f"{exhausted[:10]} exhausted the retry budget of "
+                f"{self.max_retries}; {len(pending)} item(s) lost"
+            )
+        for sid in sorted(pending):
+            retries[sid] = retries.get(sid, 0) + 1
+            self.retries += 1
+            self.telemetry.count("parallel.retries")
+            self._task_queue.put(items[sid])
+
+    def _drop_stale(self) -> None:
+        self.stale_dropped += 1
+        self.telemetry.count("parallel.stale_dropped")
 
     def _record_result(self, msg: WorkResult) -> None:
         wid = msg.worker_id
@@ -191,6 +348,17 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             }
         return out
 
+    def fault_stats(self) -> dict[str, int]:
+        """Fault-tolerance counters (mirrors the ``parallel.*`` telemetry)."""
+        return {
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "stale_dropped": self.stale_dropped,
+            "failures": self.failures,
+            "epoch": self._epoch,
+        }
+
     def runtime_stats(self) -> dict[str, object]:
         """Master-side runtime summary (batches, wall time, cache, workers)."""
         return {
@@ -200,4 +368,5 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "batch_wall_s": self._batch_wall,
             "cache": self.cache_stats,
             "workers": self.worker_stats(),
+            "fault_tolerance": self.fault_stats(),
         }

@@ -20,7 +20,15 @@ __all__ = ["Scheduler", "OnDemandScheduler", "StaticScheduler"]
 
 
 class Scheduler(ABC):
-    """Tracks which candidate goes to which worker and what is outstanding."""
+    """Tracks which candidate goes to which worker and what is outstanding.
+
+    Fault tolerance: when the master detects a dead worker it calls
+    :meth:`requeue_lost` to move that worker's outstanding items back into
+    the pending pool (incrementing their retry counts); a late duplicate
+    reply for an item that was ever requeued is *dropped* by
+    :meth:`record` (returns ``False``) instead of raising, because
+    re-dispatch legitimately produces duplicates.
+    """
 
     def __init__(self, items: list[WorkItem]) -> None:
         ids = [it.sequence_id for it in items]
@@ -29,17 +37,47 @@ class Scheduler(ABC):
         self._items = {it.sequence_id: it for it in items}
         self._outstanding: dict[int, int] = {}  # sequence_id -> worker_id
         self._completed: dict[int, WorkResult] = {}
+        self._retries: dict[int, int] = {}
 
     @abstractmethod
     def next_for(self, worker_id: int) -> WorkItem | None:
         """The next item for ``worker_id``; None when it has nothing left."""
 
-    def record(self, result: WorkResult) -> None:
-        """Register a completed result; validates it was outstanding."""
+    def _readmit(self, item: WorkItem) -> None:
+        """Put a lost item back at the front of the pending pool."""
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot re-dispatch lost items"
+        )
+
+    def requeue_lost(self, worker_id: int) -> list[int]:
+        """A worker died: readmit its outstanding items; returns their ids."""
+        lost = sorted(
+            sid for sid, wid in self._outstanding.items() if wid == worker_id
+        )
+        for sid in lost:
+            del self._outstanding[sid]
+            self._retries[sid] = self._retries.get(sid, 0) + 1
+            self._readmit(self._items[sid])
+        return lost
+
+    def retries(self, sequence_id: int) -> int:
+        """How many times ``sequence_id`` has been requeued after a death."""
+        return self._retries.get(sequence_id, 0)
+
+    def record(self, result: WorkResult) -> bool:
+        """Register a completed result; validates it was outstanding.
+
+        Returns ``True`` when the result was recorded, ``False`` when it
+        was a late duplicate of a requeued (re-dispatched) item and was
+        dropped.  Duplicates of never-requeued items still raise — outside
+        a recovery they indicate a protocol bug.
+        """
         sid = result.sequence_id
         if sid not in self._items:
             raise KeyError(f"result for unknown sequence {sid}")
         if sid in self._completed:
+            if self._retries.get(sid, 0) > 0:
+                return False  # duplicate reply from a re-dispatch
             raise ValueError(f"duplicate result for sequence {sid}")
         expected = self._outstanding.pop(sid, None)
         if expected is None:
@@ -50,6 +88,7 @@ class Scheduler(ABC):
                 f"but completed by {result.worker_id}"
             )
         self._completed[sid] = result
+        return True
 
     def _mark_dispatched(self, item: WorkItem, worker_id: int) -> WorkItem:
         self._outstanding[item.sequence_id] = worker_id
@@ -83,12 +122,19 @@ class OnDemandScheduler(Scheduler):
             return None
         return self._mark_dispatched(self._pending.popleft(), worker_id)
 
+    def _readmit(self, item: WorkItem) -> None:
+        # Front of the deque: a recovered item is the batch's critical path.
+        self._pending.appendleft(item)
+
 
 class StaticScheduler(Scheduler):
     """Round-robin pre-assignment (ablation baseline).
 
     Each worker can only ever receive its pre-assigned slice, so one slow
-    sequence delays its owner while other workers idle.
+    sequence delays its owner while other workers idle.  For the same
+    reason it cannot recover from a worker death — :meth:`requeue_lost`
+    raises ``NotImplementedError``, which is the ablation's point: static
+    pre-assignment has no pool to re-balance from.
     """
 
     def __init__(self, items: list[WorkItem], num_workers: int) -> None:

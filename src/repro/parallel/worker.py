@@ -5,30 +5,78 @@ pickled arguments, standing in for the paper's MPI broadcast that "relieves
 considerable stress from the shared disks"), then loops: request work,
 build the candidate's ``sequence_similarity`` structure, run PIPE against
 the target and every non-target, and return the scores.
+
+A candidate whose evaluation raises does **not** kill the worker: the
+exception is captured as a :class:`~repro.parallel.messages.WorkFailure`
+(with the full traceback) and the loop continues, so one poisoned sequence
+costs one reply, not a worker process.  For deterministic testing of the
+master's recovery paths, :class:`WorkerContext` optionally carries a
+:class:`FaultPlan` that can delay, fail or hard-crash the worker on a
+chosen item.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import time
+import traceback as traceback_mod
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ga.fitness import ScoreSet
-from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
 from repro.ppi.pipe import PipeEngine
 
-__all__ = ["WorkerContext", "score_candidate", "worker_loop"]
+__all__ = ["FaultPlan", "WorkerContext", "score_candidate", "worker_loop"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Test-only fault injection for the worker loop.
+
+    Item indices are 0-based counts of items *this worker* has pulled from
+    the task queue.  ``only_worker`` restricts injection to one worker id;
+    respawned workers receive fresh (monotonically increasing) ids, so a
+    crash plan targeting worker 0 fires at most once per run — the
+    replacement worker is unaffected and recovery is deterministic.
+
+    Attributes
+    ----------
+    fail_on_item:
+        Raise inside the scoring path at this item (surfaces as a
+        :class:`~repro.parallel.messages.WorkFailure`).
+    crash_on_item:
+        Hard-exit the worker process (``os._exit``) after pulling this
+        item — the item is lost in flight, simulating a node failure.
+    delay_on_item / delay:
+        Sleep ``delay`` seconds before scoring; with ``delay_on_item``
+        set, only that item is delayed, otherwise every item is.
+    """
+
+    fail_on_item: int | None = None
+    crash_on_item: int | None = None
+    delay_on_item: int | None = None
+    delay: float = 0.0
+    only_worker: int | None = None
+
+    def applies_to(self, worker_id: int) -> bool:
+        return self.only_worker is None or self.only_worker == worker_id
 
 
 @dataclass
 class WorkerContext:
-    """Everything a worker needs: the broadcast engine and the problem."""
+    """Everything a worker needs: the broadcast engine and the problem.
+
+    ``faults`` is a test-only :class:`FaultPlan`; production runs leave it
+    ``None`` (the default) and pay nothing for it.
+    """
 
     engine: PipeEngine
     target: str
     non_targets: list[str]
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         graph = self.engine.database.graph
@@ -73,8 +121,12 @@ def worker_loop(
     Runs until an :class:`EndSignal` arrives on the task queue.  The task
     queue is shared by all workers, so pulling from it is the
     multiprocessing realisation of the paper's on-demand master dispatch.
+    A scoring exception is reported as a :class:`WorkFailure` and the loop
+    continues with the next item.
     """
     context.warm_cache()
+    faults = context.faults
+    inject = faults is not None and faults.applies_to(worker_id)
     processed = 0
     while True:
         try:
@@ -87,11 +139,40 @@ def worker_loop(
             break
         if not isinstance(message, WorkItem):
             raise TypeError(f"unexpected message {type(message).__name__}")
+        if inject:
+            if faults.crash_on_item == processed:
+                # Simulated node failure: the pulled item dies with us.
+                os._exit(1)
+            if faults.delay > 0.0 and faults.delay_on_item in (None, processed):
+                time.sleep(faults.delay)
         start = time.perf_counter()
-        scores = score_candidate(context, message.decode())
+        try:
+            if inject and faults.fail_on_item == processed:
+                raise RuntimeError(
+                    f"injected failure on item {processed} of worker {worker_id}"
+                )
+            scores = score_candidate(context, message.decode())
+        except Exception as exc:
+            result_queue.put(
+                WorkFailure(
+                    sequence_id=message.sequence_id,
+                    worker_id=worker_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback_mod.format_exc(),
+                    batch_epoch=message.batch_epoch,
+                )
+            )
+            processed += 1
+            continue
         elapsed = time.perf_counter() - start
         result_queue.put(
-            WorkResult(message.sequence_id, worker_id, scores, elapsed)
+            WorkResult(
+                message.sequence_id,
+                worker_id,
+                scores,
+                elapsed,
+                batch_epoch=message.batch_epoch,
+            )
         )
         processed += 1
     return processed

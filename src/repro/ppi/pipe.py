@@ -22,6 +22,7 @@ likelihoods*, not probabilities.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -115,24 +116,41 @@ class PipeConfig:
 
 @dataclass(frozen=True)
 class PipeResult:
-    """Full output of one PIPE evaluation."""
+    """Full output of one PIPE evaluation.
+
+    ``decision_threshold`` is stamped by :meth:`PipeEngine.evaluate` from
+    the engine's config, so :attr:`predicted` agrees with
+    :meth:`PipeEngine.predict` for non-default thresholds.
+    """
 
     score: float
     filtered_max: float
     raw_max: int
+    decision_threshold: float = 0.5
     result_matrix: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def predicted(self) -> bool:
-        """Convenience flag filled in by :meth:`PipeEngine.predict`."""
-        return self.score >= 0.5
+        """Whether the pair is predicted to interact at the engine's
+        acceptance threshold."""
+        return self.score >= self.decision_threshold
 
 
 class PipeEngine:
     """Scores query pairs against a :class:`PipeDatabase`.
 
-    The engine is read-only after construction (the paper shares it across
-    all worker threads); all per-query state lives in the arguments.
+    The engine's *inputs* (database, config) are read-only after
+    construction, so it can be shared/broadcast across workers as the
+    paper does.  The one piece of mutable state is ``_evidence_cache``, a
+    bounded per-known-protein LRU memoising the right-hand factor of the
+    result-matrix triple product (``adjacency @ M_Bᵀ``), which is
+    identical for every candidate scored against the same
+    target/non-target — the GA's hot loop.  The GA's fixed
+    target/non-target workload fits entirely inside the default bound, so
+    it never evicts there; scan-style workloads touching many proteins
+    are capped at ``evidence_cache_size`` entries instead of growing
+    without bound.  Each forked worker owns an independent copy, so the
+    mutation is process-local and needs no locking.
     """
 
     def __init__(
@@ -140,6 +158,7 @@ class PipeEngine:
         database: PipeDatabase,
         config: PipeConfig,
         *,
+        evidence_cache_size: int = 256,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
         if database.window_size != config.window_size:
@@ -147,14 +166,15 @@ class PipeEngine:
                 "database window size "
                 f"{database.window_size} != config window size {config.window_size}"
             )
+        if evidence_cache_size < 1:
+            raise ValueError(
+                f"evidence_cache_size must be >= 1, got {evidence_cache_size}"
+            )
         self.database = database
         self.config = config
+        self.evidence_cache_size = int(evidence_cache_size)
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
-        # Per-known-protein cache of (adjacency @ M_Bᵀ): the right-hand
-        # factor of the result-matrix triple product is identical for every
-        # candidate scored against the same target/non-target, which is the
-        # GA's hot loop.
-        self._evidence_cache: dict[str, object] = {}
+        self._evidence_cache: OrderedDict[str, object] = OrderedDict()
 
     def set_telemetry(self, telemetry: MetricsRegistry | None) -> None:
         """Attach (or, with None, detach) a metrics registry.
@@ -260,6 +280,7 @@ class PipeEngine:
             score=score,
             filtered_max=fmax,
             raw_max=int(h.max()) if h.size else 0,
+            decision_threshold=self.config.decision_threshold,
             result_matrix=h if keep_matrix else None,
         )
 
@@ -296,7 +317,15 @@ class PipeEngine:
                     sim_b.counts if self.config.count_positions else sim_b.binary
                 )
                 evidence = (self.database.adjacency @ mb.T).tocsc()
+                while len(self._evidence_cache) >= self.evidence_cache_size:
+                    self._evidence_cache.popitem(last=False)
+                    telemetry.count("pipe.evidence_cache.evictions")
                 self._evidence_cache[name] = evidence
+                telemetry.set_gauge(
+                    "pipe.evidence_cache.size", len(self._evidence_cache)
+                )
+            else:
+                self._evidence_cache.move_to_end(name)
             with telemetry.span("pipe.triple_product"):
                 h = np.asarray((ma @ evidence).toarray(), dtype=np.float64)
             out[name], _ = self.score_matrix(h)

@@ -128,6 +128,24 @@ class TestSerialProvider:
         assert provider.cache_stats["misses"] == 1
         assert provider.cache_stats["hits"] == 2
 
+    def test_small_cache_fills_duplicates_in_batch(
+        self, tiny_engine, tiny_problem, rng
+    ):
+        """Regression: with cache_size smaller than the batch's fresh
+        entries, the duplicate fill read the cache after the fresh entry
+        had already been LRU-evicted and raised KeyError."""
+        target, nts = tiny_problem
+        provider = SerialScoreProvider(tiny_engine, target, nts[:2], cache_size=1)
+        a = rng.integers(0, 20, size=20).astype(np.uint8)
+        b = rng.integers(0, 20, size=20).astype(np.uint8)
+        out = provider.scores([a, b, a.copy(), b.copy()])
+        assert out[0] == out[2]
+        assert out[1] == out[3]
+        reference = SerialScoreProvider(tiny_engine, target, nts[:2])
+        want_a, want_b = reference.scores([a, b])
+        assert out[0] == want_a
+        assert out[1] == want_b
+
     def test_context_manager(self, tiny_engine, tiny_problem):
         target, nts = tiny_problem
         with SerialScoreProvider(tiny_engine, target, nts[:1]) as p:

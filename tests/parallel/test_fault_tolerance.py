@@ -1,0 +1,213 @@
+"""Fault-injection tests for the parallel runtime's recovery paths.
+
+Each test drives a deterministic failure through the
+:class:`~repro.parallel.worker.FaultPlan` hook on the worker context (or
+by replacing the worker entry point entirely) and asserts the master's
+contract: a crashed worker is respawned and the batch still returns
+correct, in-order scores; a worker-side exception surfaces with its
+traceback; a stale result from a timed-out epoch is never assigned to a
+later batch; an exhausted retry budget raises a diagnostic error naming
+the dead workers and the lost items.
+"""
+
+import numpy as np
+import pytest
+
+import repro.parallel.mp_backend as mp_backend
+from repro.ga.fitness import SerialScoreProvider
+from repro.parallel.mp_backend import (
+    DeadWorkerError,
+    MultiprocessScoreProvider,
+    WorkerFailureError,
+)
+from repro.parallel.worker import FaultPlan
+from repro.telemetry import MetricsRegistry
+
+pytestmark = pytest.mark.faults
+
+
+def _seqs(rng, n, size=25):
+    return [rng.integers(0, 20, size=size).astype(np.uint8) for _ in range(n)]
+
+
+def test_crashed_worker_respawned_batch_completes(
+    tiny_engine, tiny_problem, rng
+):
+    """Kill worker 0 mid-batch: the master must detect the death, respawn
+    a replacement, re-dispatch the lost item and still return correct,
+    in-order scores for the whole batch."""
+    target, non_targets = tiny_problem
+    telemetry = MetricsRegistry()
+    serial = SerialScoreProvider(tiny_engine, target, non_targets)
+    seqs = _seqs(rng, 6)
+    expected = serial.scores(seqs)
+    with MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=2,
+        timeout=60.0,
+        poll_interval=0.1,
+        faults=FaultPlan(crash_on_item=1, only_worker=0),
+        telemetry=telemetry,
+    ) as provider:
+        out = provider.scores(seqs)
+        assert len(out) == len(seqs)
+        for got, want in zip(out, expected):
+            assert got.target_score == pytest.approx(want.target_score)
+            assert got.non_target_scores == pytest.approx(want.non_target_scores)
+        assert provider.worker_deaths >= 1
+        assert provider.respawns >= 1
+        assert provider.retries >= 1
+        assert telemetry.counter("parallel.respawns").value >= 1
+        assert telemetry.counter("parallel.worker_deaths").value >= 1
+        # The replacement got a fresh id beyond the initial worker range.
+        assert provider._next_worker_id > provider.num_workers
+
+
+def test_work_failure_surfaces_worker_traceback(tiny_engine, tiny_problem, rng):
+    """A scoring exception inside a worker must be reported with the
+    worker-side traceback instead of killing the daemon silently."""
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=60.0,
+        poll_interval=0.1,
+        faults=FaultPlan(fail_on_item=0, only_worker=0),
+    )
+    try:
+        with pytest.raises(WorkerFailureError, match="injected failure") as exc:
+            provider.scores(_seqs(rng, 1))
+        assert "worker traceback" in str(exc.value)
+        assert "RuntimeError" in str(exc.value)
+        assert provider.failures == 1
+    finally:
+        provider.close()
+
+
+def test_worker_survives_failed_item(tiny_engine, tiny_problem, rng):
+    """The worker process itself outlives a scoring exception: after the
+    failed batch, the *same* provider scores a later batch correctly
+    without respawning anything."""
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=60.0,
+        poll_interval=0.1,
+        faults=FaultPlan(fail_on_item=0, only_worker=0),
+    )
+    try:
+        with pytest.raises(WorkerFailureError):
+            provider.scores(_seqs(rng, 1))
+        out = provider.scores(_seqs(rng, 2))
+        assert len(out) == 2
+        assert provider.respawns == 0
+    finally:
+        provider.close()
+
+
+def test_stale_epoch_result_dropped_on_reuse(tiny_engine, tiny_problem, rng):
+    """A result orphaned by a timed-out batch must never be assigned to a
+    later batch whose candidate reuses the same sequence_id — the exact
+    score-corruption bug the batch_epoch tag exists to prevent."""
+    target, non_targets = tiny_problem
+    serial = SerialScoreProvider(tiny_engine, target, non_targets)
+    seq_a, seq_b = _seqs(rng, 2)
+    provider = MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=0.4,
+        poll_interval=0.05,
+        faults=FaultPlan(delay_on_item=0, delay=2.0, only_worker=0),
+    )
+    try:
+        # Batch 1 (epoch 1): the worker sleeps past the timeout, so the
+        # master abandons the batch while seq_a's result is in flight.
+        with pytest.raises(RuntimeError, match="timed out"):
+            provider.scores([seq_a])
+        # Batch 2 (epoch 2): sequence_id 0 now means seq_b.  The stale
+        # epoch-1 reply for seq_a arrives first and must be dropped.
+        provider.timeout = 60.0
+        out = provider.scores([seq_b])
+        want = serial.scores([seq_b])[0]
+        assert out[0].target_score == pytest.approx(want.target_score)
+        assert out[0].non_target_scores == pytest.approx(want.non_target_scores)
+        assert provider.stale_dropped >= 1
+    finally:
+        provider.close()
+
+
+def _dead_worker_entry(worker_id, context, task_queue, result_queue):
+    """A worker that exits immediately without taking any work."""
+    return
+
+
+def test_retry_budget_exhaustion_names_workers_and_items(
+    tiny_engine, tiny_problem, monkeypatch, rng
+):
+    """When respawned workers keep dying, the master must give up after
+    the retry budget with a diagnostic naming the dead workers and the
+    lost sequence ids — not hang for the full timeout."""
+    target, non_targets = tiny_problem
+    monkeypatch.setattr(mp_backend, "_worker_entry", _dead_worker_entry)
+    provider = MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=30.0,
+        poll_interval=0.05,
+        max_retries=2,
+    )
+    try:
+        with pytest.raises(DeadWorkerError, match="died") as exc:
+            provider.scores(_seqs(rng, 1))
+        assert "retry budget" in str(exc.value)
+        assert provider.worker_deaths >= 1
+        assert provider.respawns >= 1
+        assert provider.retries == provider.max_retries
+    finally:
+        provider.close()
+
+
+def test_fault_stats_in_runtime_stats(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    with MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=1, timeout=60.0
+    ) as provider:
+        provider.scores(_seqs(rng, 2))
+        ft = provider.runtime_stats()["fault_tolerance"]
+        assert ft == {
+            "worker_deaths": 0,
+            "respawns": 0,
+            "retries": 0,
+            "stale_dropped": 0,
+            "failures": 0,
+            "epoch": 1,
+        }
+
+
+def test_fault_plan_only_targets_named_worker(tiny_engine, tiny_problem, rng):
+    """A plan scoped to a worker id that never exists is inert — the
+    batch completes with no deaths, failures or retries."""
+    target, non_targets = tiny_problem
+    with MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=60.0,
+        faults=FaultPlan(crash_on_item=0, fail_on_item=1, only_worker=99),
+    ) as provider:
+        out = provider.scores(_seqs(rng, 3))
+        assert len(out) == 3
+        assert provider.worker_deaths == 0
+        assert provider.failures == 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ga.fitness import ScoreSet
-from repro.parallel.messages import EndSignal, WorkItem, WorkResult
+from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
 
 
 def test_work_item_roundtrip():
@@ -36,10 +36,34 @@ def test_end_signal_default_reason():
     assert EndSignal().reason == "complete"
 
 
+def test_batch_epoch_roundtrip():
+    seq = np.array([1, 2, 3], dtype=np.uint8)
+    item = WorkItem.from_encoded(0, seq, batch_epoch=7)
+    assert item.batch_epoch == 7
+    assert WorkResult(0, 1, ScoreSet(0.5, ()), batch_epoch=7).batch_epoch == 7
+    # Messages from the pre-epoch protocol default to epoch 0.
+    assert WorkItem.from_encoded(0, seq).batch_epoch == 0
+    assert WorkResult(0, 1, ScoreSet(0.5, ())).batch_epoch == 0
+
+
+def test_batch_epoch_validation():
+    with pytest.raises(ValueError, match="batch_epoch"):
+        WorkItem(0, b"x", batch_epoch=-1)
+
+
+def test_work_failure_carries_traceback():
+    failure = WorkFailure(3, 1, "RuntimeError: boom", "Traceback ...", batch_epoch=2)
+    assert failure.sequence_id == 3
+    assert failure.worker_id == 1
+    assert "boom" in failure.error
+    assert failure.batch_epoch == 2
+
+
 def test_messages_picklable():
     import pickle
 
-    item = WorkItem.from_encoded(1, np.array([1, 2], dtype=np.uint8))
-    result = WorkResult(1, 0, ScoreSet(0.3, (0.1,)))
-    for msg in (item, result, EndSignal()):
+    item = WorkItem.from_encoded(1, np.array([1, 2], dtype=np.uint8), batch_epoch=4)
+    result = WorkResult(1, 0, ScoreSet(0.3, (0.1,)), batch_epoch=4)
+    failure = WorkFailure(1, 0, "ValueError: x", "Traceback ...", batch_epoch=4)
+    for msg in (item, result, failure, EndSignal()):
         assert pickle.loads(pickle.dumps(msg)) == msg

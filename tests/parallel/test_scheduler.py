@@ -89,6 +89,51 @@ class TestOnDemand:
             OnDemandScheduler(items)
 
 
+class TestRequeue:
+    """Fault-tolerance surface: a dead worker's items go back in the pool."""
+
+    def test_requeue_lost_readmits_at_front(self):
+        items = _items(3)
+        sched = OnDemandScheduler(items)
+        lost_item = sched.next_for(0)
+        assert sched.requeue_lost(0) == [lost_item.sequence_id]
+        assert sched.outstanding == 0
+        assert sched.retries(lost_item.sequence_id) == 1
+        # The recovered item is the critical path: handed out before the
+        # untouched tail of the queue.
+        assert sched.next_for(1).sequence_id == lost_item.sequence_id
+
+    def test_requeue_lost_only_dead_workers_items(self):
+        sched = OnDemandScheduler(_items(3))
+        i0 = sched.next_for(0)
+        i1 = sched.next_for(1)
+        assert sched.requeue_lost(0) == [i0.sequence_id]
+        assert sched.outstanding == 1  # worker 1's item untouched
+        sched.record(_result(i1, 1))
+
+    def test_duplicate_after_requeue_dropped_not_raised(self):
+        sched = OnDemandScheduler(_items(1))
+        item = sched.next_for(0)
+        sched.requeue_lost(0)
+        redispatched = sched.next_for(1)
+        assert sched.record(_result(redispatched, 1)) is True
+        # The dead worker's reply arrives late: dropped, not an error.
+        assert sched.record(_result(item, 1)) is False
+        assert sched.done
+
+    def test_requeue_unknown_worker_is_noop(self):
+        sched = OnDemandScheduler(_items(2))
+        sched.next_for(0)
+        assert sched.requeue_lost(99) == []
+        assert sched.outstanding == 1
+
+    def test_static_cannot_requeue(self):
+        sched = StaticScheduler(_items(2), num_workers=2)
+        sched.next_for(0)
+        with pytest.raises(NotImplementedError):
+            sched.requeue_lost(0)
+
+
 class TestStatic:
     def test_round_robin_assignment(self):
         sched = StaticScheduler(_items(6), num_workers=2)

@@ -236,3 +236,62 @@ def test_config_with_matrix():
 def test_resolved_threshold_uses_explicit_value():
     cfg = PipeConfig(window_size=4, similarity_threshold=12.5)
     assert cfg.resolved_threshold() == 12.5
+
+
+def test_predicted_respects_decision_threshold(world):
+    """Regression: PipeResult.predicted hardcoded `score >= 0.5`, ignoring
+    PipeConfig.decision_threshold — evaluate() and predict() disagreed for
+    non-default thresholds."""
+    from dataclasses import replace
+
+    graph, engine = world
+    rng = np.random.default_rng(33)
+    a = rng.integers(0, 20, size=13).astype(np.uint8)
+    b = graph.protein("P1").encoded
+    for threshold in (0.0, 0.2, 0.9, 1.0):
+        strict = PipeEngine(
+            engine.database, replace(engine.config, decision_threshold=threshold)
+        )
+        result = strict.evaluate(a, b)
+        assert result.decision_threshold == threshold
+        assert result.predicted == (result.score >= threshold)
+        assert result.predicted == strict.predict(a, b)
+    # threshold 1.0 can never accept (score is bounded below 1) and 0.0
+    # always accepts, so both branches are exercised above.
+    always = PipeEngine(engine.database, replace(engine.config, decision_threshold=0.0))
+    never = PipeEngine(engine.database, replace(engine.config, decision_threshold=1.0))
+    assert always.evaluate(a, b).predicted
+    assert not never.evaluate(a, b).predicted
+
+
+def test_evidence_cache_bounded_lru(world):
+    graph, engine = world
+    rng = np.random.default_rng(34)
+    seq = rng.integers(0, 20, size=13).astype(np.uint8)
+    names = [p.name for p in graph.proteins]
+    assert len(names) > 2
+    small = PipeEngine(engine.database, engine.config, evidence_cache_size=2)
+    small.score_against(seq, names)
+    assert len(small._evidence_cache) <= 2
+    # The most recently used entries survive; re-scoring them evicts nothing.
+    kept = list(small._evidence_cache)
+    small.score_against(seq, kept)
+    assert list(small._evidence_cache) == kept
+
+
+def test_evidence_cache_size_in_telemetry(world):
+    from repro.telemetry import MetricsRegistry
+
+    graph, engine = world
+    rng = np.random.default_rng(35)
+    seq = rng.integers(0, 20, size=13).astype(np.uint8)
+    telemetry = MetricsRegistry()
+    fresh = PipeEngine(engine.database, engine.config, telemetry=telemetry)
+    fresh.score_against(seq, ["P0", "P1"])
+    assert telemetry.gauge("pipe.evidence_cache.size").value == 2.0
+
+
+def test_evidence_cache_size_validation(world):
+    _, engine = world
+    with pytest.raises(ValueError, match="evidence_cache_size"):
+        PipeEngine(engine.database, engine.config, evidence_cache_size=0)
