@@ -24,7 +24,14 @@ from repro.ga.fitness import (
     SerialScoreProvider,
     combine_scores,
 )
-from repro.ga.operators import crossover, mutate, point_copy
+from repro.ga.operators import (
+    crossover,
+    crossover_with_provenance,
+    mutate,
+    mutate_with_provenance,
+    point_copy,
+    point_copy_with_provenance,
+)
 from repro.ga.population import Individual, Population
 from repro.ga.seeding import (
     PopulationInitializer,
@@ -74,11 +81,14 @@ __all__ = [
     "WETLAB_PARAMS",
     "combine_scores",
     "crossover",
+    "crossover_with_provenance",
     "diversity_report",
     "mean_pairwise_hamming",
     "positional_entropy",
     "unique_fraction",
     "mutate",
+    "mutate_with_provenance",
     "point_copy",
+    "point_copy_with_provenance",
     "roulette_select",
 ]

@@ -103,7 +103,11 @@ class AdaptiveInSiPSEngine(InSiPSEngine):
     def next_generation(self, current: Population) -> Population:
         nxt = Population(generation=current.generation + 1)
         probs = np.array(self.params.operation_probabilities)
-        from repro.ga.operators import crossover, mutate, point_copy
+        from repro.ga.operators import (
+            crossover_with_provenance,
+            mutate_with_provenance,
+            point_copy_with_provenance,
+        )
         from repro.ga.selection import roulette_select
 
         while len(nxt) < self.population_size:
@@ -111,7 +115,8 @@ class AdaptiveInSiPSEngine(InSiPSEngine):
             if op == "copy":
                 (i,) = roulette_select(current, self._rng, 1)
                 parent = current[i]
-                child = Individual(point_copy(parent.encoded))
+                copied, prov = point_copy_with_provenance(parent.encoded)
+                child = Individual(copied, provenance=prov)
                 child.fitness = parent.fitness
                 child.target_score = parent.target_score
                 child.max_non_target = parent.max_non_target
@@ -119,24 +124,25 @@ class AdaptiveInSiPSEngine(InSiPSEngine):
                 nxt.append(child)
             elif op == "mutate":
                 (i,) = roulette_select(current, self._rng, 1)
-                child = Individual(
-                    mutate(current[i].encoded, self.params.p_mutate_aa, self._rng)
+                mutated, prov = mutate_with_provenance(
+                    current[i].encoded, self.params.p_mutate_aa, self._rng
                 )
+                child = Individual(mutated, provenance=prov)
                 child.__dict__["origin"] = ("mutate", float(current[i].fitness))
                 nxt.append(child)
             else:
                 i, j = roulette_select(current, self._rng, 2)
                 parent_fit = max(float(current[i].fitness), float(current[j].fitness))
-                c1, c2 = crossover(
+                pair = crossover_with_provenance(
                     current[i].encoded,
                     current[j].encoded,
                     self.params.crossover_margin,
                     self._rng,
                 )
-                for c in (c1, c2):
+                for c, prov in pair:
                     if len(nxt) >= self.population_size:
                         break
-                    child = Individual(c)
+                    child = Individual(c, provenance=prov)
                     child.__dict__["origin"] = ("crossover", parent_fit)
                     nxt.append(child)
         return nxt

@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.ga.config import GAParams
 from repro.ga.fitness import FitnessFunction, ScoreProvider
-from repro.ga.operators import crossover, mutate, point_copy
+from repro.ga.operators import (
+    crossover_with_provenance,
+    mutate_with_provenance,
+    point_copy_with_provenance,
+)
 from repro.ga.population import Individual, Population
 from repro.ga.selection import roulette_select
 from repro.ga.stats import GenerationStats, RunHistory
@@ -138,7 +142,8 @@ class InSiPSEngine:
                 telemetry.count("ga.op.copy")
                 (i,) = roulette_select(current, self._rng, 1)
                 parent = current[i]
-                child = Individual(point_copy(parent.encoded))
+                copied, prov = point_copy_with_provenance(parent.encoded)
+                child = Individual(copied, provenance=prov)
                 # A verbatim copy keeps its scores; no re-evaluation needed.
                 child.fitness = parent.fitness
                 child.target_score = parent.target_score
@@ -148,23 +153,22 @@ class InSiPSEngine:
             elif op == "mutate":
                 telemetry.count("ga.op.mutate")
                 (i,) = roulette_select(current, self._rng, 1)
-                nxt.append(
-                    Individual(
-                        mutate(current[i].encoded, self.params.p_mutate_aa, self._rng)
-                    )
+                mutated, prov = mutate_with_provenance(
+                    current[i].encoded, self.params.p_mutate_aa, self._rng
                 )
+                nxt.append(Individual(mutated, provenance=prov))
             else:  # crossover
                 telemetry.count("ga.op.crossover")
                 i, j = roulette_select(current, self._rng, 2)
-                child1, child2 = crossover(
+                (child1, prov1), (child2, prov2) = crossover_with_provenance(
                     current[i].encoded,
                     current[j].encoded,
                     self.params.crossover_margin,
                     self._rng,
                 )
-                nxt.append(Individual(child1))
+                nxt.append(Individual(child1, provenance=prov1))
                 if len(nxt) < self.population_size:
-                    nxt.append(Individual(child2))
+                    nxt.append(Individual(child2, provenance=prov2))
         return nxt
 
     # -- main loop ---------------------------------------------------------------

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ga.population import Individual
+from repro.ppi.delta import DeltaStats, Provenance, SimilarityLRU
 from repro.ppi.pipe import PipeEngine
 from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 
@@ -98,6 +99,32 @@ class ScoreProvider(ABC):
     def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
         """PIPE score sets for each sequence, in input order."""
 
+    def scores_with_provenance(
+        self,
+        sequences: list[np.ndarray],
+        provenances: list[Provenance | None] | None,
+    ) -> list[ScoreSet]:
+        """Score sequences, optionally exploiting operator provenance.
+
+        Provenance (:class:`~repro.ppi.delta.Provenance`) is advisory:
+        providers that understand it re-sweep only the dirty windows of a
+        mutated/crossed-over child; this base implementation ignores it,
+        so every provider remains correct by default.
+        """
+        return self.scores(sequences)
+
+    def _record_delta(self, stats: DeltaStats | None) -> None:
+        """Fold one delta-or-fallback accounting into the telemetry
+        registry (the ``pipe.delta.*`` counters)."""
+        if stats is None:
+            return
+        if stats.hit:
+            self.telemetry.count("pipe.delta.hits")
+        else:
+            self.telemetry.count("pipe.delta.fallbacks")
+        self.telemetry.count("pipe.delta.rows_rescored", stats.rows_rescored)
+        self.telemetry.count("pipe.delta.rows_total", stats.rows_total)
+
     @property
     def closed(self) -> bool:
         """True after :meth:`close` (until the provider is used again)."""
@@ -146,8 +173,19 @@ class CachingScoreProvider(ScoreProvider):
     # -- the one scoring entry point ---------------------------------------
 
     def scores(self, sequences: list[np.ndarray]) -> list[ScoreSet]:
+        return self.scores_with_provenance(sequences, None)
+
+    def scores_with_provenance(
+        self,
+        sequences: list[np.ndarray],
+        provenances: list[Provenance | None] | None,
+    ) -> list[ScoreSet]:
         self._closed = False
         arrays = [np.asarray(s, dtype=np.uint8) for s in sequences]
+        if provenances is not None and len(provenances) != len(arrays):
+            raise ValueError(
+                f"{len(provenances)} provenances for {len(arrays)} sequences"
+            )
         results: list[ScoreSet | None] = [None] * len(arrays)
         pending: list[tuple[int, bytes]] = []
         seen_in_batch: dict[bytes, int] = {}
@@ -169,7 +207,14 @@ class CachingScoreProvider(ScoreProvider):
                 self._misses += 1
                 self.telemetry.count("provider.cache.misses")
         if pending:
-            fresh = self._score_uncached([arrays[i] for i, _ in pending])
+            fresh = self._score_uncached(
+                [arrays[i] for i, _ in pending],
+                (
+                    [provenances[i] for i, _ in pending]
+                    if provenances is not None
+                    else None
+                ),
+            )
             if len(fresh) != len(pending):
                 raise RuntimeError(
                     f"{type(self).__name__}._score_uncached returned "
@@ -190,8 +235,16 @@ class CachingScoreProvider(ScoreProvider):
         return results  # type: ignore[return-value]
 
     @abstractmethod
-    def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
-        """Score sequences the cache could not answer, in input order."""
+    def _score_uncached(
+        self,
+        arrays: list[np.ndarray],
+        provenances: list[Provenance | None] | None = None,
+    ) -> list[ScoreSet]:
+        """Score sequences the cache could not answer, in input order.
+
+        ``provenances`` (when given) aligns with ``arrays``; entries may
+        be ``None`` for sequences with no recorded derivation.
+        """
 
     # -- cache management ---------------------------------------------------
 
@@ -253,7 +306,16 @@ class CachingScoreProvider(ScoreProvider):
 
 class SerialScoreProvider(CachingScoreProvider):
     """In-process provider: the reference implementation of Algorithm 2's
-    per-candidate work, with the shared cross-generation score cache."""
+    per-candidate work, with the shared cross-generation score cache.
+
+    Keeps a bounded LRU of per-sequence similarity structures
+    (:class:`~repro.ppi.delta.SimilarityLRU`, ``similarity_cache_size``
+    entries) so a child with provenance re-sweeps only its dirty windows
+    against the proteome; a parent evicted from the LRU degrades to the
+    full sweep (``pipe.delta.fallbacks``), never to a wrong answer.  Set
+    ``use_delta=False`` to force the full sweep everywhere (the
+    benchmark baseline).
+    """
 
     def __init__(
         self,
@@ -262,6 +324,8 @@ class SerialScoreProvider(CachingScoreProvider):
         non_targets: list[str],
         *,
         cache_size: int = 100_000,
+        similarity_cache_size: int = 256,
+        use_delta: bool = True,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
         if target in non_targets:
@@ -274,13 +338,31 @@ class SerialScoreProvider(CachingScoreProvider):
         self.engine = engine
         self.target = target
         self.non_targets = list(non_targets)
+        self.use_delta = bool(use_delta)
+        self._similarity_cache = SimilarityLRU(similarity_cache_size)
 
-    def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
+    def _score_uncached(
+        self,
+        arrays: list[np.ndarray],
+        provenances: list[Provenance | None] | None = None,
+    ) -> list[ScoreSet]:
         names = [self.target, *self.non_targets]
+        provs = provenances if provenances is not None else [None] * len(arrays)
         out: list[ScoreSet] = []
         with self.telemetry.span("provider.serial.score"):
-            for arr in arrays:
-                scored = self.engine.score_against(arr, names)
+            for arr, prov in zip(arrays, provs):
+                similarity = None
+                if self.use_delta:
+                    # Same kernel-phase span engine.similarity_of records,
+                    # now timing the delta-or-full structure build.
+                    with self.engine.telemetry.span("pipe.window_build"):
+                        similarity, stats = self._similarity_cache.similarity_for(
+                            self.engine.database, arr, prov
+                        )
+                    self._record_delta(stats)
+                scored = self.engine.score_against(
+                    arr, names, similarity=similarity
+                )
                 out.append(
                     ScoreSet(
                         target_score=scored[self.target],
@@ -303,11 +385,23 @@ class FitnessFunction:
         self.provider = provider
 
     def evaluate(self, individuals: list[Individual]) -> None:
-        """Evaluate all unevaluated individuals (batch, provider-ordered)."""
+        """Evaluate all unevaluated individuals (batch, provider-ordered).
+
+        Each individual's operator provenance rides along so providers
+        can delta-score; providers without ``scores_with_provenance``
+        (minimal duck-typed stubs) are scored the classic way.
+        """
         pending = [ind for ind in individuals if not ind.evaluated]
         if not pending:
             return
-        score_sets = self.provider.scores([ind.encoded for ind in pending])
+        with_provenance = getattr(self.provider, "scores_with_provenance", None)
+        if with_provenance is not None:
+            score_sets = with_provenance(
+                [ind.encoded for ind in pending],
+                [getattr(ind, "provenance", None) for ind in pending],
+            )
+        else:
+            score_sets = self.provider.scores([ind.encoded for ind in pending])
         if len(score_sets) != len(pending):
             raise RuntimeError(
                 f"score provider returned {len(score_sets)} results "

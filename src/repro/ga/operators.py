@@ -1,18 +1,51 @@
-"""The three GA operations of Sec. 2.1: copy, mutate, crossover."""
+"""The three GA operations of Sec. 2.1: copy, mutate, crossover.
+
+Each operation has a ``*_with_provenance`` variant returning, alongside
+the child sequence(s), a :class:`~repro.ppi.delta.Provenance` recording
+which parent residue runs the child reuses verbatim.  The delta-scoring
+layer (:mod:`repro.ppi.delta`) uses that record to re-sweep only the
+windows the operation actually changed: a point mutation dirties at most
+``w`` windows per hit locus, a crossover only the windows straddling the
+cut, a copy none at all.  The plain functions keep the original
+signatures (and draw from the RNG in the identical order, so seeded runs
+are unchanged).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.constants import NUM_AMINO_ACIDS
+from repro.ppi.delta import (
+    Provenance,
+    copy_provenance,
+    crossover_provenance,
+    mutation_provenance,
+)
 
-__all__ = ["point_copy", "mutate", "crossover", "crossover_cut_range"]
+__all__ = [
+    "point_copy",
+    "mutate",
+    "crossover",
+    "crossover_cut_range",
+    "point_copy_with_provenance",
+    "mutate_with_provenance",
+    "crossover_with_provenance",
+]
 
 
 def point_copy(sequence: np.ndarray) -> np.ndarray:
     """Copy: "the chosen sequence is simply copied into the next
     generation"."""
     return np.array(sequence, dtype=np.uint8)
+
+
+def point_copy_with_provenance(
+    sequence: np.ndarray,
+) -> tuple[np.ndarray, Provenance]:
+    """Copy, plus a provenance marking the whole child clean."""
+    child = point_copy(sequence)
+    return child, copy_provenance(child)
 
 
 def mutate(
@@ -27,15 +60,31 @@ def mutate(
     final mutation probabilities are different due to fitness selection"
     — the operator itself is uniform; selection does the shaping.
     """
+    child, _ = mutate_with_provenance(sequence, p_mutate_aa, rng)
+    return child
+
+
+def mutate_with_provenance(
+    sequence: np.ndarray,
+    p_mutate_aa: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, Provenance]:
+    """Mutate, plus a provenance whose segments are the unmutated runs.
+
+    A hit locus that draws the same residue cannot occur (offsets are
+    drawn from the 19 *other* residues), so every hit really dirties its
+    window span.
+    """
     if not 0.0 <= p_mutate_aa <= 1.0:
         raise ValueError(f"p_mutate_aa must be in [0, 1], got {p_mutate_aa}")
-    out = np.array(sequence, dtype=np.uint8)
+    parent = np.asarray(sequence, dtype=np.uint8)
+    out = np.array(parent, dtype=np.uint8)
     hits = np.nonzero(rng.random(out.size) < p_mutate_aa)[0]
     if hits.size:
         # Draw from the 19 *other* residues: offset by 1..19 modulo 20.
         offsets = rng.integers(1, NUM_AMINO_ACIDS, size=hits.size)
         out[hits] = (out[hits].astype(np.int64) + offsets) % NUM_AMINO_ACIDS
-    return out
+    return out, mutation_provenance(parent, hits)
 
 
 def crossover_cut_range(length: int, margin: float) -> tuple[int, int]:
@@ -69,6 +118,19 @@ def crossover(
     equal-length children while unequal parents exchange proportional
     tails.
     """
+    (child1, _), (child2, _) = crossover_with_provenance(a, b, margin, rng)
+    return child1, child2
+
+
+def crossover_with_provenance(
+    a: np.ndarray,
+    b: np.ndarray,
+    margin: float,
+    rng: np.random.Generator,
+) -> tuple[tuple[np.ndarray, Provenance], tuple[np.ndarray, Provenance]]:
+    """Crossover, plus per-child provenances: prefix rows patch from one
+    parent, suffix rows from the other, and only the windows straddling
+    the cut are dirty."""
     la, lb = int(np.size(a)), int(np.size(b))
     lo_a, hi_a = crossover_cut_range(la, margin)
     frac = rng.uniform()
@@ -79,4 +141,5 @@ def crossover(
     b = np.asarray(b, dtype=np.uint8)
     child1 = np.concatenate([a[:cut_a], b[cut_b:]])
     child2 = np.concatenate([b[:cut_b], a[cut_a:]])
-    return child1, child2
+    prov1, prov2 = crossover_provenance(a, b, cut_a, cut_b)
+    return (child1, prov1), (child2, prov2)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.ppi.delta import Provenance
 from repro.sequences.encoding import decode
 
 __all__ = ["Individual", "Population"]
@@ -18,6 +19,12 @@ class Individual:
     ``target_score``, ``max_non_target`` and ``avg_non_target`` are the
     three PIPE statistics the paper tracks per fittest individual
     (Figure 7); ``fitness`` is their Sec. 2.2 combination.
+
+    ``provenance`` records how the sequence was derived from its
+    parent(s) (set by the GA engine's operator applications); score
+    providers use it to re-sweep only the windows the operation changed.
+    It is advisory: ``None`` (e.g. the random initial population) simply
+    means a full-sweep evaluation.
     """
 
     encoded: np.ndarray
@@ -25,6 +32,7 @@ class Individual:
     target_score: float | None = None
     max_non_target: float | None = None
     avg_non_target: float | None = None
+    provenance: Provenance | None = None
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.encoded, dtype=np.uint8)

@@ -32,8 +32,14 @@ from repro.parallel.scheduler import (
     OnDemandScheduler,
     Scheduler,
     StaticScheduler,
+    StickyScheduler,
 )
-from repro.parallel.worker import FaultPlan, WorkerContext, score_candidate
+from repro.parallel.worker import (
+    FaultPlan,
+    WorkerContext,
+    score_candidate,
+    score_candidate_with_delta,
+)
 
 __all__ = [
     "DeadWorkerError",
@@ -45,10 +51,12 @@ __all__ = [
     "RackResult",
     "Scheduler",
     "StaticScheduler",
+    "StickyScheduler",
     "WorkFailure",
     "WorkItem",
     "WorkResult",
     "WorkerContext",
     "WorkerFailureError",
     "score_candidate",
+    "score_candidate_with_delta",
 ]

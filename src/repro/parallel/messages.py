@@ -24,17 +24,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ga.fitness import ScoreSet
+from repro.ppi.delta import DeltaStats, Provenance
 
 __all__ = ["WorkItem", "WorkResult", "WorkFailure", "EndSignal"]
 
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One candidate sequence dispatched for PIPE analysis."""
+    """One candidate sequence dispatched for PIPE analysis.
+
+    ``provenance`` (optional) records how the candidate was derived from
+    its parent(s); a worker holding the parents' similarity structures in
+    its local LRU re-sweeps only the dirty windows.  It is advisory —
+    a worker that never saw the parents simply does the full sweep.
+    """
 
     sequence_id: int
     payload: bytes  # encoded (uint8) sequence bytes; cheap to pickle
     batch_epoch: int = 0
+    provenance: Provenance | None = None
 
     def __post_init__(self) -> None:
         if self.sequence_id < 0:
@@ -46,12 +54,18 @@ class WorkItem:
 
     @classmethod
     def from_encoded(
-        cls, sequence_id: int, encoded: np.ndarray, *, batch_epoch: int = 0
+        cls,
+        sequence_id: int,
+        encoded: np.ndarray,
+        *,
+        batch_epoch: int = 0,
+        provenance: Provenance | None = None,
     ) -> "WorkItem":
         return cls(
             sequence_id,
             np.asarray(encoded, dtype=np.uint8).tobytes(),
             batch_epoch,
+            provenance,
         )
 
     def decode(self) -> np.ndarray:
@@ -66,7 +80,10 @@ class WorkResult:
     scores; the master aggregates it into per-worker busy time and
     throughput telemetry (the Fig. 5/6 quantities).  ``batch_epoch`` echoes
     the dispatching :class:`WorkItem`'s epoch so the master can reject
-    stale replies from an earlier, abandoned batch.
+    stale replies from an earlier, abandoned batch.  ``delta`` reports the
+    worker-side delta-scoring outcome (worker registries are process-local,
+    so the accounting rides the reply and the master folds it into the
+    ``pipe.delta.*`` counters).
     """
 
     sequence_id: int
@@ -74,6 +91,7 @@ class WorkResult:
     scores: ScoreSet
     elapsed: float = 0.0
     batch_epoch: int = 0
+    delta: DeltaStats | None = None
 
 
 @dataclass(frozen=True)

@@ -38,10 +38,12 @@ behind the paper's Figures 5–6.
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
 import queue as queue_mod
 import time
+from collections import OrderedDict
 
 import numpy as np
 
@@ -53,6 +55,7 @@ from repro.parallel.messages import (
     WorkResult,
 )
 from repro.parallel.worker import FaultPlan, WorkerContext, worker_loop
+from repro.ppi.delta import Provenance
 from repro.ppi.pipe import PipeEngine
 from repro.telemetry import MetricsRegistry
 
@@ -71,9 +74,11 @@ class DeadWorkerError(RuntimeError):
     """Workers died and an item exhausted its re-dispatch retry budget."""
 
 
-def _worker_entry(worker_id, context, task_queue, result_queue):
+def _worker_entry(worker_id, context, task_queue, result_queue, sticky_queue=None):
     """Top-level function so it pickles under any start method."""
-    worker_loop(worker_id, context, task_queue, result_queue)
+    worker_loop(
+        worker_id, context, task_queue, result_queue, sticky_queue=sticky_queue
+    )
 
 
 class MultiprocessScoreProvider(CachingScoreProvider):
@@ -105,6 +110,20 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         it raises :class:`DeadWorkerError`.
     cache_size:
         Bound of the shared LRU score cache.
+    similarity_cache_size:
+        Bound of each worker's local similarity-structure LRU (the delta
+        path's patch source) and of the master's parent→worker affinity
+        map that mirrors it.
+    use_delta:
+        When False, workers always run the full similarity sweep and no
+        sticky routing happens (the benchmark baseline).
+    sticky:
+        When True (default), a child whose parents were scored by a live
+        worker is routed to that worker's private queue so its similarity
+        LRU can answer the delta re-score; per-worker sticky backlog is
+        capped at roughly twice the fair share of the batch, the overflow
+        going to the shared on-demand queue.  Routing is advisory: a
+        mis-route only costs a full sweep, never a wrong score.
     faults:
         Test-only :class:`~repro.parallel.worker.FaultPlan` forwarded to
         the workers; leave ``None`` in production.
@@ -124,6 +143,9 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         max_retries: int = 3,
         start_method: str | None = None,
         cache_size: int = 100_000,
+        similarity_cache_size: int = 256,
+        use_delta: bool = True,
+        sticky: bool = True,
         faults: FaultPlan | None = None,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
@@ -134,16 +156,26 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         super().__init__(cache_size=cache_size, telemetry=telemetry)
-        self.context = WorkerContext(engine, target, list(non_targets), faults)
+        self.context = WorkerContext(
+            engine,
+            target,
+            list(non_targets),
+            faults,
+            similarity_cache_size=similarity_cache_size,
+            use_delta=use_delta,
+        )
         self.num_workers = num_workers or max(1, os.cpu_count() or 1)
         self.timeout = float(timeout)
         self.poll_interval = float(poll_interval)
         self.max_retries = int(max_retries)
+        self.use_delta = bool(use_delta)
+        self.sticky = bool(sticky) and self.use_delta
         method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else None)
         self._ctx = mp.get_context(method)
         self._task_queue = None
         self._result_queue = None
         self._workers: dict[int, mp.Process] = {}
+        self._sticky_queues: dict[int, object] = {}
         self._next_worker_id = 0
         self._epoch = 0
         self.dispatched = 0
@@ -152,6 +184,15 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self.retries = 0
         self.stale_dropped = 0
         self.failures = 0
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
+        self.delta_rows_rescored = 0
+        self.delta_rows_total = 0
+        self.sticky_routed = 0
+        # Which worker last scored each sequence (by encoded bytes),
+        # bounded to mirror the worker-side similarity LRUs it predicts.
+        self._affinity: OrderedDict[bytes, int] = OrderedDict()
+        self._affinity_size = int(similarity_cache_size)
         self._worker_items: dict[int, int] = {}
         self._worker_busy: dict[int, float] = {}
         self._batches = 0
@@ -163,13 +204,22 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         """Start one worker process under a fresh, never-reused worker id."""
         wid = self._next_worker_id
         self._next_worker_id += 1
+        sticky_queue = self._ctx.Queue() if self.sticky else None
         proc = self._ctx.Process(
             target=_worker_entry,
-            args=(wid, self.context, self._task_queue, self._result_queue),
+            args=(
+                wid,
+                self.context,
+                self._task_queue,
+                self._result_queue,
+                sticky_queue,
+            ),
             daemon=True,
         )
         proc.start()
         self._workers[wid] = proc
+        if sticky_queue is not None:
+            self._sticky_queues[wid] = sticky_queue
         return wid
 
     def _ensure_started(self) -> None:
@@ -191,37 +241,80 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             super().close()
             return
         # Drain replies orphaned by a failed batch so worker result puts
-        # cannot block shutdown.
+        # cannot block shutdown; likewise sticky items never pulled.
         while True:
             try:
                 self._result_queue.get_nowait()
             except queue_mod.Empty:
                 break
+        for sticky_queue in self._sticky_queues.values():
+            while True:
+                try:
+                    sticky_queue.get_nowait()
+                except queue_mod.Empty:
+                    break
         self._task_queue.put(EndSignal())
         for proc in self._workers.values():
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
         self._workers = {}
+        self._sticky_queues = {}
+        self._affinity.clear()
         self._task_queue = None
         self._result_queue = None
         super().close()
 
     # -- scoring -----------------------------------------------------------
 
-    def _score_uncached(self, arrays: list[np.ndarray]) -> list[ScoreSet]:
+    def _preferred_worker(self, provenance: Provenance | None) -> int | None:
+        """The live worker most likely to hold the parents' similarity
+        structures (by the master's scored-by affinity map)."""
+        if provenance is None:
+            return None
+        votes: dict[int, int] = {}
+        for key in provenance.parent_keys():
+            wid = self._affinity.get(key)
+            if wid is not None and wid in self._workers:
+                votes[wid] = votes.get(wid, 0) + 1
+        if not votes:
+            return None
+        return max(votes, key=lambda wid: (votes[wid], -wid))
+
+    def _score_uncached(
+        self,
+        arrays: list[np.ndarray],
+        provenances: list[Provenance | None] | None = None,
+    ) -> list[ScoreSet]:
         self._ensure_started()
         start = time.perf_counter()
         self._epoch += 1
         epoch = self._epoch
+        provs = provenances if provenances is not None else [None] * len(arrays)
         results: list[ScoreSet | None] = [None] * len(arrays)
         with self.telemetry.span("parallel.batch"):
             self.telemetry.set_gauge("parallel.queue_depth", len(arrays))
+            # Sticky backlog cap: at most ~2x the fair share per worker, so
+            # affinity routing cannot starve the on-demand load balance.
+            sticky_cap = max(2, math.ceil(2 * len(arrays) / max(1, self.num_workers)))
+            sticky_load: dict[int, int] = {}
             items: dict[int, WorkItem] = {}
-            for sid, arr in enumerate(arrays):
-                item = WorkItem.from_encoded(sid, arr, batch_epoch=epoch)
+            for sid, (arr, prov) in enumerate(zip(arrays, provs)):
+                item = WorkItem.from_encoded(
+                    sid,
+                    arr,
+                    batch_epoch=epoch,
+                    provenance=prov if self.use_delta else None,
+                )
                 items[sid] = item
-                self._task_queue.put(item)
+                wid = self._preferred_worker(prov) if self.sticky else None
+                if wid is not None and sticky_load.get(wid, 0) < sticky_cap:
+                    self._sticky_queues[wid].put(item)
+                    sticky_load[wid] = sticky_load.get(wid, 0) + 1
+                    self.sticky_routed += 1
+                    self.telemetry.count("parallel.sticky_routed")
+                else:
+                    self._task_queue.put(item)
                 self.dispatched += 1
             self.telemetry.count("parallel.dispatched", len(arrays))
             pending = set(items)
@@ -264,7 +357,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                     continue
                 results[msg.sequence_id] = msg.scores
                 pending.discard(msg.sequence_id)
-                self._record_result(msg)
+                self._record_result(msg, items[msg.sequence_id].payload)
         assert all(r is not None for r in results)
         self._batches += 1
         self._batch_wall += time.perf_counter() - start
@@ -278,6 +371,9 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         for wid in dead:
             proc = self._workers.pop(wid)
             proc.join(timeout=0.1)
+            # Items parked on the dead worker's sticky queue are still in
+            # `pending`; recovery re-dispatches them on the shared queue.
+            self._sticky_queues.pop(wid, None)
             self.worker_deaths += 1
             self.telemetry.count("parallel.worker_deaths")
         return dead
@@ -317,10 +413,28 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self.stale_dropped += 1
         self.telemetry.count("parallel.stale_dropped")
 
-    def _record_result(self, msg: WorkResult) -> None:
+    def _record_result(self, msg: WorkResult, payload: bytes | None = None) -> None:
         wid = msg.worker_id
         self._worker_items[wid] = self._worker_items.get(wid, 0) + 1
         self._worker_busy[wid] = self._worker_busy.get(wid, 0.0) + msg.elapsed
+        if payload is not None:
+            # This worker now holds the sequence's similarity structure in
+            # its local LRU — future children of this sequence stick here.
+            self._affinity[payload] = wid
+            self._affinity.move_to_end(payload)
+            while len(self._affinity) > self._affinity_size:
+                self._affinity.popitem(last=False)
+        if msg.delta is not None:
+            if msg.delta.hit:
+                self.delta_hits += 1
+                self.telemetry.count("pipe.delta.hits")
+            else:
+                self.delta_fallbacks += 1
+                self.telemetry.count("pipe.delta.fallbacks")
+            self.delta_rows_rescored += msg.delta.rows_rescored
+            self.delta_rows_total += msg.delta.rows_total
+            self.telemetry.count("pipe.delta.rows_rescored", msg.delta.rows_rescored)
+            self.telemetry.count("pipe.delta.rows_total", msg.delta.rows_total)
         if self.telemetry.enabled:
             self.telemetry.count(f"parallel.worker.{wid}.items")
             self.telemetry.record_timing(f"parallel.worker.{wid}.busy", msg.elapsed)
@@ -348,6 +462,21 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             }
         return out
 
+    def delta_stats(self) -> dict[str, int]:
+        """Delta-scoring counters aggregated from worker replies.
+
+        Mirrors the ``pipe.delta.*`` telemetry; ``sticky_routed`` counts
+        dispatches that took a worker's private affinity queue instead of
+        the shared on-demand queue.
+        """
+        return {
+            "hits": self.delta_hits,
+            "fallbacks": self.delta_fallbacks,
+            "rows_rescored": self.delta_rows_rescored,
+            "rows_total": self.delta_rows_total,
+            "sticky_routed": self.sticky_routed,
+        }
+
     def fault_stats(self) -> dict[str, int]:
         """Fault-tolerance counters (mirrors the ``parallel.*`` telemetry)."""
         return {
@@ -369,4 +498,5 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "cache": self.cache_stats,
             "workers": self.worker_stats(),
             "fault_tolerance": self.fault_stats(),
+            "delta": self.delta_stats(),
         }

@@ -16,7 +16,12 @@ from collections import deque
 
 from repro.parallel.messages import WorkItem, WorkResult
 
-__all__ = ["Scheduler", "OnDemandScheduler", "StaticScheduler"]
+__all__ = [
+    "Scheduler",
+    "OnDemandScheduler",
+    "StickyScheduler",
+    "StaticScheduler",
+]
 
 
 class Scheduler(ABC):
@@ -125,6 +130,70 @@ class OnDemandScheduler(Scheduler):
     def _readmit(self, item: WorkItem) -> None:
         # Front of the deque: a recovered item is the batch's critical path.
         self._pending.appendleft(item)
+
+
+class StickyScheduler(Scheduler):
+    """On-demand dispatch with parent affinity (sticky dispatch).
+
+    ``preferred`` maps a sequence id to the worker that scored the item's
+    parent(s): handing the child to that worker lets its local similarity
+    LRU answer the delta re-score instead of paying a full sweep.
+    Stickiness is a *routing preference*, not a partition — a worker with
+    no preferred work left drains the unpreferred pool and finally steals
+    from other workers' preferred queues (losing only the delta speedup,
+    never correctness), so a hot worker cannot idle the rest and the
+    paper's on-demand load balance is preserved.
+    """
+
+    def __init__(
+        self,
+        items: list[WorkItem],
+        preferred: dict[int, int] | None = None,
+    ) -> None:
+        super().__init__(items)
+        self._sticky: dict[int, deque[WorkItem]] = {}
+        self._general: deque[WorkItem] = deque()
+        preferred = preferred or {}
+        for item in items:
+            wid = preferred.get(item.sequence_id)
+            if wid is None:
+                self._general.append(item)
+            else:
+                self._sticky.setdefault(wid, deque()).append(item)
+
+    def _pop(self, queue: deque[WorkItem], worker_id: int) -> WorkItem | None:
+        if not queue:
+            return None
+        return self._mark_dispatched(queue.popleft(), worker_id)
+
+    def next_for(self, worker_id: int) -> WorkItem | None:
+        item = self._pop(self._sticky.get(worker_id, deque()), worker_id)
+        if item is not None:
+            return item
+        item = self._pop(self._general, worker_id)
+        if item is not None:
+            return item
+        # Steal from the most loaded sibling: its delta advantage is lost
+        # for the stolen item, but no worker ever idles while work exists.
+        for wid, queue in sorted(
+            self._sticky.items(), key=lambda kv: -len(kv[1])
+        ):
+            if wid == worker_id:
+                continue
+            item = self._pop(queue, worker_id)
+            if item is not None:
+                return item
+        return None
+
+    def sticky_backlog(self, worker_id: int) -> int:
+        """Items currently parked for ``worker_id`` (load-balance probe)."""
+        return len(self._sticky.get(worker_id, ()))
+
+    def _readmit(self, item: WorkItem) -> None:
+        # A recovered item is the batch's critical path, and its preferred
+        # worker just died — the front of the shared pool is the fastest
+        # correct route.
+        self._general.appendleft(item)
 
 
 class StaticScheduler(Scheduler):

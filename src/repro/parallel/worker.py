@@ -27,9 +27,16 @@ import numpy as np
 
 from repro.ga.fitness import ScoreSet
 from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
+from repro.ppi.delta import DeltaStats, Provenance, SimilarityLRU
 from repro.ppi.pipe import PipeEngine
 
-__all__ = ["FaultPlan", "WorkerContext", "score_candidate", "worker_loop"]
+__all__ = [
+    "FaultPlan",
+    "WorkerContext",
+    "score_candidate",
+    "score_candidate_with_delta",
+    "worker_loop",
+]
 
 
 @dataclass(frozen=True)
@@ -71,12 +78,19 @@ class WorkerContext:
 
     ``faults`` is a test-only :class:`FaultPlan`; production runs leave it
     ``None`` (the default) and pay nothing for it.
+
+    ``similarity_cache_size`` bounds the worker-local LRU of per-sequence
+    similarity structures that the delta-scoring path patches from;
+    ``use_delta=False`` disables incremental re-scoring entirely (every
+    candidate pays the full sweep, the pre-delta behaviour).
     """
 
     engine: PipeEngine
     target: str
     non_targets: list[str]
     faults: FaultPlan | None = None
+    similarity_cache_size: int = 256
+    use_delta: bool = True
 
     def __post_init__(self) -> None:
         graph = self.engine.database.graph
@@ -90,22 +104,46 @@ class WorkerContext:
         self.engine.database.precompute([self.target, *self.non_targets])
 
 
-def score_candidate(context: WorkerContext, encoded: np.ndarray) -> ScoreSet:
+def score_candidate_with_delta(
+    context: WorkerContext,
+    encoded: np.ndarray,
+    *,
+    provenance: Provenance | None = None,
+    similarity_cache: SimilarityLRU | None = None,
+) -> tuple[ScoreSet, DeltaStats | None]:
     """One unit of worker work: candidate vs target + all non-targets.
 
     Builds the candidate's similarity structure once and reuses it for all
-    predictions, exactly as Algorithm 2 prescribes.
+    predictions, exactly as Algorithm 2 prescribes.  With a
+    ``similarity_cache``, the structure is built incrementally from the
+    cached parent(s) named by ``provenance`` (re-sweeping only dirty
+    windows); the returned :class:`~repro.ppi.delta.DeltaStats` reports
+    which route was taken so the master can aggregate the accounting.
     """
     engine = context.engine
-    similarity = engine.similarity_of(np.asarray(encoded, dtype=np.uint8))
+    arr = np.asarray(encoded, dtype=np.uint8)
+    if similarity_cache is not None:
+        with engine.telemetry.span("pipe.window_build"):
+            similarity, stats = similarity_cache.similarity_for(
+                engine.database, arr, provenance
+            )
+    else:
+        similarity, stats = engine.similarity_of(arr), None
     names = [context.target, *context.non_targets]
-    scored = engine.score_against(
-        np.asarray(encoded, dtype=np.uint8), names, similarity=similarity
+    scored = engine.score_against(arr, names, similarity=similarity)
+    return (
+        ScoreSet(
+            target_score=scored[context.target],
+            non_target_scores=tuple(scored[nt] for nt in context.non_targets),
+        ),
+        stats,
     )
-    return ScoreSet(
-        target_score=scored[context.target],
-        non_target_scores=tuple(scored[nt] for nt in context.non_targets),
-    )
+
+
+def score_candidate(context: WorkerContext, encoded: np.ndarray) -> ScoreSet:
+    """Full-sweep scoring of one candidate (the delta-unaware surface)."""
+    scores, _ = score_candidate_with_delta(context, encoded)
+    return scores
 
 
 def worker_loop(
@@ -114,6 +152,7 @@ def worker_loop(
     task_queue,
     result_queue,
     *,
+    sticky_queue=None,
     poll_timeout: float = 1.0,
 ) -> int:
     """Worker main loop; returns the number of candidates processed.
@@ -121,18 +160,33 @@ def worker_loop(
     Runs until an :class:`EndSignal` arrives on the task queue.  The task
     queue is shared by all workers, so pulling from it is the
     multiprocessing realisation of the paper's on-demand master dispatch.
-    A scoring exception is reported as a :class:`WorkFailure` and the loop
-    continues with the next item.
+    ``sticky_queue`` (when given) is this worker's private queue: the
+    master routes children there when this worker scored their parents,
+    so the delta path finds the parent similarity structures in the local
+    LRU.  The sticky queue is drained before the shared one; the
+    :class:`EndSignal` travels only on the shared queue.  A scoring
+    exception is reported as a :class:`WorkFailure` and the loop continues
+    with the next item.
     """
     context.warm_cache()
     faults = context.faults
     inject = faults is not None and faults.applies_to(worker_id)
+    similarity_cache = (
+        SimilarityLRU(context.similarity_cache_size) if context.use_delta else None
+    )
     processed = 0
     while True:
-        try:
-            message = task_queue.get(timeout=poll_timeout)
-        except queue_mod.Empty:
-            continue
+        message = None
+        if sticky_queue is not None:
+            try:
+                message = sticky_queue.get_nowait()
+            except queue_mod.Empty:
+                message = None
+        if message is None:
+            try:
+                message = task_queue.get(timeout=poll_timeout)
+            except queue_mod.Empty:
+                continue
         if isinstance(message, EndSignal):
             # Let sibling workers see the signal too.
             task_queue.put(message)
@@ -151,7 +205,12 @@ def worker_loop(
                 raise RuntimeError(
                     f"injected failure on item {processed} of worker {worker_id}"
                 )
-            scores = score_candidate(context, message.decode())
+            scores, delta = score_candidate_with_delta(
+                context,
+                message.decode(),
+                provenance=message.provenance,
+                similarity_cache=similarity_cache,
+            )
         except Exception as exc:
             result_queue.put(
                 WorkFailure(
@@ -172,6 +231,7 @@ def worker_loop(
                 scores,
                 elapsed,
                 batch_epoch=message.batch_epoch,
+                delta=delta,
             )
         )
         processed += 1

@@ -15,7 +15,16 @@ MP-PIPE [11]:
 """
 
 from repro.ppi.batch import InteractomePrediction, predict_interactome
-from repro.ppi.database import PipeDatabase, SequenceSimilarity
+from repro.ppi.database import DeltaUpdate, PipeDatabase, SequenceSimilarity
+from repro.ppi.delta import (
+    DeltaStats,
+    Provenance,
+    SequenceSegment,
+    SimilarityLRU,
+    copy_provenance,
+    crossover_provenance,
+    mutation_provenance,
+)
 from repro.ppi.evaluation import PipeEvaluation, evaluate_pipe
 from repro.ppi.graph import InteractionGraph
 from repro.ppi.pipe import PipeConfig, PipeEngine, PipeResult
@@ -30,8 +39,16 @@ from repro.ppi.similarity import (
 from repro.ppi.windows import num_windows
 
 __all__ = [
+    "DeltaStats",
+    "DeltaUpdate",
     "InteractionGraph",
     "InteractomePrediction",
+    "Provenance",
+    "SequenceSegment",
+    "SimilarityLRU",
+    "copy_provenance",
+    "crossover_provenance",
+    "mutation_provenance",
     "predict_interactome",
     "PipeConfig",
     "PipeDatabase",

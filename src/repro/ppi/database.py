@@ -20,6 +20,8 @@ implements both halves:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -29,7 +31,7 @@ from repro.ppi.similarity import windowed_diagonal_sums
 from repro.ppi.windows import num_windows
 from repro.substitution.matrix import SubstitutionMatrix
 
-__all__ = ["PipeDatabase", "SequenceSimilarity"]
+__all__ = ["PipeDatabase", "SequenceSimilarity", "DeltaUpdate"]
 
 
 @dataclass(frozen=True)
@@ -48,10 +50,15 @@ class SequenceSimilarity:
     counts: sp.csr_matrix
     num_windows: int
 
-    @property
+    @cached_property
     def binary(self) -> sp.csr_matrix:
         """0/1 indicator: does protein p contain any fragment similar to
         query fragment i?  This is the predicate PIPE's result matrix uses.
+
+        Memoised: ``result_matrix``/``score_against`` read it once per
+        evaluation on the hot path, so the CSR copy is built on first
+        access and shared afterwards — treat the returned matrix as
+        read-only.
         """
         out = self.counts.copy()
         out.data = np.ones_like(out.data)
@@ -60,6 +67,21 @@ class SequenceSimilarity:
     def matched_protein_indices(self) -> np.ndarray:
         """Indices of proteins with at least one similar fragment."""
         return np.unique(self.counts.indices)
+
+
+@dataclass(frozen=True)
+class DeltaUpdate:
+    """Result of one incremental similarity build.
+
+    ``rows_rescored`` of ``rows_total`` window rows were re-swept against
+    the proteome; the remainder were patched verbatim from parent
+    structures.  The ratio is the delta path's work saving and feeds the
+    ``pipe.delta.rows_*`` telemetry.
+    """
+
+    similarity: SequenceSimilarity
+    rows_rescored: int
+    rows_total: int
 
 
 class PipeDatabase:
@@ -127,21 +149,20 @@ class PipeDatabase:
 
     # -- similarity sweep ----------------------------------------------------
 
-    def sequence_similarity(self, encoded: np.ndarray) -> SequenceSimilarity:
-        """Build the per-candidate similarity structure (Algorithm 2's
-        ``build specified portion of sequence_similarity``).
+    def num_query_windows(self, length: int) -> int:
+        """Window rows a query of ``length`` residues contributes."""
+        return num_windows(int(length), self.window_size)
 
-        Returns a sparse ``windows x proteins`` count matrix.  The sweep is
-        chunked over the concatenated proteome to bound peak memory.
+    def _sweep_counts(self, seq: np.ndarray) -> np.ndarray:
+        """Dense ``(num_windows, num_proteins)`` match counts for ``seq``.
+
+        The one similarity kernel: both the full sweep and the delta
+        re-sweep of dirty rows run through here, so the two paths are
+        bit-exact by construction (a subsequence's rows reproduce the
+        corresponding rows of the full sweep — same chunking over the
+        proteome, same float64 summation order).
         """
-        seq = np.asarray(encoded, dtype=np.uint8)
-        if seq.ndim != 1 or seq.size == 0:
-            raise ValueError("encoded sequence must be a non-empty 1-D array")
         n_win = num_windows(seq.size, self.window_size)
-        if n_win == 0:
-            empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
-            return SequenceSimilarity(empty, 0)
-
         total_cols = self.valid_columns.size  # one column per proteome residue
         w = self.window_size
         counts = np.zeros((n_win, self.num_proteins), dtype=np.int64)
@@ -174,7 +195,107 @@ class PipeDatabase:
             )
             counts[:, proteins_hit] += chunk_counts
             start = stop
-        return SequenceSimilarity(sp.csr_matrix(counts), n_win)
+        return counts
+
+    def sequence_similarity(self, encoded: np.ndarray) -> SequenceSimilarity:
+        """Build the per-candidate similarity structure (Algorithm 2's
+        ``build specified portion of sequence_similarity``).
+
+        Returns a sparse ``windows x proteins`` count matrix.  The sweep is
+        chunked over the concatenated proteome to bound peak memory.
+        """
+        seq = np.asarray(encoded, dtype=np.uint8)
+        if seq.ndim != 1 or seq.size == 0:
+            raise ValueError("encoded sequence must be a non-empty 1-D array")
+        n_win = num_windows(seq.size, self.window_size)
+        if n_win == 0:
+            empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
+            return SequenceSimilarity(empty, 0)
+        return SequenceSimilarity(sp.csr_matrix(self._sweep_counts(seq)), n_win)
+
+    def update_similarity(
+        self,
+        child: np.ndarray,
+        sources: Sequence[tuple[SequenceSimilarity, int, int, int]],
+    ) -> DeltaUpdate:
+        """Incrementally build a child's similarity from parent structures.
+
+        ``sources`` resolves a child's provenance: each entry
+        ``(parent_sim, parent_start, child_start, length)`` states that
+        ``child[child_start : child_start + length]`` is byte-identical to
+        the parent residues ``[parent_start, parent_start + length)`` whose
+        similarity structure is ``parent_sim`` (the caller — GA operators
+        via :class:`~repro.ppi.delta.SimilarityLRU` — guarantees the
+        identity; this method only exploits it).
+
+        A child window row is *clean* when it lies entirely inside one
+        source segment: its counts row equals the parent's corresponding
+        row and is patched verbatim (CSR row slice).  Every other row —
+        windows containing a mutated residue, straddling a crossover cut,
+        or belonging to a parent missing from the cache — is *dirty* and
+        re-swept against the proteome through the same kernel as the full
+        sweep, so the result is bit-exact with
+        :meth:`sequence_similarity` on the assembled child.
+        """
+        seq = np.asarray(child, dtype=np.uint8)
+        if seq.ndim != 1 or seq.size == 0:
+            raise ValueError("encoded sequence must be a non-empty 1-D array")
+        w = self.window_size
+        n_win = num_windows(seq.size, w)
+        if n_win == 0:
+            empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
+            return DeltaUpdate(SequenceSimilarity(empty, 0), 0, 0)
+
+        # Row resolution: src_of[j] = source index whose parent row
+        # src_row[j] supplies child window row j; -1 = dirty.
+        src_of = np.full(n_win, -1, dtype=np.intp)
+        src_row = np.full(n_win, -1, dtype=np.intp)
+        for k, (sim, ps, cs, ln) in enumerate(sources):
+            ps, cs, ln = int(ps), int(cs), int(ln)
+            if ps < 0 or cs < 0 or ln < 1:
+                raise ValueError(f"invalid source segment ({ps}, {cs}, {ln})")
+            if cs + ln > seq.size:
+                raise ValueError(
+                    f"segment [{cs}, {cs + ln}) overruns child of length {seq.size}"
+                )
+            lo, hi = cs, min(n_win - 1, cs + ln - w)
+            if hi < lo:
+                continue
+            rows = np.arange(lo, hi + 1)
+            parent_rows = ps + (rows - cs)
+            take = (
+                (parent_rows >= 0)
+                & (parent_rows < sim.num_windows)
+                & (src_of[rows] == -1)
+            )
+            src_of[rows[take]] = k
+            src_row[rows[take]] = parent_rows[take]
+
+        # Assemble the child CSR from maximal row runs: dirty runs are
+        # re-swept as a subsequence (windows [a, j) need residues
+        # [a, j - 1 + w)); clean runs slice consecutive parent rows.
+        blocks: list[sp.spmatrix] = []
+        rows_rescored = 0
+        j = 0
+        while j < n_win:
+            a = j
+            if src_of[j] < 0:
+                while j < n_win and src_of[j] < 0:
+                    j += 1
+                blocks.append(sp.csr_matrix(self._sweep_counts(seq[a : j - 1 + w])))
+                rows_rescored += j - a
+            else:
+                k = src_of[j]
+                while (
+                    j + 1 < n_win
+                    and src_of[j + 1] == k
+                    and src_row[j + 1] == src_row[j] + 1
+                ):
+                    j += 1
+                j += 1
+                blocks.append(sources[k][0].counts[src_row[a] : src_row[a] + (j - a)])
+        counts = sp.vstack(blocks, format="csr") if len(blocks) > 1 else blocks[0].tocsr()
+        return DeltaUpdate(SequenceSimilarity(counts, n_win), rows_rescored, n_win)
 
     def protein_similarity(self, name: str) -> SequenceSimilarity:
         """Cached similarity structure for a *known* protein.

@@ -1,0 +1,279 @@
+"""Provenance-based delta re-scoring of PIPE similarity structures.
+
+The GA's dominant cost is :meth:`~repro.ppi.database.PipeDatabase.sequence_similarity`
+— a full ``O(L x proteome_residues x w)`` sweep per candidate — yet a point
+mutation at residue *i* changes at most ``w`` of the candidate's windows,
+and a crossover leaves the entire prefix/suffix windows of its parents
+intact.  This module carries the information needed to exploit that
+locality:
+
+* :class:`SequenceSegment` / :class:`Provenance` — a residue-level record
+  of how a child sequence was assembled from its parent(s): each segment
+  maps a run of residues that is *byte-identical* to a run in a parent.
+  Any child window fully inside one segment is unchanged from the parent;
+  every other window (straddling a cut, containing a mutated residue) is
+  *dirty* and must be re-swept.
+* :class:`SimilarityLRU` — a bounded cache of
+  :class:`~repro.ppi.database.SequenceSimilarity` structures keyed by
+  sequence bytes, with :meth:`SimilarityLRU.similarity_for` implementing
+  the hit/fallback policy: when the parents named by a provenance are
+  cached, only the dirty window rows are re-swept
+  (:meth:`~repro.ppi.database.PipeDatabase.update_similarity`); a cache
+  miss silently falls back to the full sweep — a miss can cost time but
+  never correctness.
+* :class:`DeltaStats` — the per-candidate accounting behind the
+  ``pipe.delta.{hits,fallbacks,rows_rescored,rows_total}`` telemetry.
+
+Provenance is deliberately *structural* (parent key bytes plus integer
+segment geometry): it pickles cheaply onto
+:class:`~repro.parallel.messages.WorkItem` and contains nothing the
+receiving side must trust — the delta path re-derives everything else and
+is bit-exact with the full sweep by construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.ppi.database import PipeDatabase, SequenceSimilarity
+
+__all__ = [
+    "SequenceSegment",
+    "Provenance",
+    "DeltaStats",
+    "SimilarityLRU",
+    "copy_provenance",
+    "mutation_provenance",
+    "crossover_provenance",
+]
+
+
+@dataclass(frozen=True)
+class SequenceSegment:
+    """A run of child residues byte-identical to a run in one parent.
+
+    ``child[child_start : child_start + length]`` equals
+    ``parent[parent_start : parent_start + length]`` where ``parent`` is
+    the sequence whose encoded bytes are ``parent_key``.
+    """
+
+    parent_key: bytes
+    parent_start: int
+    child_start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not self.parent_key:
+            raise ValueError("parent_key must be non-empty")
+        if self.parent_start < 0 or self.child_start < 0:
+            raise ValueError("segment offsets must be >= 0")
+        if self.length < 1:
+            raise ValueError(f"segment length must be >= 1, got {self.length}")
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How a child sequence was derived from its parent(s).
+
+    ``segments`` is the residue-level identical-content map; residues not
+    covered by any segment (mutated loci) and windows straddling segment
+    boundaries are the dirty regions a delta re-score must sweep.
+    """
+
+    op: str  # "copy" | "mutate" | "crossover"
+    segments: tuple[SequenceSegment, ...]
+
+    def parent_keys(self) -> tuple[bytes, ...]:
+        """Distinct parent keys, in first-appearance order."""
+        seen: dict[bytes, None] = {}
+        for seg in self.segments:
+            seen.setdefault(seg.parent_key, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """Accounting of one delta-or-fallback similarity build.
+
+    ``hit`` — the delta path ran (all/some parents cached); ``rows_rescored``
+    of ``rows_total`` window rows were re-swept (the remainder were patched
+    from parent structures).  A fallback full sweep reports ``hit=False``
+    with every row rescored.
+    """
+
+    hit: bool
+    rows_rescored: int
+    rows_total: int
+
+
+def copy_provenance(parent: np.ndarray) -> Provenance:
+    """Provenance of a verbatim copy: one identity segment, nothing dirty."""
+    parent = np.asarray(parent, dtype=np.uint8)
+    return Provenance(
+        "copy",
+        (SequenceSegment(parent.tobytes(), 0, 0, int(parent.size)),),
+    )
+
+
+def mutation_provenance(parent: np.ndarray, hits: Iterable[int]) -> Provenance:
+    """Provenance of a point-mutated child: the unmutated runs of the
+    parent, split at each hit locus.
+
+    ``hits`` are the 0-based mutated residue indices.  Only windows
+    containing a hit fall outside the segments, so the delta path
+    re-sweeps exactly the ``[i - w + 1, i]`` window span of each locus.
+    """
+    parent = np.asarray(parent, dtype=np.uint8)
+    key = parent.tobytes()
+    length = int(parent.size)
+    segments: list[SequenceSegment] = []
+    prev = 0
+    for h in sorted(int(h) for h in hits):
+        if not 0 <= h < length:
+            raise ValueError(f"mutation locus {h} outside sequence of length {length}")
+        if h > prev:
+            segments.append(SequenceSegment(key, prev, prev, h - prev))
+        prev = h + 1
+    if length > prev:
+        segments.append(SequenceSegment(key, prev, prev, length - prev))
+    return Provenance("mutate", tuple(segments))
+
+
+def crossover_provenance(
+    parent_a: np.ndarray,
+    parent_b: np.ndarray,
+    cut_a: int,
+    cut_b: int,
+) -> tuple[Provenance, Provenance]:
+    """Provenance of the two crossover children.
+
+    Child 1 is ``a[:cut_a] + b[cut_b:]``, child 2 is ``b[:cut_b] + a[cut_a:]``
+    (the Sec. 2.1 tail exchange).  Only the windows straddling the cut are
+    dirty; the prefix rows patch from one parent, the suffix rows from the
+    other.
+    """
+    a = np.asarray(parent_a, dtype=np.uint8)
+    b = np.asarray(parent_b, dtype=np.uint8)
+    if not 0 < cut_a < a.size or not 0 < cut_b < b.size:
+        raise ValueError(
+            f"cuts ({cut_a}, {cut_b}) must fall strictly inside the parents "
+            f"(lengths {a.size}, {b.size})"
+        )
+    key_a, key_b = a.tobytes(), b.tobytes()
+    child1 = Provenance(
+        "crossover",
+        (
+            SequenceSegment(key_a, 0, 0, cut_a),
+            SequenceSegment(key_b, cut_b, cut_a, int(b.size) - cut_b),
+        ),
+    )
+    child2 = Provenance(
+        "crossover",
+        (
+            SequenceSegment(key_b, 0, 0, cut_b),
+            SequenceSegment(key_a, cut_a, cut_b, int(a.size) - cut_a),
+        ),
+    )
+    return child1, child2
+
+
+class SimilarityLRU:
+    """Bounded LRU of per-sequence similarity structures.
+
+    One instance lives in each :class:`~repro.ga.fitness.SerialScoreProvider`
+    and in each parallel worker process.  Keys are the candidate's encoded
+    bytes (the same identity the score cache uses); values are the
+    immutable :class:`~repro.ppi.database.SequenceSimilarity` structures,
+    so sharing entries between a parent and the children patched from it
+    is safe.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[bytes, "SequenceSimilarity"] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> "SequenceSimilarity | None":
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: bytes, similarity: "SequenceSimilarity") -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = similarity
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- the delta-or-fallback policy ---------------------------------------
+
+    def similarity_for(
+        self,
+        database: "PipeDatabase",
+        child: np.ndarray,
+        provenance: Provenance | None,
+    ) -> "tuple[SequenceSimilarity, DeltaStats | None]":
+        """The child's similarity structure, by the cheapest correct route.
+
+        Routes, in order of preference:
+
+        1. the child itself is cached (a re-submitted sequence) — reuse it;
+        2. provenance names parents that are cached — patch their rows and
+           re-sweep only the dirty ones
+           (:meth:`~repro.ppi.database.PipeDatabase.update_similarity`);
+           a parent missing from the cache only enlarges the dirty set;
+        3. otherwise — full sweep (*fallback*; slower, never wrong).
+
+        Returns ``(similarity, stats)``; ``stats`` is ``None`` when no
+        provenance was supplied (nothing to account: e.g. the random
+        initial population).  The result is always cached so the *next*
+        generation's children can patch from it.
+        """
+        child = np.asarray(child, dtype=np.uint8)
+        key = child.tobytes()
+        n_win = database.num_query_windows(child.size)
+        cached = self.get(key)
+        if cached is not None:
+            stats = (
+                DeltaStats(hit=True, rows_rescored=0, rows_total=n_win)
+                if provenance is not None
+                else None
+            )
+            return cached, stats
+        sources = []
+        if provenance is not None:
+            for seg in provenance.segments:
+                parent_sim = self.get(seg.parent_key)
+                if parent_sim is not None:
+                    sources.append(
+                        (parent_sim, seg.parent_start, seg.child_start, seg.length)
+                    )
+        if sources:
+            update = database.update_similarity(child, sources)
+            self.put(key, update.similarity)
+            return update.similarity, DeltaStats(
+                hit=True,
+                rows_rescored=update.rows_rescored,
+                rows_total=update.rows_total,
+            )
+        similarity = database.sequence_similarity(child)
+        self.put(key, similarity)
+        stats = (
+            DeltaStats(hit=False, rows_rescored=n_win, rows_total=n_win)
+            if provenance is not None
+            else None
+        )
+        return similarity, stats

@@ -221,22 +221,33 @@ class PipeEngine:
         *,
         exclude_edge: tuple[str, str] | None = None,
     ) -> np.ndarray:
-        """The n x m fragment co-occurrence count matrix ``H``."""
+        """The n x m fragment co-occurrence count matrix ``H``.
+
+        Leave-one-out (``exclude_edge``) subtracts the single edge's
+        contribution from the full-adjacency product — two rank-1 outer
+        products of match-matrix columns — instead of rebuilding a masked
+        adjacency per pair.  All quantities are small integers in float64,
+        so the subtraction is exact.
+        """
         adj = self.database.adjacency
-        if exclude_edge is not None:
-            a, b = exclude_edge
-            if self.database.graph.has_edge(a, b):
-                adj = adj.tolil(copy=True)
-                ia = self.database.graph.index_of(a)
-                ib = self.database.graph.index_of(b)
-                adj[ia, ib] = 0.0
-                adj[ib, ia] = 0.0
-                adj = adj.tocsr()
         ma = sim_a.counts if self.config.count_positions else sim_a.binary
         mb = sim_b.counts if self.config.count_positions else sim_b.binary
         with self.telemetry.span("pipe.triple_product"):
             h = (ma @ adj @ mb.T).toarray()
-        return np.asarray(h, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        if exclude_edge is not None:
+            a, b = exclude_edge
+            if self.database.graph.has_edge(a, b):
+                ia = self.database.graph.index_of(a)
+                ib = self.database.graph.index_of(b)
+                col_a = ma[:, [ia]].toarray().ravel()
+                col_b = mb[:, [ib]].toarray().ravel()
+                h -= float(adj[ia, ib]) * np.outer(col_a, col_b)
+                if ia != ib:
+                    h -= float(adj[ib, ia]) * np.outer(
+                        ma[:, [ib]].toarray().ravel(), mb[:, [ia]].toarray().ravel()
+                    )
+        return h
 
     def score_matrix(self, h: np.ndarray) -> tuple[float, float]:
         """Collapse a result matrix into ``(score, filtered_max)``."""

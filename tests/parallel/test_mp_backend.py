@@ -97,3 +97,97 @@ def test_worker_stats_recorded(mp_provider, rng):
     assert runtime["dispatched"] == 6
     assert runtime["batches"] == 1
     assert runtime["cache"]["misses"] == 6
+
+
+class TestDeltaAndSticky:
+    """Delta re-scoring and sticky dispatch through real worker processes."""
+
+    def test_delta_hits_flow_back_to_master(self, tiny_engine, tiny_problem, rng):
+        from repro.ppi.delta import mutation_provenance
+
+        target, non_targets = tiny_problem
+        with MultiprocessScoreProvider(
+            tiny_engine, target, non_targets, num_workers=2, timeout=120.0
+        ) as provider:
+            parent = rng.integers(0, 20, size=30).astype(np.uint8)
+            provider.scores([parent])
+            child = parent.copy()
+            child[10] = (child[10] + 3) % 20
+            prov = mutation_provenance(parent, [10])
+            with_delta = provider.scores_with_provenance([child], [prov])
+            stats = provider.delta_stats()
+            assert stats["hits"] >= 1
+            assert stats["rows_rescored"] < stats["rows_total"]
+            assert stats["sticky_routed"] >= 1
+
+            serial = SerialScoreProvider(
+                tiny_engine, target, non_targets, use_delta=False
+            )
+            (expected,) = serial.scores([child])
+            assert with_delta[0].target_score == expected.target_score
+            assert with_delta[0].non_target_scores == expected.non_target_scores
+
+    def test_unknown_parent_falls_back_never_wrong(
+        self, tiny_engine, tiny_problem, rng
+    ):
+        from repro.ppi.delta import mutation_provenance
+
+        target, non_targets = tiny_problem
+        with MultiprocessScoreProvider(
+            tiny_engine, target, non_targets, num_workers=2, timeout=120.0
+        ) as provider:
+            parent = rng.integers(0, 20, size=28).astype(np.uint8)
+            child = parent.copy()
+            child[5] = (child[5] + 1) % 20
+            prov = mutation_provenance(parent, [5])
+            # Parent never scored: workers must fall back to the full sweep.
+            (scored,) = provider.scores_with_provenance([child], [prov])
+            stats = provider.delta_stats()
+            assert stats["fallbacks"] >= 1
+            serial = SerialScoreProvider(
+                tiny_engine, target, non_targets, use_delta=False
+            )
+            (expected,) = serial.scores([child])
+            assert scored.target_score == expected.target_score
+
+    def test_use_delta_false_ships_no_provenance(
+        self, tiny_engine, tiny_problem, rng
+    ):
+        from repro.ppi.delta import mutation_provenance
+
+        target, non_targets = tiny_problem
+        with MultiprocessScoreProvider(
+            tiny_engine,
+            target,
+            non_targets,
+            num_workers=2,
+            timeout=120.0,
+            use_delta=False,
+        ) as provider:
+            parent = rng.integers(0, 20, size=25).astype(np.uint8)
+            provider.scores([parent])
+            child = parent.copy()
+            child[3] = (child[3] + 2) % 20
+            provider.scores_with_provenance(
+                [child], [mutation_provenance(parent, [3])]
+            )
+            stats = provider.delta_stats()
+            assert stats == {
+                "hits": 0,
+                "fallbacks": 0,
+                "rows_rescored": 0,
+                "rows_total": 0,
+                "sticky_routed": 0,
+            }
+
+    def test_runtime_stats_include_delta(self, mp_provider, rng):
+        mp_provider.scores([rng.integers(0, 20, size=20).astype(np.uint8)])
+        stats = mp_provider.runtime_stats()
+        assert "delta" in stats
+        assert set(stats["delta"]) == {
+            "hits",
+            "fallbacks",
+            "rows_rescored",
+            "rows_total",
+            "sticky_routed",
+        }

@@ -185,3 +185,67 @@ class TestStatic:
         assert ondemand <= static
         assert ondemand == 10.0  # worker 1 absorbs all cheap items
         assert static == 12.0  # worker 0 stuck with items 0, 2, 4
+
+
+class TestSticky:
+    def test_preferred_items_go_to_their_worker_first(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(4)
+        sched = StickyScheduler(items, preferred={0: 1, 2: 1})
+        # Worker 1 drains its sticky queue before the general pool.
+        assert sched.next_for(1).sequence_id == 0
+        assert sched.next_for(1).sequence_id == 2
+        assert sched.next_for(1).sequence_id == 1  # then the general pool
+
+    def test_unpreferred_worker_takes_general_pool(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(3)
+        sched = StickyScheduler(items, preferred={0: 7})
+        assert sched.next_for(3).sequence_id == 1
+        assert sched.next_for(3).sequence_id == 2
+
+    def test_idle_worker_steals_rather_than_starve(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(4)
+        sched = StickyScheduler(items, preferred={i: 0 for i in range(4)})
+        # Everything is parked for worker 0, but worker 1 must not idle.
+        stolen = sched.next_for(1)
+        assert stolen is not None
+        # Steal comes from the most loaded sibling queue.
+        assert sched.sticky_backlog(0) == 3
+        own = sched.next_for(0)
+        assert own is not None and own.sequence_id != stolen.sequence_id
+
+    def test_no_preference_behaves_like_ondemand(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(3)
+        sched = StickyScheduler(items)
+        assert [sched.next_for(w).sequence_id for w in (5, 2, 5)] == [0, 1, 2]
+        assert sched.next_for(0) is None
+
+    def test_requeue_lost_goes_to_general_pool(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(2)
+        sched = StickyScheduler(items, preferred={0: 0})
+        lost = sched.next_for(0)
+        assert sched.requeue_lost(0) == [lost.sequence_id]
+        # The recovered item is handed to whoever asks next, preference or
+        # not (its preferred worker just died).
+        assert sched.next_for(3).sequence_id == lost.sequence_id
+
+    def test_all_items_complete_under_mixed_dispatch(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(6)
+        sched = StickyScheduler(items, preferred={0: 0, 1: 0, 2: 1})
+        while not sched.done:
+            for w in (0, 1, 2):
+                item = sched.next_for(w)
+                if item is not None:
+                    sched.record(_result(item, w))
+        assert [r.sequence_id for r in sched.results_in_order()] == list(range(6))

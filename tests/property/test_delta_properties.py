@@ -1,0 +1,162 @@
+"""Hypothesis property tests: delta re-scoring is bit-exact with the
+full sweep over arbitrary chains of GA operations.
+
+The delta path's whole claim is *exactness*, not approximation: for any
+sequence of copy / mutate / crossover steps, patching parent rows and
+re-sweeping only the dirty windows must reproduce the full-sweep counts
+(and therefore the PIPE scores) bit for bit, whatever the LRU happens to
+contain.  These tests drive random operation chains through a shared
+:class:`~repro.ppi.delta.SimilarityLRU` and compare every intermediate
+against a from-scratch :meth:`~repro.ppi.database.PipeDatabase.sequence_similarity`.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.operators import (
+    crossover_with_provenance,
+    mutate_with_provenance,
+    point_copy_with_provenance,
+)
+from repro.ppi.database import PipeDatabase
+from repro.ppi.delta import SimilarityLRU, mutation_provenance
+from repro.ppi.graph import InteractionGraph
+from repro.sequences.encoding import decode
+from repro.sequences.protein import Protein
+from repro.substitution import PAM120
+
+W = 3
+THRESHOLD = 15.0
+
+
+def _build_database():
+    rng = np.random.default_rng(2024)
+    proteins = [
+        Protein(
+            f"P{i}",
+            decode(rng.integers(0, 20, size=int(rng.integers(8, 24))).astype(np.uint8)),
+        )
+        for i in range(5)
+    ]
+    edges = [("P0", "P1"), ("P1", "P2"), ("P2", "P3"), ("P3", "P4"), ("P0", "P0")]
+    return PipeDatabase(InteractionGraph(proteins, edges), PAM120, W, THRESHOLD)
+
+
+# Read-only after construction, so one shared instance serves every example.
+DATABASE = _build_database()
+
+
+sequences = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=4, max_size=30
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+loci_fractions = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    min_size=0,
+    max_size=5,
+)
+
+
+def _assert_bit_exact(database, lru, child, provenance):
+    similarity, stats = lru.similarity_for(database, child, provenance)
+    expected = database.sequence_similarity(child)
+    assert similarity.num_windows == expected.num_windows
+    assert np.array_equal(similarity.counts.toarray(), expected.counts.toarray())
+    return stats
+
+
+@settings(deadline=None, max_examples=30)
+@given(sequences, loci_fractions)
+def test_mutation_delta_bit_exact(parent, fractions):
+    database = DATABASE
+    lru = SimilarityLRU(8)
+    lru.put(parent.tobytes(), database.sequence_similarity(parent))
+    loci = sorted({int(f * parent.size) for f in fractions})
+    child = parent.copy()
+    for locus in loci:
+        child[locus] = (int(child[locus]) + 1) % 20
+    prov = mutation_provenance(parent, loci)
+    stats = _assert_bit_exact(database, lru, child, prov)
+    if loci and child.tobytes() != parent.tobytes():
+        assert stats.hit
+        assert stats.rows_rescored <= min(stats.rows_total, W * len(loci))
+
+
+@settings(deadline=None, max_examples=30)
+@given(sequences, sequences, st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+def test_crossover_delta_bit_exact(a, b, frac):
+    database = DATABASE
+    lru = SimilarityLRU(8)
+    lru.put(a.tobytes(), database.sequence_similarity(a))
+    lru.put(b.tobytes(), database.sequence_similarity(b))
+    cut_a = min(a.size - 1, max(1, int(frac * a.size)))
+    cut_b = min(b.size - 1, max(1, int(frac * b.size)))
+    from repro.ppi.delta import crossover_provenance
+
+    child1 = np.concatenate([a[:cut_a], b[cut_b:]])
+    child2 = np.concatenate([b[:cut_b], a[cut_a:]])
+    p1, p2 = crossover_provenance(a, b, cut_a, cut_b)
+    for child, prov in ((child1, p1), (child2, p2)):
+        stats = _assert_bit_exact(database, lru, child, prov)
+        assert stats.hit
+        # Only the windows straddling the cut can be dirty.
+        assert stats.rows_rescored <= W - 1
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    sequences,
+    sequences,
+    st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_operation_chain_delta_bit_exact(seed_a, seed_b, ops, rng_seed):
+    """A random mutate/crossover/copy chain stays exact at every step,
+    including when the LRU evicts parents mid-chain (forced fallbacks)."""
+    database = DATABASE
+    rng = np.random.default_rng(rng_seed)
+    lru = SimilarityLRU(4)  # small on purpose: eviction-driven fallbacks
+    pool = [seed_a, seed_b]
+    for s in pool:
+        lru.similarity_for(database, s, None)
+    for op in ops:
+        if op == 0:
+            parent = pool[int(rng.integers(len(pool)))]
+            child, prov = point_copy_with_provenance(parent)
+            children = [(child, prov)]
+        elif op == 1:
+            parent = pool[int(rng.integers(len(pool)))]
+            child, prov = mutate_with_provenance(parent, 0.1, rng)
+            children = [(child, prov)]
+        else:
+            i, j = rng.integers(len(pool)), rng.integers(len(pool))
+            pair = crossover_with_provenance(
+                pool[int(i)], pool[int(j)], 0.1, rng
+            )
+            children = list(pair)
+        for child, prov in children:
+            _assert_bit_exact(database, lru, child, prov)
+            pool.append(np.asarray(child))
+        pool = pool[-6:]  # bound the pool like a GA population would
+
+
+@settings(deadline=None, max_examples=15)
+@given(sequences, st.floats(min_value=0.0, max_value=0.3))
+def test_delta_scores_equal_full_scores(parent, p_mutate):
+    """End to end: PIPE scores via the delta route == full-sweep scores."""
+    from repro.ppi.pipe import PipeConfig, PipeEngine
+
+    database = DATABASE
+    engine = PipeEngine(
+        database, PipeConfig(window_size=W, similarity_threshold=THRESHOLD)
+    )
+    rng = np.random.default_rng(7)
+    lru = SimilarityLRU(8)
+    lru.similarity_for(database, parent, None)
+    child, prov = mutate_with_provenance(parent, p_mutate, rng)
+    similarity, _ = lru.similarity_for(database, child, prov)
+    names = ["P0", "P2"]
+    via_delta = engine.score_against(child, names, similarity=similarity)
+    from_scratch = engine.score_against(child, names)
+    assert via_delta == from_scratch
