@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""End-to-end crash/resume smoke test.
+
+Runs a tiny design campaign three ways and demands bit-exact agreement:
+
+1. an uninterrupted in-process reference run,
+2. a child process running the same campaign with per-generation
+   checkpoints, SIGKILLed as soon as a mid-run snapshot appears,
+3. a resume from the killed child's latest snapshot, run to completion.
+
+The resumed run must reproduce the reference's best sequence, history and
+evaluation count exactly.  Exit status 0 on agreement, 1 on divergence.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/resume_smoke.py
+
+The ``--child`` mode is internal (the crashing campaign).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SEED = 2015
+TARGET = "YBL051C"
+POPULATION = 10
+LENGTH = 20
+GENERATIONS = 12
+KILL_AFTER_GENERATION = 3
+
+
+def _build_engine(checkpoint_dir=None):
+    from repro import GAParams, InSiPSEngine, SerialScoreProvider, get_profile
+
+    world = get_profile("tiny").build_world()
+    non_targets = world.non_targets_for(TARGET, limit=8)
+    provider = SerialScoreProvider(world.engine, TARGET, non_targets)
+    return InSiPSEngine(
+        provider,
+        GAParams(),
+        population_size=POPULATION,
+        candidate_length=LENGTH,
+        seed=SEED,
+    )
+
+
+def _child(checkpoint_dir: Path) -> int:
+    """The crashing campaign: checkpoint every generation, run slowly
+    enough that the parent can SIGKILL us mid-run."""
+    from repro.checkpoint import CheckpointManager
+
+    engine = _build_engine()
+    manager = CheckpointManager(checkpoint_dir, every=1)
+
+    def crawl(population, stats):
+        time.sleep(0.05)
+
+    engine.run(GENERATIONS, on_generation=crawl, checkpoint=manager)
+    return 0
+
+
+def _wait_for_snapshot(directory: Path, generation: int, timeout_s: float) -> bool:
+    """Poll until a snapshot at or past ``generation`` exists."""
+    deadline = time.monotonic() + timeout_s
+    import re
+
+    pattern = re.compile(r"^ckpt-gen(\d+)(-emergency)?\.json$")
+    while time.monotonic() < deadline:
+        for path in directory.glob("ckpt-*.json"):
+            match = pattern.match(path.name)
+            if match and int(match.group(1)) >= generation:
+                return True
+        time.sleep(0.02)
+    return False
+
+
+def _main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--dir", type=Path, default=None)
+    args = parser.parse_args()
+
+    if args.child:
+        return _child(args.dir)
+
+    import tempfile
+
+    from repro.checkpoint import find_latest
+
+    with tempfile.TemporaryDirectory(prefix="resume-smoke-") as tmp:
+        ckpt_dir = Path(tmp) / "ckpt"
+        ckpt_dir.mkdir()
+
+        print("reference run ...", flush=True)
+        reference = _build_engine().run(GENERATIONS)
+
+        print("child run (to be killed) ...", flush=True)
+        child = subprocess.Popen(
+            [sys.executable, __file__, "--child", "--dir", str(ckpt_dir)],
+            env=os.environ.copy(),
+        )
+        try:
+            if not _wait_for_snapshot(
+                ckpt_dir, KILL_AFTER_GENERATION, timeout_s=120.0
+            ):
+                print("FAIL: child produced no mid-run snapshot", flush=True)
+                return 1
+            child.send_signal(signal.SIGKILL)
+        finally:
+            child.wait(timeout=30.0)
+        print(f"child killed (returncode {child.returncode})", flush=True)
+
+        latest = find_latest(ckpt_dir)
+        if latest is None:
+            print("FAIL: no snapshot survived the kill", flush=True)
+            return 1
+        print(f"resuming from {latest.name} ...", flush=True)
+        engine = _build_engine()
+        resumed_at = engine.resume(ckpt_dir)
+        result = engine.run(GENERATIONS)
+        print(f"resumed at generation {resumed_at}", flush=True)
+
+        checks = {
+            "best sequence": result.best.sequence == reference.best.sequence,
+            "best fitness": result.best.fitness == reference.best.fitness,
+            "history": json.dumps(result.history.to_payload())
+            == json.dumps(reference.history.to_payload()),
+            "evaluations": result.evaluations == reference.evaluations,
+        }
+        for name, ok in checks.items():
+            print(f"  {name}: {'OK' if ok else 'MISMATCH'}", flush=True)
+        if all(checks.values()):
+            print("resume smoke: PASS", flush=True)
+            return 0
+        print("resume smoke: FAIL", flush=True)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

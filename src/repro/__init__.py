@@ -20,6 +20,7 @@ Quick start::
     print(result.fitness, result.designed_protein())
 """
 
+from repro.checkpoint import CheckpointError, CheckpointManager
 from repro.core import DesignResult, InhibitorDesigner
 from repro.ga import GAParams, InSiPSEngine, SerialScoreProvider, WETLAB_PARAMS
 from repro.ppi import InteractionGraph, PipeConfig, PipeEngine
@@ -30,6 +31,8 @@ from repro.telemetry import MetricsRegistry, NullRegistry
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
     "DesignResult",
     "GAParams",
     "InSiPSEngine",

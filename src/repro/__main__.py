@@ -22,11 +22,37 @@ def _cmd_design(args: argparse.Namespace) -> int:
     from repro.telemetry import MetricsRegistry, export_jsonl, summary
 
     registry = MetricsRegistry() if args.telemetry else None
+    checkpoint = None
+    resume_from = None
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir:
+        from repro.checkpoint import CheckpointManager, find_latest
+
+        checkpoint = CheckpointManager(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            telemetry=registry,
+        )
+        if args.resume:
+            resume_from = find_latest(args.checkpoint_dir)
+            if resume_from is None:
+                print(
+                    f"error: --resume: no snapshot in {args.checkpoint_dir}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"resuming from {resume_from}")
     designer = InhibitorDesigner.from_profile(
         get_profile(args.profile), seed=args.seed, telemetry=registry
     )
     result = designer.design(
-        args.target, seed=args.seed + 1, termination=args.generations
+        args.target,
+        seed=args.seed + 1,
+        termination=args.generations,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
     )
     profile = result.inhibition_profile()
     print(f"designed anti-{args.target}: fitness {result.fitness:.4f}")
@@ -173,6 +199,19 @@ def main(argv: list[str] | None = None) -> int:
         "--telemetry", default=None, metavar="PATH",
         help="record runtime telemetry, export it as JSON-lines to PATH "
         "and print a summary",
+    )
+    p_design.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe snapshots of the GA state to DIR",
+    )
+    p_design.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="K",
+        help="snapshot every K generations (default: 5)",
+    )
+    p_design.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest snapshot in --checkpoint-dir "
+        "(bit-exact: same result as an uninterrupted run)",
     )
     p_design.set_defaults(func=_cmd_design)
 

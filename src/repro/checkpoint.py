@@ -1,0 +1,334 @@
+"""Crash-safe checkpoint/resume for GA campaigns.
+
+The paper's Blue Gene/Q runs evolve populations for tens of thousands of
+generations over days of wall clock; the parallel runtime already survives
+*worker* death, but a master crash (OOM, preemption, SIGKILL) would lose
+the whole campaign.  This module closes that gap: a
+:class:`CheckpointManager` periodically snapshots a running
+:class:`~repro.ga.engine.InSiPSEngine` at the generation barrier, and
+:meth:`InSiPSEngine.resume <repro.ga.engine.InSiPSEngine.resume>` restores
+a snapshot **bit-exactly** — a run interrupted at generation *g* and
+resumed produces the identical best sequence, history and evaluation
+counts as an uninterrupted run with the same seed.
+
+What a snapshot holds
+---------------------
+* the full population with scores (provenance-free encodings — see below),
+* the engine's RNG bit-generator states (``Generator.bit_generator.state``),
+* the generation counter, :class:`~repro.ga.stats.RunHistory`, best-so-far
+  individual and evaluation count,
+* the current :class:`~repro.ga.config.GAParams` plus, for
+  :class:`~repro.ga.adaptive.AdaptiveInSiPSEngine`, the controller state
+  and ``params_history``,
+* a fingerprint of the GA/problem configuration, checked on resume so a
+  snapshot cannot silently resume under a different problem.
+
+Durability
+----------
+Every file goes through :func:`repro.util.atomic.atomic_write` (tmp file +
+fsync + ``os.replace``), each snapshot embeds a SHA-256 checksum of its
+canonical payload (verified on load), a ``latest`` pointer file names the
+newest snapshot, and retention is bounded to the newest ``retain``
+snapshots.  A snapshot is therefore never observably half-written, and a
+crash mid-checkpoint leaves the previous snapshot (and pointer) intact.
+
+Bit-exactness caveats
+---------------------
+Operator provenance is dropped at snapshot boundaries: snapshots are taken
+at the generation barrier where every member is already scored, so scores
+never depend on it, but the first post-resume generation is delta-scored
+against cold similarity caches — ``pipe.delta.*`` hit/fallback *telemetry*
+(never scores) can differ from the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
+from repro.util.atomic import atomic_write
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ga.engine import InSiPSEngine
+    from repro.ga.population import Individual, Population
+    from repro.ga.stats import RunHistory
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "write_snapshot",
+    "load_snapshot",
+    "find_latest",
+]
+
+FORMAT = "repro-checkpoint"
+VERSION = 1
+LATEST_POINTER = "latest"
+
+_SNAPSHOT_RE = re.compile(r"^ckpt-gen(\d+)(-emergency)?\.json$")
+
+
+class CheckpointError(RuntimeError):
+    """A snapshot is missing, corrupt, or belongs to a different run."""
+
+
+def _canonical(payload: dict[str, object]) -> str:
+    """The checksummed byte-stable form of a snapshot payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_snapshot(
+    path: str | Path, payload: dict[str, object], *, fsync: bool = True
+) -> int:
+    """Atomically write one checksummed snapshot file; returns bytes written."""
+    body = _canonical(payload)
+    envelope = {
+        "format": FORMAT,
+        "version": VERSION,
+        "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+        "payload": payload,
+    }
+    return atomic_write(
+        path, json.dumps(envelope, sort_keys=True, indent=1), fsync=fsync
+    )
+
+
+def load_snapshot(source: str | Path) -> dict[str, object]:
+    """Read and verify a snapshot written by :func:`write_snapshot`.
+
+    ``source`` may be a snapshot file or a checkpoint directory (the
+    ``latest`` pointer, falling back to the newest snapshot, is used).
+    Raises :class:`CheckpointError` on a missing file, unparseable JSON,
+    unknown format/version, or checksum mismatch.
+    """
+    path = Path(source)
+    if path.is_dir():
+        latest = find_latest(path)
+        if latest is None:
+            raise CheckpointError(f"no snapshot found in {path}")
+        path = latest
+    if not path.exists():
+        raise CheckpointError(f"snapshot {path} does not exist")
+    try:
+        envelope = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: unreadable snapshot ({exc})") from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != FORMAT:
+        raise CheckpointError(f"{path}: not a {FORMAT} file")
+    if envelope.get("version") != VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported snapshot version {envelope.get('version')!r}"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path}: snapshot payload missing")
+    digest = hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+    if digest != envelope.get("sha256"):
+        raise CheckpointError(
+            f"{path}: checksum mismatch (file corrupt or tampered)"
+        )
+    return payload
+
+
+def _snapshot_order(path: Path) -> tuple[int, int, float]:
+    """Sort key: (generation, pre-eval before barrier, mtime)."""
+    match = _SNAPSHOT_RE.match(path.name)
+    generation = int(match.group(1)) if match else -1
+    barrier = 0 if (match and match.group(2)) else 1
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:  # pragma: no cover - racing deletion
+        mtime = 0.0
+    return (generation, barrier, mtime)
+
+
+def find_latest(directory: str | Path) -> Path | None:
+    """The newest snapshot in ``directory``: the ``latest`` pointer when it
+    resolves, else the newest ``ckpt-*.json`` by generation, else None."""
+    directory = Path(directory)
+    pointer = directory / LATEST_POINTER
+    if pointer.exists():
+        try:
+            name = pointer.read_text().strip()
+        except OSError:  # pragma: no cover - racing deletion
+            name = ""
+        if name:
+            candidate = directory / name
+            if candidate.exists():
+                return candidate
+    snapshots = [
+        p for p in directory.glob("ckpt-*.json") if _SNAPSHOT_RE.match(p.name)
+    ]
+    if not snapshots:
+        return None
+    return max(snapshots, key=_snapshot_order)
+
+
+class CheckpointManager:
+    """Snapshot policy + durable storage for one GA campaign.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live (created if missing).  One campaign per
+        directory — the ``latest`` pointer and retention are per-directory.
+    every:
+        Save at every k-th generation barrier (``None`` disables the
+        generation policy).
+    interval_s:
+        Also save when at least this much wall clock has passed since the
+        last save (``None`` disables the interval policy).  The two
+        policies are OR-ed; with both ``None`` only emergency snapshots
+        are written.
+    retain:
+        Keep at most this many snapshot files (oldest pruned first; the
+        snapshot the ``latest`` pointer names is never pruned).
+    fsync:
+        Forwarded to :func:`~repro.util.atomic.atomic_write`; tests may
+        disable it for speed.
+    telemetry:
+        Metrics registry for the ``checkpoint.{writes,bytes,restore}``
+        counters and the ``checkpoint.save`` span.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        every: int | None = 1,
+        interval_s: float | None = None,
+        retain: int = 5,
+        fsync: bool = True,
+        telemetry: MetricsRegistry | None = None,
+    ) -> None:
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if interval_s is not None and interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every = every
+        self.interval_s = interval_s
+        self.retain = int(retain)
+        self.fsync = bool(fsync)
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.writes = 0
+        self.bytes_written = 0
+        self._last_save_monotonic: float | None = None
+
+    # -- policy -------------------------------------------------------------
+
+    def should_save(self, generation: int) -> bool:
+        """Whether the barrier of ``generation`` is due a snapshot."""
+        if self.every is not None and generation % self.every == 0:
+            return True
+        if self.interval_s is not None:
+            last = self._last_save_monotonic
+            if last is None or time.monotonic() - last >= self.interval_s:
+                return True
+        return False
+
+    def maybe_save(
+        self,
+        engine: "InSiPSEngine",
+        population: "Population",
+        *,
+        history: "RunHistory",
+        best: "Individual | None",
+    ) -> Path | None:
+        """Barrier hook: save if either policy says the generation is due."""
+        if not self.should_save(population.generation):
+            return None
+        return self.save(engine, population, history=history, best=best)
+
+    # -- storage ------------------------------------------------------------
+
+    def save(
+        self,
+        engine: "InSiPSEngine",
+        population: "Population",
+        *,
+        history: "RunHistory",
+        best: "Individual | None",
+        phase: str = "barrier",
+        reason: str | None = None,
+    ) -> Path:
+        """Write one snapshot (checksummed, atomic) and move ``latest``.
+
+        ``phase`` is ``"barrier"`` (population evaluated, stats appended)
+        or ``"pre_eval"`` (emergency: population bred but not yet fully
+        evaluated); resume re-enters the main loop at the matching point.
+        """
+        payload = engine.checkpoint_state(
+            population, history=history, best=best, phase=phase, reason=reason
+        )
+        suffix = "-emergency" if phase != "barrier" else ""
+        name = f"ckpt-gen{population.generation:08d}{suffix}.json"
+        path = self.directory / name
+        with self.telemetry.span("checkpoint.save"):
+            nbytes = write_snapshot(path, payload, fsync=self.fsync)
+            atomic_write(
+                self.directory / LATEST_POINTER, name + "\n", fsync=self.fsync
+            )
+        self.writes += 1
+        self.bytes_written += nbytes
+        self.telemetry.count("checkpoint.writes")
+        self.telemetry.count("checkpoint.bytes", nbytes)
+        self._last_save_monotonic = time.monotonic()
+        self._prune(keep=path)
+        return path
+
+    def save_emergency(
+        self,
+        engine: "InSiPSEngine",
+        population: "Population",
+        *,
+        history: "RunHistory",
+        best: "Individual | None",
+        reason: str,
+    ) -> Path:
+        """Best-effort snapshot when the run is dying (e.g. the parallel
+        runtime raised :class:`~repro.parallel.mp_backend.DeadWorkerError`
+        past its retry budget)."""
+        self.telemetry.count("checkpoint.emergency")
+        return self.save(
+            engine,
+            population,
+            history=history,
+            best=best,
+            phase="pre_eval",
+            reason=reason,
+        )
+
+    def latest(self) -> Path | None:
+        """The newest snapshot in this manager's directory, if any."""
+        return find_latest(self.directory)
+
+    def _prune(self, *, keep: Path) -> None:
+        """Delete all but the newest ``retain`` snapshots (never ``keep``)."""
+        snapshots = sorted(
+            (
+                p
+                for p in self.directory.glob("ckpt-*.json")
+                if _SNAPSHOT_RE.match(p.name)
+            ),
+            key=_snapshot_order,
+        )
+        excess = len(snapshots) - self.retain
+        for path in snapshots:
+            if excess <= 0:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+            excess -= 1

@@ -154,12 +154,21 @@ class InhibitorDesigner:
         termination: TerminationCriterion | int | None = None,
         non_targets: list[str] | None = None,
         on_generation=None,
+        checkpoint=None,
+        resume_from=None,
     ) -> DesignResult:
         """Run InSiPS against ``target``.
 
         ``termination`` defaults to the paper's rule (min generations +
         stall window) scaled down hard for interactive use; pass an int for
         a fixed generation budget.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.checkpoint.CheckpointManager` for crash-safe
+        periodic snapshots; ``resume_from`` (a snapshot file or checkpoint
+        directory) restores an interrupted campaign before running — the
+        resumed run is bit-exact with an uninterrupted one, provided
+        ``seed`` and the problem are unchanged.
         """
         nts = non_targets if non_targets is not None else self.non_targets_for(target)
         if termination is None:
@@ -177,7 +186,11 @@ class InhibitorDesigner:
                 seed=seed,
                 telemetry=self.telemetry,
             )
-            result: GAResult = engine.run(termination, on_generation=on_generation)
+            if resume_from is not None:
+                engine.resume(resume_from)
+            result: GAResult = engine.run(
+                termination, on_generation=on_generation, checkpoint=checkpoint
+            )
         return DesignResult(
             target=target,
             non_targets=nts,

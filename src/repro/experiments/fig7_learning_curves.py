@@ -32,9 +32,21 @@ def run_fig7(
     targets: tuple[str, ...] = WETLAB_TARGETS,
     min_generations: int | None = None,
     stall: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 5,
+    resume: bool = False,
     **_ignored,
 ) -> ExperimentResult:
-    """Reproduce the Figure 7 learning curves (scaled by profile)."""
+    """Reproduce the Figure 7 learning curves (scaled by profile).
+
+    This is the long-running driver (one full design campaign per
+    target), so it supports crash-safe checkpointing: with
+    ``checkpoint_dir``, each target's campaign snapshots its GA state
+    every ``checkpoint_every`` generations under
+    ``<checkpoint_dir>/<target>``; with ``resume=True``, a target whose
+    directory already holds a snapshot continues from it bit-exactly
+    instead of restarting from generation zero.
+    """
     prof = get_profile(profile)
     world = prof.build_world(seed=seed)
     designer = InhibitorDesigner(
@@ -59,7 +71,24 @@ def run_fig7(
     runs = {}
     summary_rows = []
     for target in targets:
-        run = designer.design(target, seed=seed + 1, termination=termination)
+        checkpoint = None
+        resume_from = None
+        if checkpoint_dir is not None:
+            from pathlib import Path
+
+            from repro.checkpoint import CheckpointManager, find_latest
+
+            target_dir = Path(checkpoint_dir) / target
+            checkpoint = CheckpointManager(target_dir, every=checkpoint_every)
+            if resume:
+                resume_from = find_latest(target_dir)
+        run = designer.design(
+            target,
+            seed=seed + 1,
+            termination=termination,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+        )
         runs[target] = run
         curves = run.history.learning_curves()
         gen = curves["generation"].astype(float)

@@ -101,6 +101,7 @@ class AdaptiveInSiPSEngine(InSiPSEngine):
         self.params_history: list[GAParams] = [self.params]
 
     def next_generation(self, current: Population) -> Population:
+        telemetry = self.telemetry
         nxt = Population(generation=current.generation + 1)
         probs = np.array(self.params.operation_probabilities)
         from repro.ga.operators import (
@@ -112,6 +113,10 @@ class AdaptiveInSiPSEngine(InSiPSEngine):
 
         while len(nxt) < self.population_size:
             op = ("copy", "mutate", "crossover")[int(self._rng.choice(3, p=probs))]
+            # Same ga.op.* accounting as the base engine: without it,
+            # `repro stats` would report zero operator applications for
+            # adaptive runs.
+            telemetry.count(f"ga.op.{op}")
             if op == "copy":
                 (i,) = roulette_select(current, self._rng, 1)
                 parent = current[i]
@@ -163,3 +168,39 @@ class AdaptiveInSiPSEngine(InSiPSEngine):
             self.params = self.controller.observe(counted)
             self.params_history.append(self.params)
         return evals
+
+    # -- checkpoint / resume -----------------------------------------------
+
+    def _extra_checkpoint_state(self, population: Population) -> dict:
+        """Controller EMA rates, the operator-mix trajectory, and the
+        population's origin tags, so a resumed run adapts identically to
+        an uninterrupted one.  Origin tags matter for *pre-eval*
+        (emergency) snapshots: the bred-but-unevaluated children still owe
+        the controller one observation, which needs their origins."""
+        return {
+            "controller": {"rates": self.controller.success_rates()},
+            "params_history": [p.to_payload() for p in self.params_history],
+            "origins": [
+                list(member.__dict__["origin"])
+                if "origin" in member.__dict__
+                else None
+                for member in population
+            ],
+        }
+
+    def _restore_extra_state(self, extra: dict, population: Population) -> None:
+        controller_state = extra.get("controller") or {}
+        rates = controller_state.get("rates") or {}
+        for op in ("mutate", "crossover"):
+            if op in rates:
+                self.controller._rates[op] = float(rates[op])
+        # resume() already restored self.params to the snapshot's current
+        # mix; keep the controller's view consistent with it.
+        self.controller._params = self.params
+        self.params_history = [
+            GAParams.from_payload(p) for p in extra.get("params_history", [])
+        ]
+        origins = extra.get("origins") or []
+        for member, origin in zip(population, origins):
+            if origin is not None:
+                member.__dict__["origin"] = (str(origin[0]), float(origin[1]))

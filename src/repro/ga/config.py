@@ -7,6 +7,7 @@ that they must sum to 1.0" (Sec. 4.1).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.constants import (
@@ -59,6 +60,15 @@ class GAParams:
     def operation_probabilities(self) -> tuple[float, float, float]:
         """(copy, mutate, crossover) in the order used by the engine."""
         return (self.p_copy, self.p_mutate, self.p_crossover)
+
+    def to_payload(self) -> dict[str, float]:
+        """JSON-safe snapshot (floats round-trip exactly through JSON)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, float]) -> "GAParams":
+        """Rebuild parameters saved by :meth:`to_payload` (re-validated)."""
+        return cls(**payload)
 
 
 #: The five parameter settings benchmarked in Sec. 4.1 (Tables 1–3).

@@ -9,6 +9,8 @@ termination decision.  PIPE scoring is delegated to a
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass
 
@@ -99,6 +101,28 @@ class InSiPSEngine:
         self._initializer = initializer
         self.evaluations = 0
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        # Constructor-time configuration identity; snapshots embed it and
+        # resume() refuses a snapshot whose fingerprint differs (adaptive
+        # runs mutate self.params later, so it is captured here, once).
+        self._config_fingerprint = self._fingerprint()
+        self._restored: dict | None = None
+
+    def _fingerprint(self) -> str:
+        """Hash of the GA + problem configuration a snapshot belongs to."""
+        ident = {
+            "kind": type(self).__name__,
+            "params": self.params.to_payload(),
+            "population_size": self.population_size,
+            "candidate_length": self.candidate_length,
+            "target": getattr(self.provider, "target", None),
+            "non_targets": list(getattr(self.provider, "non_targets", []) or []),
+        }
+        blob = json.dumps(ident, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def config_fingerprint(self) -> str:
+        return self._config_fingerprint
 
     # -- population construction ------------------------------------------------
 
@@ -180,6 +204,104 @@ class InSiPSEngine:
         self.evaluations += pending
         return pending
 
+    # -- checkpoint / resume -----------------------------------------------
+
+    def checkpoint_state(
+        self,
+        population: Population,
+        *,
+        history: RunHistory,
+        best: Individual | None,
+        phase: str = "barrier",
+        reason: str | None = None,
+    ) -> dict:
+        """The JSON-safe snapshot payload of this engine at ``population``.
+
+        ``phase`` records where in the loop the state was captured:
+        ``"barrier"`` (population evaluated, stats appended — the periodic
+        snapshot point) or ``"pre_eval"`` (emergency: population bred, not
+        yet fully evaluated, stats not appended).  RNG streams are saved
+        as ``Generator.bit_generator.state`` so resume is bit-exact.
+        """
+        if phase not in ("barrier", "pre_eval"):
+            raise ValueError(f"unknown checkpoint phase {phase!r}")
+        state: dict = {
+            "kind": type(self).__name__,
+            "fingerprint": self._config_fingerprint,
+            "phase": phase,
+            "generation": int(population.generation),
+            "population": population.to_payload(),
+            "history": history.to_payload(),
+            "best": best.to_payload() if best is not None else None,
+            "evaluations": int(self.evaluations),
+            "params": self.params.to_payload(),
+            "rng": {
+                "engine": self._rng.bit_generator.state,
+                "init": self._init_rng.bit_generator.state,
+            },
+            "extra": self._extra_checkpoint_state(population),
+        }
+        if reason is not None:
+            state["reason"] = str(reason)
+        return state
+
+    def _extra_checkpoint_state(self, population: Population) -> dict:
+        """Subclass hook: additional state a snapshot must carry."""
+        return {}
+
+    def _restore_extra_state(self, extra: dict, population: Population) -> None:
+        """Subclass hook: restore :meth:`_extra_checkpoint_state` output."""
+
+    def _restore_rng(self, rng: np.random.Generator, state: dict) -> None:
+        saved_kind = state.get("bit_generator")
+        current_kind = rng.bit_generator.state.get("bit_generator")
+        if saved_kind != current_kind:
+            from repro.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"snapshot RNG is {saved_kind!r}, engine uses {current_kind!r}"
+            )
+        rng.bit_generator.state = state
+
+    def resume(self, source) -> int:
+        """Restore engine state from a snapshot; returns its generation.
+
+        ``source`` is a snapshot file or a checkpoint directory (the
+        newest snapshot is used).  The engine must have been constructed
+        with the same provider problem, params and population geometry —
+        a fingerprint mismatch raises
+        :class:`~repro.checkpoint.CheckpointError`.  The next
+        :meth:`run` call continues the interrupted campaign bit-exactly.
+        """
+        from repro.checkpoint import CheckpointError, load_snapshot
+
+        payload = load_snapshot(source)
+        if payload.get("fingerprint") != self._config_fingerprint:
+            raise CheckpointError(
+                "snapshot fingerprint does not match this engine's "
+                "configuration (different params, problem, geometry or "
+                "engine kind)"
+            )
+        self._restore_rng(self._rng, payload["rng"]["engine"])
+        self._restore_rng(self._init_rng, payload["rng"]["init"])
+        self.evaluations = int(payload["evaluations"])
+        self.params = GAParams.from_payload(payload["params"])
+        population = Population.from_payload(payload["population"])
+        self._restore_extra_state(payload.get("extra") or {}, population)
+        best_payload = payload.get("best")
+        self._restored = {
+            "population": population,
+            "history": RunHistory.from_payload(payload["history"]),
+            "best": (
+                Individual.from_payload(best_payload)
+                if best_payload is not None
+                else None
+            ),
+            "phase": payload.get("phase", "barrier"),
+        }
+        self.telemetry.count("checkpoint.restore")
+        return int(payload["generation"])
+
     def _record_generation(self, population, stats, gen_start: float) -> None:
         """Record one generation's telemetry (metrics + one event)."""
         telemetry = self.telemetry
@@ -206,6 +328,7 @@ class InSiPSEngine:
         termination: TerminationCriterion | int,
         *,
         on_generation=None,
+        checkpoint=None,
     ) -> GAResult:
         """Execute the main GA loop until the termination criterion fires.
 
@@ -213,26 +336,68 @@ class InSiPSEngine:
         convenience.  ``on_generation`` is an optional callback
         ``(population, stats) -> None`` invoked after each evaluation,
         used by the experiment drivers to stream learning curves.
+        ``checkpoint`` is an optional
+        :class:`~repro.checkpoint.CheckpointManager`: due generations are
+        snapshotted at the barrier (after evaluation and stats), and a
+        dying evaluation (e.g. the parallel runtime's ``DeadWorkerError``
+        past its retry budget, or a KeyboardInterrupt) triggers a
+        best-effort emergency snapshot before the exception propagates.
+
+        After :meth:`resume`, the restored state replaces the initial
+        population and the loop continues exactly where the snapshot was
+        taken — a barrier snapshot's generation is not re-evaluated, nor
+        its stats re-appended or callbacks re-fired.
         """
         if isinstance(termination, int):
             termination = MaxGenerations(termination)
         telemetry = self.telemetry
-        history = RunHistory()
-        population = self.initial_population()
-        best: Individual | None = None
+        restored = self._restored
+        self._restored = None
+        if restored is not None:
+            population = restored["population"]
+            history = restored["history"]
+            best = restored["best"]
+            at_barrier = restored["phase"] == "barrier"
+        else:
+            history = RunHistory()
+            population = self.initial_population()
+            best = None
+            at_barrier = False
         while True:
-            gen_start = time.perf_counter()
-            with telemetry.span("ga.evaluate"):
-                evals = self.evaluate_population(population)
-            stats = GenerationStats.from_population(population, evaluations=evals)
-            history.append(stats)
-            gen_best = population.best()
-            if best is None or gen_best.fitness > best.fitness:
-                best = gen_best
-            if telemetry.enabled:
-                self._record_generation(population, stats, gen_start)
-            if on_generation is not None:
-                on_generation(population, stats)
+            if not at_barrier:
+                gen_start = time.perf_counter()
+                try:
+                    with telemetry.span("ga.evaluate"):
+                        evals = self.evaluate_population(population)
+                except BaseException as exc:
+                    if checkpoint is not None:
+                        try:
+                            checkpoint.save_emergency(
+                                self,
+                                population,
+                                history=history,
+                                best=best,
+                                reason=f"{type(exc).__name__}: {exc}",
+                            )
+                        except Exception:  # pragma: no cover - best effort
+                            pass
+                    raise
+                stats = GenerationStats.from_population(
+                    population, evaluations=evals
+                )
+                history.append(stats)
+                gen_best = population.best()
+                if best is None or gen_best.fitness > best.fitness:
+                    best = gen_best
+                if telemetry.enabled:
+                    self._record_generation(population, stats, gen_start)
+                if on_generation is not None:
+                    on_generation(population, stats)
+                if checkpoint is not None:
+                    checkpoint.maybe_save(
+                        self, population, history=history, best=best
+                    )
+            at_barrier = False
             if termination.should_stop(history):
                 break
             with telemetry.span("ga.next_generation"):

@@ -58,6 +58,36 @@ class Individual:
     def __len__(self) -> int:
         return int(self.encoded.size)
 
+    # -- checkpoint serialization -------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe snapshot of this individual.
+
+        Provenance is deliberately dropped: it is advisory delta-scoring
+        context referencing in-memory parent structures, and a snapshot
+        taken at the generation barrier only holds evaluated individuals
+        whose scores no longer depend on it.
+        """
+        return {
+            "sequence": self.sequence,
+            "fitness": self.fitness,
+            "target_score": self.target_score,
+            "max_non_target": self.max_non_target,
+            "avg_non_target": self.avg_non_target,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "Individual":
+        """Rebuild an individual saved by :meth:`to_payload`."""
+        from repro.sequences.encoding import encode
+
+        ind = cls(encode(str(payload["sequence"])))
+        ind.fitness = payload.get("fitness")
+        ind.target_score = payload.get("target_score")
+        ind.max_non_target = payload.get("max_non_target")
+        ind.avg_non_target = payload.get("avg_non_target")
+        return ind
+
 
 @dataclass
 class Population:
@@ -98,3 +128,20 @@ class Population:
 
     def unevaluated_members(self) -> list[Individual]:
         return [m for m in self.members if not m.evaluated]
+
+    # -- checkpoint serialization -------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe snapshot: generation counter + every member."""
+        return {
+            "generation": int(self.generation),
+            "members": [m.to_payload() for m in self.members],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "Population":
+        """Rebuild a population saved by :meth:`to_payload`."""
+        return cls(
+            members=[Individual.from_payload(m) for m in payload["members"]],
+            generation=int(payload["generation"]),
+        )

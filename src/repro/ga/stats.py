@@ -8,6 +8,7 @@ styles of the paper's Figure 7 learning curves.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,15 @@ class GenerationStats:
     best_max_non_target: float
     best_avg_non_target: float
     evaluations: int
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe snapshot (field-for-field; floats round-trip exactly)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "GenerationStats":
+        """Rebuild stats saved by :meth:`to_payload`."""
+        return cls(**payload)
 
     @classmethod
     def from_population(
@@ -105,3 +115,17 @@ class RunHistory:
         if not self.stats:
             raise ValueError("empty history")
         return float(self.running_best()[-1])
+
+    # -- checkpoint serialization -------------------------------------------
+
+    def to_payload(self) -> list[dict[str, object]]:
+        """JSON-safe snapshot: the chronological stats records."""
+        return [s.to_payload() for s in self.stats]
+
+    @classmethod
+    def from_payload(cls, payload: list[dict[str, object]]) -> "RunHistory":
+        """Rebuild a history saved by :meth:`to_payload`."""
+        history = cls()
+        for record in payload:
+            history.append(GenerationStats.from_payload(record))
+        return history

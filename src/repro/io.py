@@ -5,6 +5,11 @@ defines that on-disk form for the reproduction — a JSON interactome
 (proteins + annotations + known interactions) and a JSON design-result
 record — so worlds can be shared between runs and designed sequences
 archived with their provenance.
+
+All writes go through :func:`repro.util.atomic.atomic_write`: the payload
+is serialized fully in memory and swapped into place with an atomic
+rename, so a crash mid-write can never leave a truncated, unloadable file
+(and a failed save leaves any existing file untouched).
 """
 
 from __future__ import annotations
@@ -14,10 +19,10 @@ from pathlib import Path
 
 from repro.core.designer import DesignResult
 from repro.ga.population import Individual
-from repro.ga.stats import GenerationStats, RunHistory
+from repro.ga.stats import RunHistory
 from repro.ppi.graph import InteractionGraph
-from repro.sequences.encoding import encode
 from repro.sequences.protein import Protein
+from repro.util.atomic import atomic_write
 
 __all__ = [
     "save_interactome",
@@ -44,7 +49,7 @@ def save_interactome(graph: InteractionGraph, path: str | Path) -> None:
         ],
         "interactions": [list(edge) for edge in graph.edges()],
     }
-    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    atomic_write(path, json.dumps(payload, indent=1, sort_keys=True))
 
 
 def load_interactome(path: str | Path) -> InteractionGraph:
@@ -75,27 +80,10 @@ def save_design_result(result: DesignResult, path: str | Path) -> None:
         "seed": result.seed,
         "generations": result.generations,
         "evaluations": result.evaluations,
-        "best": {
-            "sequence": result.best.sequence,
-            "fitness": result.best.fitness,
-            "target_score": result.best.target_score,
-            "max_non_target": result.best.max_non_target,
-            "avg_non_target": result.best.avg_non_target,
-        },
-        "history": [
-            {
-                "generation": s.generation,
-                "best_fitness": s.best_fitness,
-                "mean_fitness": s.mean_fitness,
-                "best_target_score": s.best_target_score,
-                "best_max_non_target": s.best_max_non_target,
-                "best_avg_non_target": s.best_avg_non_target,
-                "evaluations": s.evaluations,
-            }
-            for s in result.history
-        ],
+        "best": result.best.to_payload(),
+        "history": result.history.to_payload(),
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write(path, json.dumps(payload, indent=1))
 
 
 def load_design_result(path: str | Path) -> DesignResult:
@@ -105,15 +93,8 @@ def load_design_result(path: str | Path) -> DesignResult:
         raise ValueError(f"{path}: not a repro design file")
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(f"{path}: unsupported version {payload.get('version')!r}")
-    b = payload["best"]
-    best = Individual(encode(b["sequence"]))
-    best.fitness = b["fitness"]
-    best.target_score = b["target_score"]
-    best.max_non_target = b["max_non_target"]
-    best.avg_non_target = b["avg_non_target"]
-    history = RunHistory()
-    for s in payload["history"]:
-        history.append(GenerationStats(**s))
+    best = Individual.from_payload(payload["best"])
+    history = RunHistory.from_payload(payload["history"])
     return DesignResult(
         target=payload["target"],
         non_targets=list(payload["non_targets"]),

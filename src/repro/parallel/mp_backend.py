@@ -198,6 +198,16 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self._batches = 0
         self._batch_wall = 0.0
 
+    @property
+    def target(self) -> str:
+        """The design problem's target, mirroring the serial provider's
+        attribute — checkpoint fingerprints read it off any provider."""
+        return self.context.target
+
+    @property
+    def non_targets(self) -> list[str]:
+        return list(self.context.non_targets)
+
     # -- lifecycle ---------------------------------------------------------
 
     def _spawn_worker(self) -> int:
@@ -253,6 +263,18 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                     sticky_queue.get_nowait()
                 except queue_mod.Empty:
                     break
+        # WorkItems orphaned on the *shared* queue by a failed/timed-out
+        # batch would otherwise be scored ahead of the EndSignal — wasted
+        # work that delays shutdown.  Pull them off first and account for
+        # them as stale, like their orphaned replies.
+        while True:
+            try:
+                orphan = self._task_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if isinstance(orphan, EndSignal):  # pragma: no cover - defensive
+                continue
+            self._drop_stale()
         self._task_queue.put(EndSignal())
         for proc in self._workers.values():
             proc.join(timeout=10.0)

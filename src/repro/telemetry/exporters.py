@@ -15,11 +15,13 @@ Three formats, matching the three consumers of the instrumentation:
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import TextIO
 
 from repro.telemetry.registry import MetricsRegistry
+from repro.util.atomic import atomic_write
 
 __all__ = ["export_jsonl", "export_csv", "read_jsonl", "summary"]
 
@@ -35,11 +37,16 @@ def _jsonl_records(registry: MetricsRegistry) -> list[dict[str, object]]:
 
 def export_jsonl(registry: MetricsRegistry, path: str | Path) -> int:
     """Write events + final metric values as JSON-lines; returns the
-    number of lines written."""
+    number of lines written.
+
+    The trace is serialized fully in memory and written atomically
+    (:func:`~repro.util.atomic.atomic_write`): a crash — or an
+    unserializable event field — can never leave a truncated file or
+    clobber an existing one.
+    """
     records = _jsonl_records(registry)
-    with open(path, "w", encoding="utf-8") as fh:
-        for record in records:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    text = "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+    atomic_write(path, text)
     return len(records)
 
 
@@ -56,18 +63,20 @@ def read_jsonl(path: str | Path) -> list[dict[str, object]]:
 
 def export_csv(registry: MetricsRegistry, path: str | Path) -> int:
     """Write final instrument values as ``name,type,field,value`` rows;
-    returns the number of data rows."""
+    returns the number of data rows.  Serialized in memory and written
+    atomically, like :func:`export_jsonl`."""
     rows = 0
-    with open(path, "w", encoding="utf-8", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(["name", "type", "field", "value"])
-        for name, payload in sorted(registry.snapshot().items()):
-            kind = payload["type"]
-            for field_name, value in payload.items():
-                if field_name == "type":
-                    continue
-                writer.writerow([name, kind, field_name, value])
-                rows += 1
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["name", "type", "field", "value"])
+    for name, payload in sorted(registry.snapshot().items()):
+        kind = payload["type"]
+        for field_name, value in payload.items():
+            if field_name == "type":
+                continue
+            writer.writerow([name, kind, field_name, value])
+            rows += 1
+    atomic_write(path, buffer.getvalue())
     return rows
 
 

@@ -1,5 +1,6 @@
-"""Small shared utilities: RNG streams, timers, validation helpers."""
+"""Small shared utilities: RNG streams, timers, validation, atomic I/O."""
 
+from repro.util.atomic import atomic_write, atomic_write_text
 from repro.util.rng import RngStream, derive_rng, spawn_streams
 from repro.util.timing import Timer
 from repro.util.validation import (
@@ -10,6 +11,8 @@ from repro.util.validation import (
 
 __all__ = [
     "RngStream",
+    "atomic_write",
+    "atomic_write_text",
     "derive_rng",
     "spawn_streams",
     "Timer",

@@ -1,0 +1,80 @@
+"""Crash-safe file writes.
+
+The paper's campaigns run for days; every artifact this package persists
+(interactomes, design results, telemetry traces, GA checkpoints) must
+survive the process dying at an arbitrary instruction.  ``Path.write_text``
+and bare ``open(path, "w")`` truncate the destination *before* writing, so
+a crash mid-write leaves a corrupt, half-serialized file — exactly the
+file a restart would need.
+
+:func:`atomic_write` provides the standard durable alternative: serialize
+fully in memory, write to a temporary file in the destination directory,
+``fsync`` it, then ``os.replace`` it over the destination.  POSIX rename
+is atomic within a filesystem, so a reader (or a restart after a crash)
+sees either the complete old content or the complete new content, never a
+mixture or a truncation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["atomic_write", "atomic_write_text"]
+
+
+def atomic_write(
+    path: str | Path,
+    data: bytes | str | Callable[[], bytes | str],
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> int:
+    """Atomically replace ``path`` with ``data``; returns bytes written.
+
+    ``data`` may be ``bytes``, ``str`` (encoded with ``encoding``) or a
+    zero-argument callable producing either — the callable runs *before*
+    any file is touched, so a serialization failure leaves the existing
+    file untouched.  The temporary file lives in the destination
+    directory (same filesystem, so the final ``os.replace`` is atomic)
+    and is removed on any failure.
+
+    With ``fsync`` (the default) the temporary file's contents are
+    flushed to stable storage before the rename, so the swap is durable
+    across power loss, not just process death.
+    """
+    target = Path(path)
+    if callable(data):
+        data = data()
+    payload = data.encode(encoding) if isinstance(data, str) else bytes(data)
+    directory = target.parent
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=directory or "."
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(payload)
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str | Callable[[], str],
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> int:
+    """Text-typed convenience alias of :func:`atomic_write`."""
+    return atomic_write(path, text, encoding=encoding, fsync=fsync)

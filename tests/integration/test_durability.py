@@ -1,0 +1,110 @@
+"""Durability regressions: a failed save must never damage the old file.
+
+Every writer routes through :func:`repro.util.atomic.atomic_write`, whose
+contract is serialize-then-swap — so a mid-serialization failure (an
+unserializable field) or a crash mid-write leaves any previously saved
+file byte-identical and loadable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import DesignResult
+from repro.ga.population import Individual
+from repro.ga.stats import GenerationStats, RunHistory
+from repro.io import (
+    load_design_result,
+    load_interactome,
+    save_design_result,
+    save_interactome,
+)
+from repro.ppi.graph import InteractionGraph
+from repro.sequences.protein import Protein
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.exporters import export_jsonl, read_jsonl
+
+
+def _graph(annotations=None):
+    proteins = [
+        Protein("P1", "MKTLLV", annotations or {"component": "cytoplasm"}),
+        Protein("P2", "ACDEFG"),
+    ]
+    return InteractionGraph(proteins, [("P1", "P2")])
+
+
+def _result(fitness=0.75):
+    best = Individual(np.zeros(6, dtype=np.uint8))
+    best.fitness = fitness
+    best.target_score = 0.8
+    best.max_non_target = 0.1
+    best.avg_non_target = 0.05
+    history = RunHistory()
+    history.append(
+        GenerationStats(
+            generation=0,
+            best_fitness=0.75,
+            mean_fitness=0.5,
+            best_target_score=0.8,
+            best_max_non_target=0.1,
+            best_avg_non_target=0.05,
+            evaluations=6,
+        )
+    )
+    return DesignResult(
+        target="T",
+        non_targets=["N1"],
+        best=best,
+        history=history,
+        generations=1,
+        evaluations=6,
+        seed=3,
+    )
+
+
+class TestDesignResultDurability:
+    def test_failed_save_leaves_old_file_intact(self, tmp_path):
+        path = tmp_path / "design.json"
+        save_design_result(_result(), path)
+        before = path.read_bytes()
+
+        # fitness=object() cannot be serialized: the save must fail
+        # *before* touching the existing file.
+        with pytest.raises(TypeError):
+            save_design_result(_result(fitness=object()), path)
+
+        assert path.read_bytes() == before
+        assert load_design_result(path).best.fitness == 0.75
+        assert [p.name for p in tmp_path.iterdir()] == ["design.json"]
+
+
+class TestInteractomeDurability:
+    def test_failed_save_leaves_old_file_intact(self, tmp_path):
+        path = tmp_path / "world.json"
+        save_interactome(_graph(), path)
+        before = path.read_bytes()
+
+        with pytest.raises(TypeError):
+            save_interactome(_graph(annotations={"bad": object()}), path)
+
+        assert path.read_bytes() == before
+        assert load_interactome(path).names == ["P1", "P2"]
+        assert [p.name for p in tmp_path.iterdir()] == ["world.json"]
+
+
+class TestTelemetryExportDurability:
+    def test_failed_export_leaves_old_trace_intact(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = MetricsRegistry()
+        good.count("runs", 1)
+        export_jsonl(good, path)
+        before = path.read_bytes()
+
+        bad = MetricsRegistry()
+        bad.event("oops", payload=object())
+        with pytest.raises(TypeError):
+            export_jsonl(bad, path)
+
+        assert path.read_bytes() == before
+        records = read_jsonl(path)
+        assert any(r.get("name") == "runs" for r in records)
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]

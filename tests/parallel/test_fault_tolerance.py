@@ -145,6 +145,37 @@ def test_stale_epoch_result_dropped_on_reuse(tiny_engine, tiny_problem, rng):
         provider.close()
 
 
+def test_close_drains_orphaned_task_queue(tiny_engine, tiny_problem, rng):
+    """After a failed batch abandons WorkItems on the shared task queue,
+    close() must pull them off (accounted as stale) instead of letting the
+    worker score them ahead of the EndSignal."""
+    target, non_targets = tiny_problem
+    telemetry = MetricsRegistry()
+    provider = MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=60.0,
+        poll_interval=0.05,
+        # Item 0 fails fast (aborting the batch); item 1 then parks the
+        # worker for 2 s, so the rest of the batch is still queued when
+        # close() runs.
+        faults=FaultPlan(fail_on_item=0, delay_on_item=1, delay=2.0),
+        telemetry=telemetry,
+    )
+    try:
+        with pytest.raises(WorkerFailureError):
+            provider.scores(_seqs(rng, 8))
+    finally:
+        provider.close()
+    assert provider.stale_dropped >= 1
+    assert (
+        telemetry.counter("parallel.stale_dropped").value
+        == provider.stale_dropped
+    )
+
+
 def _dead_worker_entry(worker_id, context, task_queue, result_queue):
     """A worker that exits immediately without taking any work."""
     return

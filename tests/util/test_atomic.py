@@ -1,0 +1,70 @@
+"""Tests for the crash-safe write helper."""
+
+import os
+
+import pytest
+
+from repro.util.atomic import atomic_write, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content_and_returns_byte_count(self, tmp_path):
+        path = tmp_path / "out.json"
+        n = atomic_write(path, '{"a": 1}')
+        assert path.read_text() == '{"a": 1}'
+        assert n == len('{"a": 1}')
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write(path, "new content")
+        assert path.read_text() == "new content"
+
+    def test_accepts_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_text_alias(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "héllo", encoding="utf-8")
+        assert path.read_text(encoding="utf-8") == "héllo"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write(path, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_callable_payload(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write(path, lambda: "lazy")
+        assert path.read_text() == "lazy"
+
+    def test_failing_serializer_leaves_old_file_intact(self, tmp_path):
+        """The callable runs before any file is touched: a serialization
+        failure must not truncate or replace the existing file."""
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        def explode():
+            raise ValueError("cannot serialize")
+
+        with pytest.raises(ValueError):
+            atomic_write(path, explode)
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_replace_leaves_old_file_and_no_tmp(self, tmp_path, monkeypatch):
+        """A crash at the final rename must leave the previous content and
+        clean up the temporary file."""
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        def broken_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            atomic_write(path, "new")
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
