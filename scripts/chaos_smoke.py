@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""End-to-end chaos smoke test for the campaign supervisor.
+
+Runs a tiny design campaign under two seeded fault scenarios and demands
+the supervisor's contract hold for both — bit-exact results, never a
+traceback:
+
+1. **Permanent pool loss.**  A chaos plan kills every worker on its
+   first item (respawns die too).  The parallel provider must degrade to
+   master-serial scoring, trip its circuit breaker, and finish the
+   campaign with scores identical to the serial reference and
+   ``degraded_items > 0``.
+2. **Checkpoint corruption.**  A checkpointing campaign is stopped
+   mid-run, its newest snapshot is bit-flipped on disk, and the resume
+   must quarantine the damaged file (``*.corrupt``), walk back to the
+   previous valid snapshot, and still finish bit-exact against the
+   uninterrupted reference.
+
+Every fault is scheduled deterministically (no timing races, no random
+kill points), so a failure here is a regression, not flake.  Exit status
+0 when both scenarios hold, 1 otherwise.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+SEED = 2015
+TARGET = "YBL051C"
+POPULATION = 10
+LENGTH = 20
+GENERATIONS = 4
+NUM_WORKERS = 2
+INTERRUPT_AT_GENERATION = 2
+
+
+def _world_problem():
+    from repro import get_profile
+
+    world = get_profile("tiny").build_world()
+    non_targets = world.non_targets_for(TARGET, limit=8)
+    return world, non_targets
+
+
+def _engine(provider):
+    from repro import GAParams, InSiPSEngine
+
+    return InSiPSEngine(
+        provider,
+        GAParams(),
+        population_size=POPULATION,
+        candidate_length=LENGTH,
+        seed=SEED,
+    )
+
+
+def _reference(world, non_targets):
+    from repro import SerialScoreProvider
+
+    return _engine(SerialScoreProvider(world.engine, TARGET, non_targets)).run(
+        GENERATIONS
+    )
+
+
+def _check(checks: dict[str, bool]) -> bool:
+    for name, ok in checks.items():
+        print(f"  {name}: {'OK' if ok else 'MISMATCH'}", flush=True)
+    return all(checks.values())
+
+
+def _scenario_pool_loss(world, non_targets, reference) -> bool:
+    """Scenario 1: every worker dies on item 0, forever."""
+    from repro.parallel import MultiprocessScoreProvider
+    from repro.resilience import BreakerState, ChaosSpec
+    from repro.telemetry import MetricsRegistry
+
+    print("scenario 1: permanent worker loss ...", flush=True)
+    spec = ChaosSpec().with_worker_crash(on_item=0)
+    telemetry = MetricsRegistry()
+    with MultiprocessScoreProvider(
+        world.engine,
+        TARGET,
+        non_targets,
+        num_workers=NUM_WORKERS,
+        max_retries=1,
+        poll_interval=0.05,
+        faults=spec.fault_plan(),
+        telemetry=telemetry,
+    ) as provider:
+        result = _engine(provider).run(GENERATIONS)
+        checks = {
+            "campaign completed": result.completed,
+            "best sequence bit-exact": (
+                result.best.sequence == reference.best.sequence
+            ),
+            "history bit-exact": json.dumps(result.history.to_payload())
+            == json.dumps(reference.history.to_payload()),
+            "degraded_items > 0": provider.degraded_items > 0,
+            "worker deaths observed": provider.worker_deaths > 0,
+            "breaker open": provider.breaker.state == BreakerState.OPEN,
+            "telemetry agrees": (
+                telemetry.counter("parallel.degraded_items").value
+                == provider.degraded_items
+            ),
+        }
+    return _check(checks)
+
+
+def _scenario_checkpoint_corruption(world, non_targets, reference) -> bool:
+    """Scenario 2: newest snapshot bit-flipped between run and resume."""
+    from repro import SerialScoreProvider
+    from repro.checkpoint import CheckpointManager
+    from repro.resilience import CheckpointFault, apply_checkpoint_fault
+    from repro.telemetry import MetricsRegistry
+
+    print("scenario 2: checkpoint corruption ...", flush=True)
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        ckpt_dir = Path(tmp) / "ckpt"
+        ckpt_dir.mkdir()
+        manager = CheckpointManager(ckpt_dir, every=1, fsync=False)
+        provider = SerialScoreProvider(world.engine, TARGET, non_targets)
+        _engine(provider).run(INTERRUPT_AT_GENERATION, checkpoint=manager)
+
+        damaged = apply_checkpoint_fault(ckpt_dir, CheckpointFault("flip"))
+        print(f"  corrupted {damaged.name}", flush=True)
+
+        telemetry = MetricsRegistry()
+        engine = _engine(SerialScoreProvider(world.engine, TARGET, non_targets))
+        engine.telemetry = telemetry
+        resumed_at = engine.resume(ckpt_dir)
+        result = engine.run(GENERATIONS)
+        quarantined = list(ckpt_dir.glob("*.corrupt"))
+        checks = {
+            "resumed from previous valid snapshot": (
+                resumed_at == INTERRUPT_AT_GENERATION - 2
+            ),
+            "damaged snapshot quarantined": len(quarantined) == 1,
+            "corruption counted": (
+                telemetry.counter("checkpoint.corrupt_skipped").value == 1
+            ),
+            "best sequence bit-exact": (
+                result.best.sequence == reference.best.sequence
+            ),
+            "history stats bit-exact": (
+                result.history.to_payload()["stats"]
+                == reference.history.to_payload()["stats"]
+            ),
+        }
+    return _check(checks)
+
+
+def _main() -> int:
+    world, non_targets = _world_problem()
+    print("reference run ...", flush=True)
+    reference = _reference(world, non_targets)
+
+    ok = _scenario_pool_loss(world, non_targets, reference)
+    ok = _scenario_checkpoint_corruption(world, non_targets, reference) and ok
+    print(f"chaos smoke: {'PASS' if ok else 'FAIL'}", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -5,6 +5,8 @@ A complete, pure-Python reimplementation of the paper's system:
 * the PIPE sequence-based interaction prediction engine (:mod:`repro.ppi`),
 * the InSiPS genetic algorithm and fitness function (:mod:`repro.ga`),
 * the master/worker parallel runtime (:mod:`repro.parallel`),
+* campaign resilience policies — retry/backoff, deadlines, circuit
+  breaker, chaos testing (:mod:`repro.resilience`),
 * a Blue Gene/Q discrete-event performance model (:mod:`repro.cluster`),
 * a synthetic yeast-like proteome/interactome (:mod:`repro.synthetic`),
 * an in-silico wet-lab validation pipeline (:mod:`repro.wetlab`),
@@ -24,6 +26,7 @@ from repro.checkpoint import CheckpointError, CheckpointManager
 from repro.core import DesignResult, InhibitorDesigner
 from repro.ga import GAParams, InSiPSEngine, SerialScoreProvider, WETLAB_PARAMS
 from repro.ppi import InteractionGraph, PipeConfig, PipeEngine
+from repro.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.sequences import Protein
 from repro.synthetic import PROFILES, build_world, get_profile
 from repro.telemetry import MetricsRegistry, NullRegistry
@@ -33,6 +36,8 @@ __version__ = "1.0.0"
 __all__ = [
     "CheckpointError",
     "CheckpointManager",
+    "CircuitBreaker",
+    "Deadline",
     "DesignResult",
     "GAParams",
     "InSiPSEngine",
@@ -44,6 +49,7 @@ __all__ = [
     "PipeConfig",
     "PipeEngine",
     "Protein",
+    "RetryPolicy",
     "SerialScoreProvider",
     "WETLAB_PARAMS",
     "build_world",

@@ -15,12 +15,36 @@ import argparse
 import sys
 
 
+def _validate_run_args(args: argparse.Namespace) -> int | None:
+    """Boundary validation of user-typed numbers, *before* any worker
+    process is spawned or world built.  Returns an exit code (2) with an
+    actionable message on bad input, None when everything checks out."""
+    from repro.util.validation import check_int_range, check_positive
+
+    try:
+        check_int_range(args.seed, "--seed", lo=0)
+        check_int_range(args.generations, "--generations", lo=1)
+        if getattr(args, "workers", 0):
+            check_int_range(args.workers, "--workers", lo=0, hi=256)
+        if getattr(args, "checkpoint_every", None) is not None:
+            check_int_range(args.checkpoint_every, "--checkpoint-every", lo=1)
+        if getattr(args, "deadline_s", None) is not None:
+            check_positive(args.deadline_s, "--deadline-s")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
 def _cmd_design(args: argparse.Namespace) -> int:
     from repro import InhibitorDesigner, get_profile
     from repro.analysis.specificity import specificity_scan
     from repro.io import save_design_result
     from repro.telemetry import MetricsRegistry, export_jsonl, summary
 
+    bad = _validate_run_args(args)
+    if bad is not None:
+        return bad
     registry = MetricsRegistry() if args.telemetry else None
     checkpoint = None
     resume_from = None
@@ -36,16 +60,37 @@ def _cmd_design(args: argparse.Namespace) -> int:
             telemetry=registry,
         )
         if args.resume:
-            resume_from = find_latest(args.checkpoint_dir)
-            if resume_from is None:
+            latest = find_latest(args.checkpoint_dir)
+            if latest is None:
                 print(
                     f"error: --resume: no snapshot in {args.checkpoint_dir}",
                     file=sys.stderr,
                 )
                 return 2
-            print(f"resuming from {resume_from}")
+            # Resume from the *directory*, not the resolved file: directory
+            # mode quarantines a corrupt newest snapshot and walks back to
+            # the previous valid one; file mode is deliberately strict.
+            resume_from = args.checkpoint_dir
+            print(f"resuming from {latest}")
+    provider_factory = None
+    if args.workers:
+        from repro.parallel import MultiprocessScoreProvider
+
+        def provider_factory(engine, target, non_targets):
+            return MultiprocessScoreProvider(
+                engine,
+                target,
+                non_targets,
+                num_workers=args.workers,
+                fail_fast=args.fail_fast,
+                telemetry=registry,
+            )
+
     designer = InhibitorDesigner.from_profile(
-        get_profile(args.profile), seed=args.seed, telemetry=registry
+        get_profile(args.profile),
+        seed=args.seed,
+        telemetry=registry,
+        provider_factory=provider_factory,
     )
     result = designer.design(
         args.target,
@@ -53,9 +98,16 @@ def _cmd_design(args: argparse.Namespace) -> int:
         termination=args.generations,
         checkpoint=checkpoint,
         resume_from=resume_from,
+        deadline=args.deadline_s,
     )
     profile = result.inhibition_profile()
     print(f"designed anti-{args.target}: fitness {result.fitness:.4f}")
+    if not result.completed:
+        print(
+            f"  (stopped early: {result.stop_reason} after "
+            f"{result.generations} generations — resume with "
+            "--checkpoint-dir/--resume)"
+        )
     print(f"  PIPE(target)       {profile.target_score:.4f}")
     print(f"  max off-target     {profile.max_off_target_score:.4f}")
     print(f"  avg off-target     {profile.avg_off_target_score:.4f}")
@@ -86,6 +138,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro import InhibitorDesigner, get_profile
     from repro.telemetry import MetricsRegistry, export_csv, export_jsonl, summary
 
+    bad = _validate_run_args(args)
+    if bad is not None:
+        return bad
     registry = MetricsRegistry()
     profile = get_profile(args.profile)
     provider_factory = None
@@ -130,7 +185,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(
             f"  fault tolerance: deaths={ft['worker_deaths']} "
             f"respawns={ft['respawns']} retries={ft['retries']} "
-            f"stale_dropped={ft['stale_dropped']} failures={ft['failures']}"
+            f"stale_dropped={ft['stale_dropped']} failures={ft['failures']} "
+            f"degraded_items={ft['degraded_items']} "
+            f"force_killed={ft['force_killed']} "
+            f"breaker={ft['breaker']['state']}"
         )
     if args.out:
         if args.format == "csv":
@@ -213,7 +271,27 @@ def main(argv: list[str] | None = None) -> int:
         help="resume from the latest snapshot in --checkpoint-dir "
         "(bit-exact: same result as an uninterrupted run)",
     )
-    p_design.set_defaults(func=_cmd_design)
+    p_design.add_argument(
+        "--workers", type=int, default=0,
+        help="score through N worker processes (0 = serial)",
+    )
+    p_design.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="wall-clock budget: stop cleanly with the best-so-far design "
+        "after S seconds (checkpointed runs stay resumable)",
+    )
+    degrade = p_design.add_mutually_exclusive_group()
+    degrade.add_argument(
+        "--degrade", dest="fail_fast", action="store_false",
+        help="on permanent worker loss, fall back to serial scoring in "
+        "the master instead of aborting (default)",
+    )
+    degrade.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="abort the run when the parallel runtime exhausts its "
+        "retry budget (pre-supervisor behaviour)",
+    )
+    p_design.set_defaults(func=_cmd_design, fail_fast=False)
 
     p_stats = sub.add_parser(
         "stats", help="run an instrumented design and report telemetry"

@@ -32,6 +32,22 @@ newest snapshot, and retention is bounded to the newest ``retain``
 snapshots.  A snapshot is therefore never observably half-written, and a
 crash mid-checkpoint leaves the previous snapshot (and pointer) intact.
 
+Corruption recovery
+-------------------
+Atomicity protects against *our* crashes, not against the disk: a
+truncated file after power loss, a bit flip, an fsck casualty.  When
+:func:`load_snapshot` is given a checkpoint *directory* it therefore runs
+a recovery chain instead of trusting one file: snapshots are tried
+newest-first; one that is unreadable, unparseable or checksum-mismatched
+is **quarantined** (renamed ``<name>.corrupt``, counted as
+``checkpoint.corrupt_skipped``) and the loader walks back to the next
+candidate.  Only when *no* valid snapshot remains does
+:class:`CheckpointError` propagate.  Loading an explicit snapshot *file*
+still fails fast — naming a file says "this one, exactly".  The
+``latest`` pointer is validated against a directory scan: a dangling or
+stale pointer (its target pruned, or a crash between snapshot and pointer
+writes) silently falls back to the newest scanned snapshot.
+
 Bit-exactness caveats
 ---------------------
 Operator provenance is dropped at snapshot boundaries: snapshots are taken
@@ -64,6 +80,7 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "find_latest",
+    "quarantine_snapshot",
 ]
 
 FORMAT = "repro-checkpoint"
@@ -98,25 +115,15 @@ def write_snapshot(
     )
 
 
-def load_snapshot(source: str | Path) -> dict[str, object]:
-    """Read and verify a snapshot written by :func:`write_snapshot`.
-
-    ``source`` may be a snapshot file or a checkpoint directory (the
-    ``latest`` pointer, falling back to the newest snapshot, is used).
-    Raises :class:`CheckpointError` on a missing file, unparseable JSON,
-    unknown format/version, or checksum mismatch.
-    """
-    path = Path(source)
-    if path.is_dir():
-        latest = find_latest(path)
-        if latest is None:
-            raise CheckpointError(f"no snapshot found in {path}")
-        path = latest
+def _load_file(path: Path) -> dict[str, object]:
+    """Read and verify one snapshot file; raises :class:`CheckpointError`
+    on a missing file, unparseable JSON, unknown format/version, or
+    checksum mismatch."""
     if not path.exists():
         raise CheckpointError(f"snapshot {path} does not exist")
     try:
         envelope = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise CheckpointError(f"{path}: unreadable snapshot ({exc})") from exc
     if not isinstance(envelope, dict) or envelope.get("format") != FORMAT:
         raise CheckpointError(f"{path}: not a {FORMAT} file")
@@ -135,6 +142,75 @@ def load_snapshot(source: str | Path) -> dict[str, object]:
     return payload
 
 
+def quarantine_snapshot(path: Path) -> Path:
+    """Move a damaged snapshot out of the recovery scan's way.
+
+    Renames ``ckpt-gen…json`` to ``ckpt-gen…json.corrupt`` (numbered
+    ``.corrupt.2``, ``.corrupt.3`` … on collision) so operators can
+    inspect the evidence while :func:`find_latest` and the recovery chain
+    stop considering it.  Returns the quarantine path; a rename that
+    itself fails falls back to returning the original path untouched.
+    """
+    destination = path.with_name(path.name + ".corrupt")
+    n = 1
+    while destination.exists():
+        n += 1
+        destination = path.with_name(f"{path.name}.corrupt.{n}")
+    try:
+        path.rename(destination)
+    except OSError:  # pragma: no cover - racing deletion / RO filesystem
+        return path
+    return destination
+
+
+def load_snapshot(
+    source: str | Path,
+    *,
+    recover: bool = True,
+    telemetry: MetricsRegistry | None = None,
+) -> dict[str, object]:
+    """Read and verify a snapshot written by :func:`write_snapshot`.
+
+    ``source`` may be a snapshot file (loaded exactly, failures raise) or
+    a checkpoint directory.  For a directory with ``recover=True`` (the
+    default) the recovery chain runs: snapshots are tried newest-first,
+    damaged ones are quarantined (``*.corrupt``) and counted as
+    ``checkpoint.corrupt_skipped``, and the newest *valid* snapshot wins;
+    :class:`CheckpointError` is raised only when none survives.  With
+    ``recover=False`` the directory's nominal latest snapshot must load
+    or the error propagates, and nothing is renamed.
+    """
+    registry = telemetry if telemetry is not None else NULL_REGISTRY
+    path = Path(source)
+    if not path.is_dir():
+        return _load_file(path)
+    candidates = _scan_snapshots(path)
+    if not candidates:
+        raise CheckpointError(f"no snapshot found in {path}")
+    if not recover:
+        return _load_file(candidates[-1])
+    skipped: list[str] = []
+    for candidate in reversed(candidates):
+        try:
+            payload = _load_file(candidate)
+        except CheckpointError as exc:
+            quarantined = quarantine_snapshot(candidate)
+            skipped.append(f"{candidate.name} ({exc})")
+            registry.count("checkpoint.corrupt_skipped")
+            registry.event(
+                "checkpoint.quarantined",
+                snapshot=candidate.name,
+                quarantined_as=quarantined.name,
+                error=str(exc),
+            )
+            continue
+        return payload
+    raise CheckpointError(
+        f"no valid snapshot in {path}: all {len(skipped)} candidate(s) "
+        f"quarantined — " + "; ".join(skipped)
+    )
+
+
 def _snapshot_order(path: Path) -> tuple[int, int, float]:
     """Sort key: (generation, pre-eval before barrier, mtime)."""
     match = _SNAPSHOT_RE.match(path.name)
@@ -147,26 +223,49 @@ def _snapshot_order(path: Path) -> tuple[int, int, float]:
     return (generation, barrier, mtime)
 
 
+def _scan_snapshots(directory: Path) -> list[Path]:
+    """Every well-named snapshot in ``directory``, oldest to newest."""
+    return sorted(
+        (
+            p
+            for p in directory.glob("ckpt-*.json")
+            if _SNAPSHOT_RE.match(p.name)
+        ),
+        key=_snapshot_order,
+    )
+
+
 def find_latest(directory: str | Path) -> Path | None:
-    """The newest snapshot in ``directory``: the ``latest`` pointer when it
-    resolves, else the newest ``ckpt-*.json`` by generation, else None."""
+    """The newest snapshot in ``directory``, or None when it holds none.
+
+    The ``latest`` pointer is a hint, validated against a directory scan:
+    a pointer naming a pruned/missing file, a malformed name, or a file
+    *older* than the newest scanned snapshot (a crash landed between the
+    snapshot write and the pointer update) is ignored in favour of the
+    scan, so this never returns a dangling or stale path.
+    """
     directory = Path(directory)
+    candidates = _scan_snapshots(directory)
     pointer = directory / LATEST_POINTER
+    pointed: Path | None = None
     if pointer.exists():
         try:
             name = pointer.read_text().strip()
         except OSError:  # pragma: no cover - racing deletion
             name = ""
-        if name:
+        if name and _SNAPSHOT_RE.match(name):
             candidate = directory / name
             if candidate.exists():
-                return candidate
-    snapshots = [
-        p for p in directory.glob("ckpt-*.json") if _SNAPSHOT_RE.match(p.name)
-    ]
-    if not snapshots:
+                pointed = candidate
+    if pointed is not None and pointed not in candidates:
+        candidates.append(pointed)
+    if not candidates:
         return None
-    return max(snapshots, key=_snapshot_order)
+    newest = max(candidates, key=_snapshot_order)
+    # Prefer the pointer only when it agrees with the scan's ordering.
+    if pointed is not None and _snapshot_order(pointed) >= _snapshot_order(newest):
+        return pointed
+    return newest
 
 
 class CheckpointManager:
@@ -311,16 +410,16 @@ class CheckpointManager:
         """The newest snapshot in this manager's directory, if any."""
         return find_latest(self.directory)
 
+    def load(self, *, recover: bool = True) -> dict[str, object]:
+        """Load the newest valid snapshot, running the recovery chain
+        (quarantining corrupt files) unless ``recover=False``."""
+        return load_snapshot(
+            self.directory, recover=recover, telemetry=self.telemetry
+        )
+
     def _prune(self, *, keep: Path) -> None:
         """Delete all but the newest ``retain`` snapshots (never ``keep``)."""
-        snapshots = sorted(
-            (
-                p
-                for p in self.directory.glob("ckpt-*.json")
-                if _SNAPSHOT_RE.match(p.name)
-            ),
-            key=_snapshot_order,
-        )
+        snapshots = _scan_snapshots(self.directory)
         excess = len(snapshots) - self.retain
         for path in snapshots:
             if excess <= 0:

@@ -29,6 +29,11 @@ class DesignResult:
     generations: int
     evaluations: int
     seed: int | None = None
+    #: False when the supervisor stopped the campaign early (deadline,
+    #: exhausted evaluation retries); ``stop_reason`` says why and
+    #: ``history.degradations`` carries the details.
+    completed: bool = True
+    stop_reason: str | None = None
 
     @property
     def fitness(self) -> float:
@@ -156,6 +161,8 @@ class InhibitorDesigner:
         on_generation=None,
         checkpoint=None,
         resume_from=None,
+        deadline=None,
+        retry=None,
     ) -> DesignResult:
         """Run InSiPS against ``target``.
 
@@ -169,6 +176,12 @@ class InhibitorDesigner:
         directory) restores an interrupted campaign before running — the
         resumed run is bit-exact with an uninterrupted one, provided
         ``seed`` and the problem are unchanged.
+
+        ``deadline`` (a :class:`~repro.resilience.policies.Deadline` or
+        plain seconds) and ``retry`` (a
+        :class:`~repro.resilience.policies.RetryPolicy`) are forwarded to
+        :meth:`~repro.ga.engine.InSiPSEngine.run`; a supervised stop
+        returns the best-so-far design with ``completed=False``.
         """
         nts = non_targets if non_targets is not None else self.non_targets_for(target)
         if termination is None:
@@ -189,7 +202,11 @@ class InhibitorDesigner:
             if resume_from is not None:
                 engine.resume(resume_from)
             result: GAResult = engine.run(
-                termination, on_generation=on_generation, checkpoint=checkpoint
+                termination,
+                on_generation=on_generation,
+                checkpoint=checkpoint,
+                deadline=deadline,
+                retry=retry,
             )
         return DesignResult(
             target=target,
@@ -199,6 +216,8 @@ class InhibitorDesigner:
             generations=result.generations,
             evaluations=result.evaluations,
             seed=seed,
+            completed=result.completed,
+            stop_reason=result.stop_reason,
         )
 
     def design_many(

@@ -80,8 +80,11 @@ def run_fig7(
 
             target_dir = Path(checkpoint_dir) / target
             checkpoint = CheckpointManager(target_dir, every=checkpoint_every)
-            if resume:
-                resume_from = find_latest(target_dir)
+            # Resume from the directory so a corrupt newest snapshot is
+            # quarantined and the previous valid one used (file mode is
+            # deliberately strict).
+            if resume and find_latest(target_dir) is not None:
+                resume_from = target_dir
         run = designer.design(
             target,
             seed=seed + 1,

@@ -38,12 +38,20 @@ _OPERATIONS = ("copy", "mutate", "crossover")
 
 @dataclass
 class GAResult:
-    """Outcome of one InSiPS run."""
+    """Outcome of one InSiPS run.
+
+    ``completed`` is ``False`` when the supervisor stopped the campaign
+    early (wall-clock deadline, exhausted evaluation retries); the result
+    then carries the best-so-far individual and ``stop_reason`` says why
+    — details live in ``history.degradations``.
+    """
 
     best: Individual
     history: RunHistory
     generations: int
     evaluations: int
+    completed: bool = True
+    stop_reason: str | None = None
 
     @property
     def best_fitness(self) -> float:
@@ -275,7 +283,7 @@ class InSiPSEngine:
         """
         from repro.checkpoint import CheckpointError, load_snapshot
 
-        payload = load_snapshot(source)
+        payload = load_snapshot(source, telemetry=self.telemetry)
         if payload.get("fingerprint") != self._config_fingerprint:
             raise CheckpointError(
                 "snapshot fingerprint does not match this engine's "
@@ -323,12 +331,63 @@ class InSiPSEngine:
             duration_s=time.perf_counter() - gen_start,
         )
 
+    def _evaluate_with_retry(self, population, retry, deadline) -> int:
+        """Evaluate ``population``, retrying transient failures.
+
+        With no ``retry`` policy this is a single attempt (the historical
+        behaviour).  With one, transient exceptions (per
+        ``retry.is_transient``) are retried with backoff — bit-exact,
+        because scoring is deterministic per sequence and a partially
+        evaluated population only re-scores its unevaluated members.  The
+        backoff sleep never overshoots ``deadline``.
+        """
+        telemetry = self.telemetry
+        attempt = 0
+        while True:
+            try:
+                with telemetry.span("ga.evaluate"):
+                    return self.evaluate_population(population)
+            except BaseException as exc:
+                out_of_time = deadline is not None and deadline.expired()
+                if (
+                    retry is None
+                    or attempt >= retry.max_retries
+                    or out_of_time
+                    or not retry.is_transient(exc)
+                ):
+                    raise
+                delay = retry.delay(attempt)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining()))
+                attempt += 1
+                telemetry.count("ga.eval_retries")
+                telemetry.event(
+                    "ga.eval_retry",
+                    generation=int(population.generation),
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                    delay_s=delay,
+                )
+                time.sleep(delay)
+
+    def _save_emergency(self, checkpoint, population, history, best, reason):
+        if checkpoint is None:
+            return
+        try:
+            checkpoint.save_emergency(
+                self, population, history=history, best=best, reason=reason
+            )
+        except Exception:  # pragma: no cover - best effort
+            pass
+
     def run(
         self,
         termination: TerminationCriterion | int,
         *,
         on_generation=None,
         checkpoint=None,
+        deadline=None,
+        retry=None,
     ) -> GAResult:
         """Execute the main GA loop until the termination criterion fires.
 
@@ -343,6 +402,24 @@ class InSiPSEngine:
         past its retry budget, or a KeyboardInterrupt) triggers a
         best-effort emergency snapshot before the exception propagates.
 
+        Supervision (both optional):
+
+        ``deadline`` — a :class:`~repro.resilience.policies.Deadline` (or
+        plain seconds) bounding the campaign's wall clock.  Checked at
+        each generation barrier; on expiry the run stops cleanly with the
+        best-so-far result (``completed=False``,
+        ``stop_reason="deadline"``), a final barrier snapshot (when
+        checkpointing) and a degradation record, so ``--resume`` can
+        continue it later.
+
+        ``retry`` — a :class:`~repro.resilience.policies.RetryPolicy`;
+        transient evaluation failures are retried with seeded backoff.
+        If the budget is exhausted after at least one generation
+        completed, the run returns partial results the same way instead
+        of raising; with nothing evaluated yet there is nothing partial
+        to return, and the exception propagates (after the emergency
+        snapshot).
+
         After :meth:`resume`, the restored state replaces the initial
         population and the loop continues exactly where the snapshot was
         taken — a barrier snapshot's generation is not re-evaluated, nor
@@ -350,6 +427,10 @@ class InSiPSEngine:
         """
         if isinstance(termination, int):
             termination = MaxGenerations(termination)
+        if deadline is not None and not hasattr(deadline, "expired"):
+            from repro.resilience.policies import Deadline
+
+            deadline = Deadline.after(float(deadline))
         telemetry = self.telemetry
         restored = self._restored
         self._restored = None
@@ -367,20 +448,41 @@ class InSiPSEngine:
             if not at_barrier:
                 gen_start = time.perf_counter()
                 try:
-                    with telemetry.span("ga.evaluate"):
-                        evals = self.evaluate_population(population)
+                    evals = self._evaluate_with_retry(
+                        population, retry, deadline
+                    )
                 except BaseException as exc:
-                    if checkpoint is not None:
-                        try:
-                            checkpoint.save_emergency(
-                                self,
-                                population,
-                                history=history,
-                                best=best,
-                                reason=f"{type(exc).__name__}: {exc}",
-                            )
-                        except Exception:  # pragma: no cover - best effort
-                            pass
+                    reason = f"{type(exc).__name__}: {exc}"
+                    self._save_emergency(
+                        checkpoint, population, history, best, reason
+                    )
+                    if (
+                        best is not None
+                        and retry is not None
+                        and retry.is_transient(exc)
+                    ):
+                        # Supervised mode with partial results: stop
+                        # cleanly instead of losing the campaign.
+                        history.record_degradation(
+                            "eval_retry_exhausted",
+                            generation=int(population.generation),
+                            error=reason,
+                        )
+                        telemetry.count("ga.supervised_stops")
+                        telemetry.event(
+                            "ga.supervised_stop",
+                            reason="eval_retry_exhausted",
+                            error=reason,
+                            generation=int(population.generation),
+                        )
+                        return GAResult(
+                            best=best,
+                            history=history,
+                            generations=len(history),
+                            evaluations=self.evaluations,
+                            completed=False,
+                            stop_reason="eval_retry_exhausted",
+                        )
                     raise
                 stats = GenerationStats.from_population(
                     population, evaluations=evals
@@ -400,6 +502,36 @@ class InSiPSEngine:
             at_barrier = False
             if termination.should_stop(history):
                 break
+            if deadline is not None and deadline.expired():
+                history.record_degradation(
+                    "deadline",
+                    generation=int(population.generation),
+                    elapsed_s=float(deadline.elapsed()),
+                    budget_s=deadline.budget_s,
+                )
+                telemetry.count("ga.supervised_stops")
+                telemetry.event(
+                    "ga.supervised_stop",
+                    reason="deadline",
+                    generation=int(population.generation),
+                    elapsed_s=float(deadline.elapsed()),
+                )
+                if checkpoint is not None:
+                    try:
+                        checkpoint.save(
+                            self, population, history=history, best=best
+                        )
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                assert best is not None
+                return GAResult(
+                    best=best,
+                    history=history,
+                    generations=len(history),
+                    evaluations=self.evaluations,
+                    completed=False,
+                    stop_reason="deadline",
+                )
             with telemetry.span("ga.next_generation"):
                 population = self.next_generation(population)
         assert best is not None

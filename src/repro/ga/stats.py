@@ -57,9 +57,19 @@ class GenerationStats:
 
 @dataclass
 class RunHistory:
-    """Chronological generation statistics for one InSiPS run."""
+    """Chronological generation statistics for one InSiPS run.
+
+    Besides the per-generation stats, the history carries the run's
+    *degradation records*: structured notes the campaign supervisor
+    appends when it had to stop early or soldier on through faults
+    (deadline expiry, evaluation retries, exhausted retry budgets).
+    They make a partial result self-describing — a consumer of a
+    ``completed=False`` :class:`~repro.ga.engine.GAResult` can read why
+    without scraping logs.
+    """
 
     stats: list[GenerationStats] = field(default_factory=list)
+    degradations: list[dict] = field(default_factory=list)
 
     def append(self, s: GenerationStats) -> None:
         if self.stats and s.generation <= self.stats[-1].generation:
@@ -67,6 +77,17 @@ class RunHistory:
                 f"generation {s.generation} not after {self.stats[-1].generation}"
             )
         self.stats.append(s)
+
+    def record_degradation(self, kind: str, **details: object) -> dict:
+        """Append one JSON-safe degradation record and return it.
+
+        ``kind`` names the event (``"deadline"``, ``"eval_retry_exhausted"``,
+        ...); ``details`` must be JSON-serialisable (they ride inside
+        checkpoint snapshots).
+        """
+        record: dict = {"kind": str(kind), **details}
+        self.degradations.append(record)
+        return record
 
     def __len__(self) -> int:
         return len(self.stats)
@@ -118,14 +139,28 @@ class RunHistory:
 
     # -- checkpoint serialization -------------------------------------------
 
-    def to_payload(self) -> list[dict[str, object]]:
-        """JSON-safe snapshot: the chronological stats records."""
-        return [s.to_payload() for s in self.stats]
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe snapshot: chronological stats plus degradations."""
+        return {
+            "stats": [s.to_payload() for s in self.stats],
+            "degradations": [dict(d) for d in self.degradations],
+        }
 
     @classmethod
-    def from_payload(cls, payload: list[dict[str, object]]) -> "RunHistory":
-        """Rebuild a history saved by :meth:`to_payload`."""
+    def from_payload(cls, payload) -> "RunHistory":
+        """Rebuild a history saved by :meth:`to_payload`.
+
+        Accepts both the current dict format and the bare stats list
+        written by pre-supervisor snapshots, so old checkpoints stay
+        resumable.
+        """
+        if isinstance(payload, dict):
+            records = payload.get("stats", [])
+            degradations = [dict(d) for d in payload.get("degradations", [])]
+        else:
+            records, degradations = payload, []
         history = cls()
-        for record in payload:
+        for record in records:
             history.append(GenerationStats.from_payload(record))
+        history.degradations = degradations
         return history

@@ -16,6 +16,14 @@ and send them back.  This package reproduces that architecture on
 * :mod:`repro.parallel.multirack` — the paper's proposed multi-rack
   extension (one master per rack, elite synchronisation each generation).
 
+The runtime is supervised by default: permanent pool loss degrades a
+batch to bit-exact master-serial scoring behind a
+:class:`~repro.resilience.CircuitBreaker` instead of raising
+:class:`~repro.parallel.mp_backend.DeadWorkerError` (``fail_fast=True``
+restores the raising behaviour), and ``close()`` escalates
+terminate/kill after a grace period so hung workers cannot wedge
+shutdown.  See :mod:`repro.resilience` and docs/API.md "Resilience".
+
 Python threads cannot reproduce the paper's *intra-worker* OpenMP
 parallelism (GIL); that level is modelled by the Blue Gene/Q discrete-event
 simulator in :mod:`repro.cluster` instead.

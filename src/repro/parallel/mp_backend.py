@@ -17,12 +17,31 @@ days-long Blue Gene/Q campaigns depend on:
   ``Process.is_alive()`` whenever the result queue is quiet — a dead
   worker is reaped, a replacement (with a fresh worker id) is spawned,
   and the epoch's unacknowledged items are re-dispatched under a bounded
-  per-item retry budget; exhausting the budget raises
-  :class:`DeadWorkerError` naming the dead workers and the lost items;
+  per-item retry budget;
 * a worker-side scoring exception arrives as a
   :class:`~repro.parallel.messages.WorkFailure` and is re-raised on the
   master as :class:`WorkerFailureError` carrying the worker traceback,
   instead of killing the worker process silently.
+
+Graceful degradation (the campaign-supervisor contract)
+-------------------------------------------------------
+By default the provider **never abandons a batch to the pool**: when the
+re-dispatch retry budget is exhausted (workers keep dying) or the
+collection loop stalls past ``timeout`` (workers hang), the lost items
+are scored *serially in the master* through the same
+``score_candidate_with_delta`` path the workers run — bit-exact with the
+pool's answers — and counted as ``parallel.degraded_items`` /
+``parallel.degraded_batches``.  A
+:class:`~repro.resilience.CircuitBreaker` then keeps subsequent batches
+serial (no respawn-and-die thrash); every few batches it lets one
+*half-open probe* try the pool again, closing the breaker on success.
+``fail_fast=True`` restores the pre-supervisor behaviour: exhausting the
+budget raises :class:`DeadWorkerError` naming the dead workers and lost
+items, and a stall raises ``RuntimeError``.
+
+Shutdown is bounded: ``close()`` joins each worker under a grace period,
+then escalates ``terminate()`` → ``kill()`` (counted as
+``parallel.force_killed``), so a hung worker cannot wedge the master.
 
 The provider shares the bounded-LRU score cache with the serial path
 through :class:`~repro.ga.fitness.CachingScoreProvider` and reports the
@@ -54,9 +73,15 @@ from repro.parallel.messages import (
     WorkItem,
     WorkResult,
 )
-from repro.parallel.worker import FaultPlan, WorkerContext, worker_loop
-from repro.ppi.delta import Provenance
+from repro.parallel.worker import (
+    FaultPlan,
+    WorkerContext,
+    score_candidate_with_delta,
+    worker_loop,
+)
+from repro.ppi.delta import Provenance, SimilarityLRU
 from repro.ppi.pipe import PipeEngine
+from repro.resilience.policies import BreakerState, CircuitBreaker
 from repro.telemetry import MetricsRegistry
 
 __all__ = [
@@ -100,14 +125,30 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         Worker process count (paper: nodes - 1; default: available CPUs).
     timeout:
         Seconds of *no progress* (no reply received, no dead worker
-        recovered) the collection loop tolerates before raising.
+        recovered) the collection loop tolerates before declaring the
+        pool stalled (degrading the batch, or raising under
+        ``fail_fast``).
     poll_interval:
         Sub-timeout of each result-queue poll; between polls the loop
         checks worker liveness, so a worker death is detected within
         roughly one interval instead of one full ``timeout``.
     max_retries:
         Per-item budget of re-dispatches after worker deaths; exceeding
-        it raises :class:`DeadWorkerError`.
+        it degrades the batch to master-serial scoring (or raises
+        :class:`DeadWorkerError` under ``fail_fast``).
+    fail_fast:
+        When True, pool loss raises (:class:`DeadWorkerError` /
+        ``RuntimeError``) exactly as before the supervisor existed; when
+        False (default) lost items are scored serially in the master and
+        the circuit breaker keeps the provider serial until a half-open
+        probe finds the pool healthy again.
+    breaker:
+        The :class:`~repro.resilience.CircuitBreaker` guarding the pool;
+        defaults to one that probes every 4th batch while open.  Ignored
+        under ``fail_fast``.
+    close_grace_s:
+        Per-worker join grace during :meth:`close` before escalating to
+        ``terminate()`` then ``kill()`` (``parallel.force_killed``).
     cache_size:
         Bound of the shared LRU score cache.
     similarity_cache_size:
@@ -146,15 +187,26 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         similarity_cache_size: int = 256,
         use_delta: bool = True,
         sticky: bool = True,
+        fail_fast: bool = False,
+        breaker: CircuitBreaker | None = None,
+        close_grace_s: float = 10.0,
         faults: FaultPlan | None = None,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if similarity_cache_size < 1:
+            raise ValueError(
+                f"similarity_cache_size must be >= 1, got {similarity_cache_size}"
+            )
+        if close_grace_s < 0:
+            raise ValueError(f"close_grace_s must be >= 0, got {close_grace_s}")
         super().__init__(cache_size=cache_size, telemetry=telemetry)
         self.context = WorkerContext(
             engine,
@@ -170,6 +222,9 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self.max_retries = int(max_retries)
         self.use_delta = bool(use_delta)
         self.sticky = bool(sticky) and self.use_delta
+        self.fail_fast = bool(fail_fast)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.close_grace_s = float(close_grace_s)
         method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else None)
         self._ctx = mp.get_context(method)
         self._task_queue = None
@@ -184,6 +239,12 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self.retries = 0
         self.stale_dropped = 0
         self.failures = 0
+        self.degraded_items = 0
+        self.degraded_batches = 0
+        self.force_killed = 0
+        # Master-side similarity LRU backing the serial-degradation path
+        # (same role as each worker's local LRU).
+        self._master_similarity = SimilarityLRU(int(similarity_cache_size))
         self.delta_hits = 0
         self.delta_fallbacks = 0
         self.delta_rows_rescored = 0
@@ -277,9 +338,17 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             self._drop_stale()
         self._task_queue.put(EndSignal())
         for proc in self._workers.values():
-            proc.join(timeout=10.0)
-            if proc.is_alive():  # pragma: no cover - defensive
+            proc.join(timeout=self.close_grace_s)
+            if proc.is_alive():
+                # A hung or wedged worker will never see the EndSignal;
+                # escalate so close() stays bounded.
                 proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
+                self.force_killed += 1
+                self.telemetry.count("parallel.force_killed")
         self._workers = {}
         self._sticky_queues = {}
         self._affinity.clear()
@@ -308,11 +377,46 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         arrays: list[np.ndarray],
         provenances: list[Provenance | None] | None = None,
     ) -> list[ScoreSet]:
-        self._ensure_started()
+        provs = (
+            list(provenances) if provenances is not None else [None] * len(arrays)
+        )
         start = time.perf_counter()
+        degrade = not self.fail_fast
+        if degrade and not self.breaker.allow():
+            # Breaker open: the pool recently lost a batch; stay serial
+            # (no respawn-and-die thrash) until a probe is due.
+            results = self._score_batch_serial(arrays, provs, reason="breaker_open")
+        else:
+            probing = degrade and self.breaker.state == BreakerState.HALF_OPEN
+            if probing:
+                self.telemetry.count("parallel.breaker_probes")
+            degraded = 0
+            try:
+                results, degraded = self._score_via_pool(arrays, provs)
+            finally:
+                # A WorkerFailureError (scoring bug) says nothing about
+                # pool health, so only batches that ran to completion
+                # update the breaker.
+                if degrade and (degraded or probing):
+                    if degraded:
+                        self.breaker.record_failure()
+                    else:
+                        self.breaker.record_success()
+        self._batches += 1
+        self._batch_wall += time.perf_counter() - start
+        return results
+
+    def _score_via_pool(
+        self,
+        arrays: list[np.ndarray],
+        provs: list[Provenance | None],
+    ) -> tuple[list[ScoreSet], int]:
+        """Dispatch one batch to the worker pool; returns the scores and
+        how many items had to be degraded to master-serial scoring."""
+        self._ensure_started()
         self._epoch += 1
         epoch = self._epoch
-        provs = provenances if provenances is not None else [None] * len(arrays)
+        degraded = 0
         results: list[ScoreSet | None] = [None] * len(arrays)
         with self.telemetry.span("parallel.batch"):
             self.telemetry.set_gauge("parallel.queue_depth", len(arrays))
@@ -348,15 +452,33 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                 except queue_mod.Empty:
                     dead = self._reap_dead_workers()
                     if dead:
-                        self._recover(dead, items, pending, retries)
+                        try:
+                            self._recover(dead, items, pending, retries)
+                        except DeadWorkerError as exc:
+                            if self.fail_fast:
+                                raise
+                            degraded += self._degrade_pending(
+                                arrays, provs, pending, results,
+                                reason=str(exc),
+                            )
+                            break
                         last_progress = time.monotonic()
                     elif time.monotonic() - last_progress > self.timeout:
                         missing = sorted(pending)
-                        raise RuntimeError(
-                            f"timed out waiting for worker results "
-                            f"({len(arrays) - len(pending)}/{len(arrays)} "
-                            f"received; missing sequence ids {missing[:10]})"
-                        ) from None
+                        if self.fail_fast:
+                            raise RuntimeError(
+                                f"timed out waiting for worker results "
+                                f"({len(arrays) - len(pending)}/{len(arrays)} "
+                                f"received; missing sequence ids {missing[:10]})"
+                            ) from None
+                        degraded += self._degrade_pending(
+                            arrays, provs, pending, results,
+                            reason=(
+                                f"collection stalled for {self.timeout}s "
+                                f"with {len(pending)} item(s) outstanding"
+                            ),
+                        )
+                        break
                     continue
                 last_progress = time.monotonic()
                 if isinstance(msg, WorkFailure):
@@ -381,9 +503,83 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                 pending.discard(msg.sequence_id)
                 self._record_result(msg, items[msg.sequence_id].payload)
         assert all(r is not None for r in results)
-        self._batches += 1
-        self._batch_wall += time.perf_counter() - start
-        return results  # type: ignore[return-value]
+        return results, degraded  # type: ignore[return-value]
+
+    # -- graceful degradation ----------------------------------------------
+
+    def _score_serial(
+        self, arr: np.ndarray, prov: Provenance | None
+    ) -> ScoreSet:
+        """Score one candidate in the master, exactly as a worker would.
+
+        Runs the same :func:`~repro.parallel.worker.score_candidate_with_delta`
+        code path the workers run (delta re-scoring is bit-exact with the
+        full sweep), so a degraded item's scores match the pool's answer
+        bit for bit.
+        """
+        scores, stats = score_candidate_with_delta(
+            self.context,
+            arr,
+            provenance=prov if self.use_delta else None,
+            similarity_cache=self._master_similarity if self.use_delta else None,
+        )
+        self._record_delta(stats)
+        return scores
+
+    def _degrade_pending(
+        self,
+        arrays: list[np.ndarray],
+        provs: list[Provenance | None],
+        pending: set[int],
+        results: list[ScoreSet | None],
+        *,
+        reason: str,
+    ) -> int:
+        """Score this batch's unacknowledged items serially in the master.
+
+        Called when the pool is lost (retry budget exhausted) or stalled
+        (no progress past ``timeout``); fills ``results`` in place, emits
+        the ``parallel.degraded_*`` telemetry and empties ``pending``.
+        """
+        count = len(pending)
+        self.degraded_batches += 1
+        self.telemetry.count("parallel.degraded_batches")
+        self.telemetry.event(
+            "parallel.degraded", items=count, reason=reason
+        )
+        with self.telemetry.span("parallel.degraded_scoring"):
+            for sid in sorted(pending):
+                results[sid] = self._score_serial(arrays[sid], provs[sid])
+                self.degraded_items += 1
+                self.telemetry.count("parallel.degraded_items")
+        pending.clear()
+        return count
+
+    def _score_batch_serial(
+        self,
+        arrays: list[np.ndarray],
+        provs: list[Provenance | None],
+        *,
+        reason: str,
+    ) -> list[ScoreSet]:
+        """Score a whole batch serially without touching the pool (the
+        breaker-open path; also counts as a degraded batch)."""
+        # The pool may never have started (breaker tripped on batch one of
+        # a fresh provider after resume); make sure the master's engine
+        # holds the preprocessed problem structures.
+        self.context.warm_cache()
+        self.degraded_batches += 1
+        self.telemetry.count("parallel.degraded_batches")
+        self.telemetry.event(
+            "parallel.degraded", items=len(arrays), reason=reason
+        )
+        with self.telemetry.span("parallel.degraded_scoring"):
+            out: list[ScoreSet] = []
+            for arr, prov in zip(arrays, provs):
+                out.append(self._score_serial(arr, prov))
+                self.degraded_items += 1
+                self.telemetry.count("parallel.degraded_items")
+        return out
 
     # -- fault handling ----------------------------------------------------
 
@@ -499,7 +695,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "sticky_routed": self.sticky_routed,
         }
 
-    def fault_stats(self) -> dict[str, int]:
+    def fault_stats(self) -> dict[str, object]:
         """Fault-tolerance counters (mirrors the ``parallel.*`` telemetry)."""
         return {
             "worker_deaths": self.worker_deaths,
@@ -507,6 +703,10 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "retries": self.retries,
             "stale_dropped": self.stale_dropped,
             "failures": self.failures,
+            "degraded_items": self.degraded_items,
+            "degraded_batches": self.degraded_batches,
+            "force_killed": self.force_killed,
+            "breaker": self.breaker.stats(),
             "epoch": self._epoch,
         }
 

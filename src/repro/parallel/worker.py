@@ -57,6 +57,10 @@ class FaultPlan:
     crash_on_item:
         Hard-exit the worker process (``os._exit``) after pulling this
         item — the item is lost in flight, simulating a node failure.
+    hang_on_item / hang_s:
+        Stop responding at this item: sleep ``hang_s`` seconds (bounded,
+        so an orphaned test process still dies) while holding the item —
+        simulating a hung node the master can only time out on.
     delay_on_item / delay:
         Sleep ``delay`` seconds before scoring; with ``delay_on_item``
         set, only that item is delayed, otherwise every item is.
@@ -64,6 +68,8 @@ class FaultPlan:
 
     fail_on_item: int | None = None
     crash_on_item: int | None = None
+    hang_on_item: int | None = None
+    hang_s: float = 3600.0
     delay_on_item: int | None = None
     delay: float = 0.0
     only_worker: int | None = None
@@ -197,6 +203,9 @@ def worker_loop(
             if faults.crash_on_item == processed:
                 # Simulated node failure: the pulled item dies with us.
                 os._exit(1)
+            if faults.hang_on_item == processed:
+                # Simulated hung node: hold the item without replying.
+                time.sleep(faults.hang_s)
             if faults.delay > 0.0 and faults.delay_on_item in (None, processed):
                 time.sleep(faults.delay)
         start = time.perf_counter()

@@ -33,6 +33,7 @@ from repro.ppi.graph import InteractionGraph
 from repro.ppi.similarity import calibrate_threshold
 from repro.substitution import PAM120, get_matrix
 from repro.substitution.matrix import SubstitutionMatrix
+from repro.util.validation import check_fraction, check_int_range, check_positive
 from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["PipeConfig", "PipeEngine", "PipeResult"]
@@ -84,18 +85,11 @@ class PipeConfig:
     matrix_name: str = "PAM120"
 
     def __post_init__(self) -> None:
-        if self.window_size < 1:
-            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
-        if self.box_radius < 0:
-            raise ValueError(f"box_radius must be >= 0, got {self.box_radius}")
-        if self.saturation <= 0:
-            raise ValueError(f"saturation must be > 0, got {self.saturation}")
-        if not 0.0 < self.match_rate < 1.0:
-            raise ValueError(f"match_rate must be in (0, 1), got {self.match_rate}")
-        if not 0.0 <= self.decision_threshold <= 1.0:
-            raise ValueError(
-                f"decision_threshold must be in [0, 1], got {self.decision_threshold}"
-            )
+        check_int_range(self.window_size, "window_size", lo=1)
+        check_int_range(self.box_radius, "box_radius", lo=0)
+        check_positive(self.saturation, "saturation")
+        check_fraction(self.match_rate, "match_rate", inclusive=False)
+        check_fraction(self.decision_threshold, "decision_threshold")
 
     @property
     def matrix(self) -> SubstitutionMatrix:

@@ -1,0 +1,48 @@
+"""Campaign resilience: retry/backoff/deadline policies, breaker, chaos.
+
+Long InSiPS campaigns must survive worker loss, slow hardware and damaged
+artifacts without operator intervention.  This package supplies the
+policy layer the supervisor is built from:
+
+* :mod:`repro.resilience.policies` —
+  :class:`~repro.resilience.RetryPolicy` (exponential backoff with
+  deterministic seeded jitter), :class:`~repro.resilience.Deadline`
+  (wall-clock budgets) and :class:`~repro.resilience.CircuitBreaker`
+  (closed/open/half-open guard for provider health);
+* :mod:`repro.resilience.chaos` — :class:`~repro.resilience.ChaosSpec`,
+  a declarative fault matrix (crash / hang / slow worker /
+  corrupt-checkpoint-on-disk) driving the deterministic chaos tests.
+
+Consumers: :class:`~repro.parallel.mp_backend.MultiprocessScoreProvider`
+degrades to master-serial scoring through a breaker instead of raising
+:class:`~repro.parallel.mp_backend.DeadWorkerError`;
+:meth:`~repro.ga.engine.InSiPSEngine.run` retries transient evaluation
+failures and honours a deadline; :func:`repro.checkpoint.load_snapshot`
+quarantines corrupt snapshots and walks back to the newest valid one.
+"""
+
+from repro.resilience.chaos import (
+    ChaosSpec,
+    CheckpointFault,
+    apply_checkpoint_fault,
+)
+from repro.resilience.policies import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "BreakerState",
+    "ChaosSpec",
+    "CheckpointFault",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "apply_checkpoint_fault",
+]

@@ -32,7 +32,22 @@ Metric namespaces in use:
 ``provider.cache.*``        score-cache hits / misses / evictions
 ``parallel.*``              master/worker runtime: batch timers, dispatch
                             counters, queue-depth gauge and per-worker
-                            ``parallel.worker.<id>.*`` busy time / items
+                            ``parallel.worker.<id>.*`` busy time / items;
+                            degradation accounting
+                            (``parallel.degraded_items`` /
+                            ``parallel.degraded_batches``), breaker
+                            probes (``parallel.breaker_probes``) and
+                            ``parallel.force_killed`` workers at close
+``checkpoint.*``            snapshot writes/bytes/restores, plus
+                            ``checkpoint.corrupt_skipped`` (snapshots
+                            quarantined during recovery) and one
+                            ``checkpoint.quarantined`` event per renamed
+                            file
+``ga.eval_retries``         transient evaluation failures retried by the
+                            supervisor (one ``ga.eval_retry`` event each)
+``ga.supervised_stops``     clean early stops — deadline expiry or an
+                            exhausted retry budget (``ga.supervised_stop``
+                            events carry the reason)
 ==========================  =================================================
 """
 

@@ -6,7 +6,38 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["check_fraction", "check_positive", "check_probability_simplex"]
+__all__ = [
+    "check_fraction",
+    "check_int_range",
+    "check_positive",
+    "check_probability_simplex",
+]
+
+
+def check_int_range(
+    value: object,
+    name: str,
+    *,
+    lo: int | None = None,
+    hi: int | None = None,
+) -> int:
+    """Validate that ``value`` is an integer within ``[lo, hi]``.
+
+    Either bound may be ``None`` (unbounded on that side).  Floats are
+    rejected rather than truncated — a CLI passing ``2.5`` workers is a
+    mistake, not a request for 2.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if lo is not None and v < lo:
+        bound = f"<= {hi}" if hi is not None else ""
+        raise ValueError(
+            f"{name} must be >= {lo}{' and ' + bound if bound else ''}, got {v}"
+        )
+    if hi is not None and v > hi:
+        raise ValueError(f"{name} must be <= {hi}, got {v}")
+    return v
 
 
 def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:

@@ -74,13 +74,23 @@ class TestSnapshotFiles:
 
 
 class TestFindLatest:
-    def test_pointer_wins(self, tmp_path):
+    def test_pointer_wins_when_consistent(self, tmp_path):
+        for gen in (1, 2, 3):
+            write_snapshot(
+                tmp_path / f"ckpt-gen{gen:08d}.json", {"g": gen}, fsync=False
+            )
+        (tmp_path / "latest").write_text("ckpt-gen00000003.json\n")
+        assert find_latest(tmp_path).name == "ckpt-gen00000003.json"
+
+    def test_outdated_pointer_loses_to_scan(self, tmp_path):
+        # A crash between the snapshot write and the pointer update leaves
+        # the pointer one generation behind; the scan must win.
         for gen in (1, 2, 3):
             write_snapshot(
                 tmp_path / f"ckpt-gen{gen:08d}.json", {"g": gen}, fsync=False
             )
         (tmp_path / "latest").write_text("ckpt-gen00000002.json\n")
-        assert find_latest(tmp_path).name == "ckpt-gen00000002.json"
+        assert find_latest(tmp_path).name == "ckpt-gen00000003.json"
 
     def test_falls_back_to_newest_generation(self, tmp_path):
         for gen in (4, 10, 7):

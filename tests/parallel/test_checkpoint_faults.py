@@ -19,7 +19,9 @@ from repro.telemetry import MetricsRegistry
 pytestmark = pytest.mark.faults
 
 
-def _dead_worker_entry(worker_id, context, task_queue, result_queue):
+def _dead_worker_entry(
+    worker_id, context, task_queue, result_queue, sticky_queue=None
+):
     """A worker that exits immediately without taking any work."""
     return
 
@@ -62,6 +64,7 @@ def test_dead_worker_error_triggers_emergency_snapshot_and_resume(
         timeout=30.0,
         poll_interval=0.05,
         max_retries=1,
+        fail_fast=True,
     )
     try:
         with pytest.raises(DeadWorkerError):

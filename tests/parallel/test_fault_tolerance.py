@@ -126,6 +126,8 @@ def test_stale_epoch_result_dropped_on_reuse(tiny_engine, tiny_problem, rng):
         num_workers=1,
         timeout=0.4,
         poll_interval=0.05,
+        max_retries=0,
+        fail_fast=True,
         faults=FaultPlan(delay_on_item=0, delay=2.0, only_worker=0),
     )
     try:
@@ -176,7 +178,9 @@ def test_close_drains_orphaned_task_queue(tiny_engine, tiny_problem, rng):
     )
 
 
-def _dead_worker_entry(worker_id, context, task_queue, result_queue):
+def _dead_worker_entry(
+    worker_id, context, task_queue, result_queue, sticky_queue=None
+):
     """A worker that exits immediately without taking any work."""
     return
 
@@ -184,9 +188,9 @@ def _dead_worker_entry(worker_id, context, task_queue, result_queue):
 def test_retry_budget_exhaustion_names_workers_and_items(
     tiny_engine, tiny_problem, monkeypatch, rng
 ):
-    """When respawned workers keep dying, the master must give up after
-    the retry budget with a diagnostic naming the dead workers and the
-    lost sequence ids — not hang for the full timeout."""
+    """When respawned workers keep dying, a fail-fast master must give up
+    after the retry budget with a diagnostic naming the dead workers and
+    the lost sequence ids — not hang for the full timeout."""
     target, non_targets = tiny_problem
     monkeypatch.setattr(mp_backend, "_worker_entry", _dead_worker_entry)
     provider = MultiprocessScoreProvider(
@@ -197,6 +201,7 @@ def test_retry_budget_exhaustion_names_workers_and_items(
         timeout=30.0,
         poll_interval=0.05,
         max_retries=2,
+        fail_fast=True,
     )
     try:
         with pytest.raises(DeadWorkerError, match="died") as exc:
@@ -222,6 +227,15 @@ def test_fault_stats_in_runtime_stats(tiny_engine, tiny_problem, rng):
             "retries": 0,
             "stale_dropped": 0,
             "failures": 0,
+            "degraded_items": 0,
+            "degraded_batches": 0,
+            "force_killed": 0,
+            "breaker": {
+                "state": "closed",
+                "failures": 0,
+                "opens": 0,
+                "probes": 0,
+            },
             "epoch": 1,
         }
 

@@ -1,0 +1,325 @@
+"""Unit and property tests for the resilience policy objects.
+
+The policies are the supervisor's contract layer, so their guarantees are
+pinned hard: a retry schedule is a pure function of (seed, attempt) and
+stays inside its advertised bounds; deadlines are exact under an
+injectable clock; the circuit breaker walks the classic state machine
+deterministically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import (
+    BreakerState,
+    ChaosSpec,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicyBackoff:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        base=st.floats(min_value=1e-3, max_value=10.0),
+        multiplier=st.floats(min_value=1.0, max_value=4.0),
+        jitter=st.floats(min_value=0.0, max_value=0.5, exclude_max=True),
+        retries=st.integers(min_value=0, max_value=8),
+    )
+    def test_schedule_deterministic_for_fixed_seed(
+        self, seed, base, multiplier, jitter, retries
+    ):
+        """Two policies built with identical parameters produce the
+        identical schedule — retry timing replays bit-exactly."""
+        kwargs = dict(
+            max_retries=retries,
+            base_s=base,
+            multiplier=multiplier,
+            jitter=jitter,
+            seed=seed,
+        )
+        assert RetryPolicy(**kwargs).schedule() == RetryPolicy(**kwargs).schedule()
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        base=st.floats(min_value=1e-3, max_value=10.0),
+        multiplier=st.floats(min_value=1.0, max_value=4.0),
+        jitter=st.floats(min_value=0.0, max_value=0.5, exclude_max=True),
+    )
+    def test_schedule_monotone_and_bounded(self, seed, base, multiplier, jitter):
+        """The jitter-free backbone is non-decreasing and every jittered
+        delay stays inside [raw*(1-j), raw*(1+j)] and under the cap."""
+        policy = RetryPolicy(
+            max_retries=8,
+            base_s=base,
+            multiplier=multiplier,
+            max_delay_s=60.0,
+            jitter=jitter,
+            seed=seed,
+        )
+        raw_policy = RetryPolicy(
+            max_retries=8,
+            base_s=base,
+            multiplier=multiplier,
+            max_delay_s=60.0,
+            jitter=0.0,
+            seed=seed,
+        )
+        raw = raw_policy.schedule()
+        assert raw == sorted(raw)
+        for attempt, (r, d) in enumerate(zip(raw, policy.schedule())):
+            assert r <= 60.0
+            assert r * (1 - jitter) <= d <= r * (1 + jitter), attempt
+            assert d <= 60.0 * (1 + jitter)
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(jitter=0.3, seed=1).schedule()
+        b = RetryPolicy(jitter=0.3, seed=2).schedule()
+        assert a != b
+
+    def test_delay_rejects_negative_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestRetryPolicyTransience:
+    def test_runtime_and_os_errors_are_transient(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(RuntimeError("x"))
+        assert policy.is_transient(OSError("x"))
+        assert policy.is_transient(TimeoutError("x"))
+
+    def test_programming_errors_are_fatal(self):
+        policy = RetryPolicy()
+        assert not policy.is_transient(ValueError("x"))
+        assert not policy.is_transient(TypeError("x"))
+
+    def test_interrupts_never_transient(self):
+        # Even a policy that claims BaseException never retries Ctrl-C.
+        policy = RetryPolicy(retryable=(BaseException,))
+        assert not policy.is_transient(KeyboardInterrupt())
+        assert not policy.is_transient(SystemExit())
+
+
+class TestRetryPolicyRun:
+    def _flaky(self, failures, exc=RuntimeError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc(f"blip {calls['n']}")
+            return "ok"
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        policy = RetryPolicy(max_retries=3, base_s=0.5, jitter=0.0)
+        assert policy.run(fn, sleep=slept.append) == "ok"
+        assert calls["n"] == 3
+        assert slept == [0.5, 1.0]
+
+    def test_budget_exhaustion_chains_last_error(self):
+        fn, _ = self._flaky(10)
+        policy = RetryPolicy(max_retries=2, base_s=0.0, jitter=0.0)
+        with pytest.raises(RetryBudgetExceeded) as exc:
+            policy.run(fn, sleep=lambda s: None)
+        assert "3 attempt(s)" in str(exc.value)
+        assert isinstance(exc.value.__cause__, RuntimeError)
+
+    def test_non_transient_propagates_immediately(self):
+        fn, calls = self._flaky(10, exc=ValueError)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=5).run(fn, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_deadline_expiry_stops_retrying(self):
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        fn, calls = self._flaky(10)
+
+        def sleep(s):
+            now[0] += 10.0  # the first backoff blows the budget
+
+        policy = RetryPolicy(max_retries=5, base_s=0.1, jitter=0.0)
+        with pytest.raises(DeadlineExceeded):
+            policy.run(fn, deadline=deadline, sleep=sleep)
+        assert calls["n"] == 2  # first try + exactly one retry
+
+    def test_backoff_sleep_capped_to_remaining_budget(self):
+        now = [0.0]
+        deadline = Deadline(2.0, clock=lambda: now[0])
+        slept = []
+        fn, _ = self._flaky(1)
+        policy = RetryPolicy(max_retries=3, base_s=100.0, jitter=0.0)
+        assert policy.run(fn, deadline=deadline, sleep=slept.append) == "ok"
+        assert slept == [2.0]  # not 100
+
+    def test_on_retry_callback_sees_each_attempt(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        policy = RetryPolicy(max_retries=3, base_s=0.0, jitter=0.0)
+        policy.run(
+            fn,
+            sleep=lambda s: None,
+            on_retry=lambda a, e, d: seen.append((a, str(e))),
+        )
+        assert seen == [(0, "blip 1"), (1, "blip 2")]
+
+
+class TestDeadline:
+    def test_fake_clock_lifecycle(self):
+        now = [100.0]
+        deadline = Deadline(10.0, clock=lambda: now[0])
+        assert deadline.elapsed() == 0.0
+        assert deadline.remaining() == 10.0
+        assert not deadline.expired()
+        now[0] = 106.0
+        assert deadline.elapsed() == 6.0
+        assert deadline.remaining() == 4.0
+        now[0] = 110.0
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded, match="scoring"):
+            deadline.check("scoring")
+
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+        deadline.check()  # never raises
+
+    def test_after_alias(self):
+        assert Deadline.after(3.0).budget_s == 3.0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestCircuitBreaker:
+    def test_closed_always_allows(self):
+        breaker = CircuitBreaker()
+        assert all(breaker.allow() for _ in range(5))
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_trips_at_threshold_then_probes_by_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, probe_after=3)
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 1
+        # Two denials, then the third grants a probe.
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.probes == 1
+
+    def test_half_open_denies_until_outcome(self):
+        breaker = CircuitBreaker(probe_after=1)
+        breaker.record_failure()
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # probe in flight: denied
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker = CircuitBreaker(failure_threshold=5, probe_after=1)
+        for _ in range(5):
+            breaker.record_failure()
+        assert breaker.allow()  # probe granted
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 2
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_cooldown_clock_grants_probe(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            probe_after=1000, cooldown_s=30.0, clock=lambda: now[0]
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        now[0] = 31.0
+        assert breaker.allow()
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_stats_json_safe(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure()
+        import json
+
+        assert json.loads(json.dumps(breaker.stats())) == {
+            "state": "open",
+            "failures": 1,
+            "opens": 1,
+            "probes": 0,
+        }
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_after=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0.0)
+
+
+class TestChaosSpec:
+    def test_axes_compose_into_one_fault_plan(self):
+        spec = (
+            ChaosSpec()
+            .with_worker_crash(on_item=1, worker=0)
+            .with_slow_worker(delay_s=0.5)
+        )
+        plan = spec.fault_plan()
+        assert plan.crash_on_item == 1
+        assert plan.delay == 0.5
+        assert plan.only_worker == 0
+
+    def test_disk_only_spec_has_no_fault_plan(self):
+        spec = ChaosSpec().with_checkpoint_fault("flip")
+        assert spec.fault_plan() is None
+        assert len(spec.checkpoint_faults) == 1
+
+    def test_setting_an_axis_twice_raises(self):
+        spec = ChaosSpec().with_worker_crash(on_item=0)
+        with pytest.raises(ValueError, match="compose once"):
+            spec.with_worker_crash(on_item=1)
+
+    def test_conflicting_worker_targets_raise(self):
+        spec = ChaosSpec().with_worker_crash(on_item=0, worker=0)
+        with pytest.raises(ValueError, match="conflicting"):
+            spec.with_worker_failure(on_item=1, worker=1)
+
+    def test_hang_axis_maps_through(self):
+        plan = ChaosSpec().with_worker_hang(on_item=2, hang_s=7.0).fault_plan()
+        assert plan.hang_on_item == 2
+        assert plan.hang_s == 7.0

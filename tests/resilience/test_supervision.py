@@ -1,0 +1,175 @@
+"""Engine-level supervision: deadlines, eval retries, clean partial stops.
+
+The supervisor contract at the GA layer: a wall-clock deadline or an
+exhausted retry budget ends the campaign with the best-so-far design, a
+degradation record and (when checkpointing) a resumable snapshot — never
+a traceback — while an uninterrupted run stays bit-for-bit identical to
+one that never saw a supervisor.
+"""
+
+import pytest
+
+from repro.checkpoint import CheckpointManager
+from repro.ga.config import GAParams
+from repro.ga.engine import InSiPSEngine
+from repro.ga.fitness import ScoreProvider, ScoreSet
+from repro.resilience import Deadline, RetryPolicy
+from repro.telemetry import MetricsRegistry
+
+
+class ScriptedProvider(ScoreProvider):
+    """Deterministic scores, with failures injected on scheduled calls.
+
+    ``fail_calls`` holds 1-based ``scores()`` call numbers that raise;
+    ``fail_from`` makes every call from that number on raise.
+    """
+
+    def __init__(self, fail_calls=(), fail_from=None, exc=RuntimeError):
+        self.calls = 0
+        self.fail_calls = set(fail_calls)
+        self.fail_from = fail_from
+        self.exc = exc
+
+    def scores(self, sequences):
+        self.calls += 1
+        if self.calls in self.fail_calls or (
+            self.fail_from is not None and self.calls >= self.fail_from
+        ):
+            raise self.exc(f"injected failure on call {self.calls}")
+        return [ScoreSet(0.5, (0.1,)) for _ in sequences]
+
+
+def _engine(provider, seed=17, telemetry=None):
+    return InSiPSEngine(
+        provider,
+        GAParams(),
+        population_size=6,
+        candidate_length=12,
+        seed=seed,
+        telemetry=telemetry,
+    )
+
+
+def _no_sleep_retry(max_retries=3):
+    return RetryPolicy(max_retries=max_retries, base_s=0.0, jitter=0.0)
+
+
+class TestDeadline:
+    def test_expiry_returns_partial_result(self):
+        now = [0.0]
+        deadline = Deadline(10.0, clock=lambda: now[0])
+
+        def on_generation(population, stats):
+            if stats.generation >= 1:
+                now[0] = 100.0  # blow the budget after generation 1
+
+        result = _engine(ScriptedProvider()).run(
+            50, on_generation=on_generation, deadline=deadline
+        )
+        assert not result.completed
+        assert result.stop_reason == "deadline"
+        assert result.generations == 2  # generations 0 and 1 finished
+        assert result.best is not None
+        [record] = result.history.degradations
+        assert record["kind"] == "deadline"
+        assert record["budget_s"] == 10.0
+        assert record["elapsed_s"] >= 10.0
+
+    def test_plain_seconds_accepted_and_generous_budget_completes(self):
+        result = _engine(ScriptedProvider()).run(3, deadline=3600.0)
+        assert result.completed
+        assert result.stop_reason is None
+        assert result.generations == 3
+        assert result.history.degradations == []
+
+    def test_deadline_stop_snapshots_and_resumes_bit_exact(self, tmp_path):
+        generations = 5
+        reference = _engine(ScriptedProvider()).run(generations)
+
+        now = [0.0]
+        deadline = Deadline(10.0, clock=lambda: now[0])
+
+        def on_generation(population, stats):
+            if stats.generation >= 2:
+                now[0] = 100.0
+
+        manager = CheckpointManager(tmp_path, every=100, fsync=False)
+        partial = _engine(ScriptedProvider()).run(
+            generations,
+            on_generation=on_generation,
+            checkpoint=manager,
+            deadline=deadline,
+        )
+        assert not partial.completed
+        # The forced barrier snapshot makes the interrupted run resumable
+        # even though the periodic policy (every=100) never fired.
+        resumed_engine = _engine(ScriptedProvider())
+        assert resumed_engine.resume(tmp_path) == 2
+        resumed = resumed_engine.run(generations)
+        assert resumed.completed
+        assert resumed.best.sequence == reference.best.sequence
+        # The resumed history carries the deadline degradation record the
+        # reference never had; the stats must still match exactly.
+        payload = resumed.history.to_payload()
+        assert payload["stats"] == reference.history.to_payload()["stats"]
+        assert payload["degradations"][0]["kind"] == "deadline"
+
+
+class TestEvalRetry:
+    def test_transient_failures_retried_to_success(self):
+        provider = ScriptedProvider(fail_calls={2, 3})
+        telemetry = MetricsRegistry()
+        result = _engine(provider, telemetry=telemetry).run(
+            3, retry=_no_sleep_retry()
+        )
+        assert result.completed
+        assert result.generations == 3
+        assert telemetry.counter("ga.eval_retries").value == 2
+        retries = [
+            e for e in telemetry.events if e["event"] == "ga.eval_retry"
+        ]
+        assert [e["attempt"] for e in retries] == [1, 2]
+
+    def test_retry_matches_unsupervised_run_bit_exact(self):
+        reference = _engine(ScriptedProvider()).run(3)
+        flaky = _engine(ScriptedProvider(fail_calls={2})).run(
+            3, retry=_no_sleep_retry()
+        )
+        assert flaky.best.sequence == reference.best.sequence
+        assert (
+            flaky.history.to_payload() == reference.history.to_payload()
+        )
+
+    def test_exhaustion_with_partial_returns_cleanly(self, tmp_path):
+        provider = ScriptedProvider(fail_from=3)
+        telemetry = MetricsRegistry()
+        manager = CheckpointManager(tmp_path, every=100, fsync=False)
+        result = _engine(provider, telemetry=telemetry).run(
+            50, retry=_no_sleep_retry(max_retries=2), checkpoint=manager
+        )
+        assert not result.completed
+        assert result.stop_reason == "eval_retry_exhausted"
+        assert result.generations == 2
+        assert result.best is not None
+        [record] = result.history.degradations
+        assert record["kind"] == "eval_retry_exhausted"
+        assert "injected failure" in record["error"]
+        assert telemetry.counter("ga.supervised_stops").value == 1
+        # Emergency (pre_eval) snapshot of the half-bred population.
+        assert list(tmp_path.glob("*-emergency.json"))
+
+    def test_generation_zero_failure_has_no_partial_and_raises(self):
+        provider = ScriptedProvider(fail_from=1)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            _engine(provider).run(5, retry=_no_sleep_retry(max_retries=1))
+
+    def test_non_transient_error_propagates_immediately(self):
+        provider = ScriptedProvider(fail_calls={2}, exc=ValueError)
+        with pytest.raises(ValueError, match="injected failure"):
+            _engine(provider).run(3, retry=_no_sleep_retry())
+        assert provider.calls == 2  # no retry was attempted
+
+    def test_no_retry_policy_keeps_historical_raise(self):
+        provider = ScriptedProvider(fail_calls={2})
+        with pytest.raises(RuntimeError, match="injected failure"):
+            _engine(provider).run(3)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.util.validation import (
     check_fraction,
+    check_int_range,
     check_positive,
     check_probability_simplex,
 )
@@ -38,6 +39,25 @@ class TestCheckPositive:
         assert check_positive(0.0, "x", strict=False) == 0.0
         with pytest.raises(ValueError):
             check_positive(-1.0, "x", strict=False)
+
+
+class TestCheckIntRange:
+    def test_bounds_inclusive(self):
+        assert check_int_range(3, "x", lo=3, hi=3) == 3
+        import numpy as np
+
+        assert check_int_range(np.int64(5), "x", lo=0) == 5
+
+    def test_out_of_range_names_argument(self):
+        with pytest.raises(ValueError, match="--workers must be <= 256"):
+            check_int_range(300, "--workers", lo=0, hi=256)
+        with pytest.raises(ValueError, match="--generations must be >= 1"):
+            check_int_range(0, "--generations", lo=1)
+
+    def test_non_integers_rejected(self):
+        for bad in (1.5, "3", None, True):
+            with pytest.raises(ValueError, match="must be an integer"):
+                check_int_range(bad, "x", lo=0)
 
 
 class TestSimplex:
