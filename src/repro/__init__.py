@@ -25,7 +25,8 @@ Quick start::
 from repro.checkpoint import CheckpointError, CheckpointManager
 from repro.core import DesignResult, InhibitorDesigner
 from repro.ga import GAParams, InSiPSEngine, SerialScoreProvider, WETLAB_PARAMS
-from repro.ppi import InteractionGraph, PipeConfig, PipeEngine
+from repro.ppi import BatchScores, InteractionGraph, PipeConfig, PipeEngine
+from repro.providers import ThreadScoreProvider, make_engine, make_score_provider
 from repro.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.sequences import Protein
 from repro.synthetic import PROFILES, build_world, get_profile
@@ -34,6 +35,7 @@ from repro.telemetry import MetricsRegistry, NullRegistry
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchScores",
     "CheckpointError",
     "CheckpointManager",
     "CircuitBreaker",
@@ -51,8 +53,11 @@ __all__ = [
     "Protein",
     "RetryPolicy",
     "SerialScoreProvider",
+    "ThreadScoreProvider",
     "WETLAB_PARAMS",
     "build_world",
     "get_profile",
+    "make_engine",
+    "make_score_provider",
     "__version__",
 ]

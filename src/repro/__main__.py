@@ -73,17 +73,25 @@ def _cmd_design(args: argparse.Namespace) -> int:
             resume_from = args.checkpoint_dir
             print(f"resuming from {latest}")
     provider_factory = None
-    if args.workers:
-        from repro.parallel import MultiprocessScoreProvider
+    backend = args.backend
+    if backend == "serial" and args.workers:
+        backend = "process"  # bare --workers keeps its pre---backend meaning
+    if backend != "serial":
+        from repro.providers import make_score_provider
 
         def provider_factory(engine, target, non_targets):
-            return MultiprocessScoreProvider(
+            extra = {}
+            if backend == "process":
+                extra["fail_fast"] = args.fail_fast
+                extra["share_memory"] = not args.no_shm
+            return make_score_provider(
                 engine,
                 target,
                 non_targets,
-                num_workers=args.workers,
-                fail_fast=args.fail_fast,
+                backend=backend,
+                workers=args.workers or None,
                 telemetry=registry,
+                **extra,
             )
 
     designer = InhibitorDesigner.from_profile(
@@ -145,12 +153,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     profile = get_profile(args.profile)
     provider_factory = None
     created = []
-    if args.workers:
-        from repro.parallel import MultiprocessScoreProvider
+    backend = args.backend
+    if backend == "serial" and args.workers:
+        backend = "process"
+    if backend != "serial":
+        from repro.providers import make_score_provider
 
         def provider_factory(engine, target, non_targets):
-            provider = MultiprocessScoreProvider(
-                engine, target, non_targets, num_workers=args.workers
+            extra = {}
+            if backend == "process":
+                extra["share_memory"] = not args.no_shm
+            provider = make_score_provider(
+                engine,
+                target,
+                non_targets,
+                backend=backend,
+                workers=args.workers or None,
+                **extra,
             )
             created.append(provider)
             return provider
@@ -171,6 +190,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     )
     print(summary(registry))
     for provider in created:
+        if not hasattr(provider, "runtime_stats"):
+            continue  # thread backend: telemetry spans cover it
         stats = provider.runtime_stats()
         print(f"\nworkers ({stats['num_workers']} processes, "
               f"{stats['dispatched']} items dispatched):")
@@ -190,6 +211,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"force_killed={ft['force_killed']} "
             f"breaker={ft['breaker']['state']}"
         )
+        shm = stats.get("shm")
+        if shm:
+            print(
+                f"  shared memory: segment={shm['token']} "
+                f"bytes={shm['bytes']} arrays={shm['arrays']} "
+                f"similarities={shm['similarities']}"
+            )
     if args.out:
         if args.format == "csv":
             rows = export_csv(registry, args.out)
@@ -276,6 +304,16 @@ def main(argv: list[str] | None = None) -> int:
         help="score through N worker processes (0 = serial)",
     )
     p_design.add_argument(
+        "--backend", choices=("serial", "process", "thread"), default="serial",
+        help="scoring backend (bare --workers N implies 'process'); "
+        "see repro.providers.make_score_provider",
+    )
+    p_design.add_argument(
+        "--no-shm", action="store_true",
+        help="with the process backend: pickle the full engine to each "
+        "worker instead of sharing one read-only proteome segment",
+    )
+    p_design.add_argument(
         "--deadline-s", type=float, default=None, metavar="S",
         help="wall-clock budget: stop cleanly with the best-so-far design "
         "after S seconds (checkpointed runs stay resumable)",
@@ -303,6 +341,14 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument(
         "--workers", type=int, default=0,
         help="score through N worker processes (0 = serial)",
+    )
+    p_stats.add_argument(
+        "--backend", choices=("serial", "process", "thread"), default="serial",
+        help="scoring backend (bare --workers N implies 'process')",
+    )
+    p_stats.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared-memory proteome for the process backend",
     )
     p_stats.add_argument("--out", default=None, help="export telemetry here")
     p_stats.add_argument("--format", choices=("jsonl", "csv"), default="jsonl")

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.ga.config import GAParams, WETLAB_PARAMS
 from repro.ga.engine import GAResult, InSiPSEngine
-from repro.ga.fitness import ScoreProvider, SerialScoreProvider
+from repro.ga.fitness import ScoreProvider
 from repro.ga.population import Individual
 from repro.ga.stats import RunHistory
 from repro.ga.termination import PaperTermination, TerminationCriterion
@@ -107,10 +107,15 @@ class InhibitorDesigner:
     non_target_limit:
         Cap on the same-component non-target list (None = all, as in the
         paper).
+    backend, workers:
+        Scoring backend selection, forwarded to
+        :func:`repro.providers.make_score_provider` — ``"serial"``
+        (default), ``"process"`` or ``"thread"``; ``workers`` sizes the
+        parallel pools.
     provider_factory:
         Optional callable ``(engine, target, non_targets) -> ScoreProvider``
-        to swap in the multiprocessing runtime; default is the serial
-        reference provider.
+        overriding ``backend`` entirely (escape hatch for custom
+        providers, e.g. fault-injecting test runtimes).
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRegistry`.  When given it
         is attached to the PIPE engine, the score provider and the GA
@@ -123,6 +128,8 @@ class InhibitorDesigner:
     population_size: int = 60
     candidate_length: int = 64
     non_target_limit: int | None = None
+    backend: str = "serial"
+    workers: int | None = None
     provider_factory: object | None = None
     telemetry: MetricsRegistry | None = None
 
@@ -147,8 +154,15 @@ class InhibitorDesigner:
             if self.telemetry is not None:
                 provider.telemetry = self.telemetry
             return provider
-        return SerialScoreProvider(
-            self.world.engine, target, non_targets, telemetry=self.telemetry
+        from repro.providers import make_score_provider
+
+        return make_score_provider(
+            self.world.engine,
+            target,
+            non_targets,
+            backend=self.backend,
+            workers=self.workers,
+            telemetry=self.telemetry,
         )
 
     def design(

@@ -22,9 +22,10 @@ from repro.experiments.base import ExperimentResult
 from repro.ga.baselines import HillClimbBaseline, RandomSearchBaseline
 from repro.ga.config import WETLAB_PARAMS
 from repro.ga.engine import InSiPSEngine
-from repro.ga.fitness import FitnessFunction, SerialScoreProvider
+from repro.ga.fitness import FitnessFunction
 from repro.ga.seeding import ProteinFragmentInitializer, RandomInitializer
-from repro.ppi.pipe import PipeConfig, PipeEngine
+from repro.ppi.pipe import PipeConfig
+from repro.providers import make_score_provider
 from repro.synthetic.profiles import get_profile
 
 __all__ = ["run_ablations"]
@@ -74,10 +75,13 @@ def _matrix_ablation(result: ExperimentResult, world, prof, seed: int) -> None:
             saturation=prof.world.pipe.saturation,
             matrix_name=name,
         )
-        engine = PipeEngine.build(world.graph, cfg)
-        provider = SerialScoreProvider(
-            engine, "YBL051C", world.non_targets_for("YBL051C", limit=prof.non_target_limit)
+        provider = make_score_provider(
+            world.graph,
+            "YBL051C",
+            world.non_targets_for("YBL051C", limit=prof.non_target_limit),
+            config=cfg,
         )
+        engine = provider.engine
         run = InSiPSEngine(
             provider,
             WETLAB_PARAMS,
@@ -129,7 +133,7 @@ def _baseline_ablation(result: ExperimentResult, world, prof, seed: int) -> None
             ),
         ),
     ):
-        provider = SerialScoreProvider(world.engine, target, nts)
+        provider = make_score_provider(world, target, nts)
         run = make(provider).run(gens)
         rows.append([label, run.best_fitness, run.evaluations])
     result.artifacts["search algorithm at equal budget"] = format_table(
@@ -147,7 +151,7 @@ def _baseline_ablation(result: ExperimentResult, world, prof, seed: int) -> None
 def _seeding_ablation(result: ExperimentResult, world, prof, seed: int) -> None:
     target = "YBL051C"
     nts = world.non_targets_for(target, limit=prof.non_target_limit)
-    provider = SerialScoreProvider(world.engine, target, nts)
+    provider = make_score_provider(world, target, nts)
     fitness = FitnessFunction(provider)
     rng = np.random.default_rng(seed)
     rows = []
@@ -171,7 +175,7 @@ def _seeding_ablation(result: ExperimentResult, world, prof, seed: int) -> None:
 def _cache_ablation(result: ExperimentResult, world, prof, seed: int) -> None:
     target = "YBL051C"
     nts = world.non_targets_for(target, limit=prof.non_target_limit)
-    provider = SerialScoreProvider(world.engine, target, nts)
+    provider = make_score_provider(world, target, nts)
     InSiPSEngine(
         provider,
         WETLAB_PARAMS,

@@ -350,27 +350,29 @@ class SerialScoreProvider(CachingScoreProvider):
         provs = provenances if provenances is not None else [None] * len(arrays)
         out: list[ScoreSet] = []
         with self.telemetry.span("provider.serial.score"):
-            for arr, prov in zip(arrays, provs):
-                similarity = None
+            # Build every candidate's similarity structure through the
+            # batched entry points — one stacked kernel pass covers all
+            # full sweeps (and, per delta child, all its dirty rows) —
+            # then collapse each structure into scores.
+            with self.engine.telemetry.span("pipe.window_build"):
                 if self.use_delta:
-                    # Same kernel-phase span engine.similarity_of records,
-                    # now timing the delta-or-full structure build.
-                    with self.engine.telemetry.span("pipe.window_build"):
-                        similarity, stats = self._similarity_cache.similarity_for(
-                            self.engine.database, arr, prov
+                    built = self._similarity_cache.similarity_batch(
+                        self.engine.database, arrays, provs
+                    )
+                else:
+                    built = [
+                        (sim, None)
+                        for sim in self.engine.database.sequence_similarity_batch(
+                            arrays
                         )
+                    ]
+            for arr, (similarity, stats) in zip(arrays, built):
+                if self.use_delta:
                     self._record_delta(stats)
                 scored = self.engine.score_against(
-                    arr, names, similarity=similarity
+                    arr, names, similarity=similarity, delta=stats
                 )
-                out.append(
-                    ScoreSet(
-                        target_score=scored[self.target],
-                        non_target_scores=tuple(
-                            scored[nt] for nt in self.non_targets
-                        ),
-                    )
-                )
+                out.append(scored.score_set(self.target, self.non_targets))
         return out
 
 

@@ -81,6 +81,7 @@ from repro.parallel.worker import (
 )
 from repro.ppi.delta import Provenance, SimilarityLRU
 from repro.ppi.pipe import PipeEngine
+from repro.ppi.shm import SharedProteomeView
 from repro.resilience.policies import BreakerState, CircuitBreaker
 from repro.telemetry import MetricsRegistry
 
@@ -165,6 +166,15 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         capped at roughly twice the fair share of the batch, the overflow
         going to the shared on-demand queue.  Routing is advisory: a
         mis-route only costs a full sweep, never a wrong score.
+    share_memory:
+        When True (default), the database's read-only arrays are placed
+        in a single ``multiprocessing.shared_memory`` segment
+        (:class:`~repro.ppi.shm.SharedProteomeView`) and workers receive
+        a kilobyte-scale handle instead of a pickled engine — every
+        worker maps the same physical proteome pages.  The segment is
+        refcounted and unlinked on the provider's last :meth:`close`;
+        a SIGKILLed worker cannot leak it.  Set False to restore the
+        classic pickle-the-engine broadcast.
     faults:
         Test-only :class:`~repro.parallel.worker.FaultPlan` forwarded to
         the workers; leave ``None`` in production.
@@ -190,6 +200,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         fail_fast: bool = False,
         breaker: CircuitBreaker | None = None,
         close_grace_s: float = 10.0,
+        share_memory: bool = True,
         faults: FaultPlan | None = None,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
@@ -227,6 +238,9 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self.close_grace_s = float(close_grace_s)
         method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else None)
         self._ctx = mp.get_context(method)
+        self.share_memory = bool(share_memory)
+        self._shm_view: SharedProteomeView | None = None
+        self._ship_context: WorkerContext = self.context
         self._task_queue = None
         self._result_queue = None
         self._workers: dict[int, mp.Process] = {}
@@ -280,7 +294,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             target=_worker_entry,
             args=(
                 wid,
-                self.context,
+                self._ship_context,
                 self._task_queue,
                 self._result_queue,
                 sticky_queue,
@@ -301,6 +315,21 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         # recomputing them (the paper's offline preprocessing + broadcast).
         with self.telemetry.span("parallel.spawn"):
             self.context.warm_cache()
+            if self.share_memory and self._shm_view is None:
+                # One segment holds the proteome arrays plus the
+                # preprocessed target/non-target similarity CSRs; workers
+                # get the handle, not the engine.
+                self._shm_view = SharedProteomeView.share(
+                    self.context.engine.database,
+                    similarity_names=[
+                        self.context.target,
+                        *self.context.non_targets,
+                    ],
+                    telemetry=self.telemetry,
+                )
+                self._ship_context = self.context.for_shipment(
+                    self._shm_view.handle
+                )
             self._task_queue = self._ctx.Queue()
             self._result_queue = self._ctx.Queue()
             for _ in range(self.num_workers):
@@ -309,6 +338,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
 
     def close(self) -> None:
         if not self._workers:
+            self._release_shm()
             super().close()
             return
         # Drain replies orphaned by a failed batch so worker result puts
@@ -354,7 +384,18 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self._affinity.clear()
         self._task_queue = None
         self._result_queue = None
+        # Workers are gone (joined, terminated or killed above), so this
+        # is the last mapping in our ownership scope: unlink-on-last-close.
+        self._release_shm()
         super().close()
+
+    def _release_shm(self) -> None:
+        """Drop the shared proteome segment; safe with dead workers (the
+        kernel frees memory when the last mapping disappears)."""
+        if self._shm_view is not None:
+            self._shm_view.close()
+            self._shm_view = None
+        self._ship_context = self.context
 
     # -- scoring -----------------------------------------------------------
 
@@ -721,4 +762,10 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "workers": self.worker_stats(),
             "fault_tolerance": self.fault_stats(),
             "delta": self.delta_stats(),
+            "shm": self.shm_stats(),
         }
+
+    def shm_stats(self) -> dict[str, object] | None:
+        """Shared-proteome segment accounting; None when ``share_memory``
+        is off or the pool has not started."""
+        return self._shm_view.stats() if self._shm_view is not None else None

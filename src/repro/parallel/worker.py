@@ -21,14 +21,18 @@ import os
 import queue as queue_mod
 import time
 import traceback as traceback_mod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.ga.fitness import ScoreSet
 from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
 from repro.ppi.delta import DeltaStats, Provenance, SimilarityLRU
-from repro.ppi.pipe import PipeEngine
+from repro.ppi.pipe import PipeConfig, PipeEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ppi.shm import SharedProteomeHandle, SharedProteomeView
 
 __all__ = [
     "FaultPlan",
@@ -82,6 +86,14 @@ class FaultPlan:
 class WorkerContext:
     """Everything a worker needs: the broadcast engine and the problem.
 
+    The engine travels one of two ways.  Classic broadcast: ``engine`` is
+    set and the whole database pickles into the worker at spawn.
+    Shared-memory broadcast: ``engine`` is ``None`` and ``shm_handle`` +
+    ``config`` describe a :class:`~repro.ppi.shm.SharedProteomeView`
+    segment the worker attaches to (:meth:`ensure_engine`), so only a
+    kilobyte-scale handle crosses the process boundary and every worker
+    reads the same physical proteome pages.
+
     ``faults`` is a test-only :class:`FaultPlan`; production runs leave it
     ``None`` (the default) and pay nothing for it.
 
@@ -91,18 +103,56 @@ class WorkerContext:
     candidate pays the full sweep, the pre-delta behaviour).
     """
 
-    engine: PipeEngine
+    engine: PipeEngine | None
     target: str
     non_targets: list[str]
     faults: FaultPlan | None = None
     similarity_cache_size: int = 256
     use_delta: bool = True
+    shm_handle: "SharedProteomeHandle | None" = None
+    config: "PipeConfig | None" = None
 
     def __post_init__(self) -> None:
+        if self.engine is None:
+            if self.shm_handle is None or self.config is None:
+                raise ValueError(
+                    "WorkerContext needs an engine, or a shm_handle + config "
+                    "to rebuild one from shared memory"
+                )
+            # Name validation happens in ensure_engine, worker-side.
+            return
         graph = self.engine.database.graph
         graph.index_of(self.target)
         for nt in self.non_targets:
             graph.index_of(nt)
+
+    def for_shipment(self, handle: "SharedProteomeHandle") -> "WorkerContext":
+        """A lightweight copy to pickle to workers: the engine is replaced
+        by the shared-memory handle (plus the scalar config)."""
+        if self.engine is None:
+            raise ValueError("context already engine-less")
+        return replace(
+            self, engine=None, shm_handle=handle, config=self.engine.config
+        )
+
+    def ensure_engine(self) -> "SharedProteomeView | None":
+        """Materialise :attr:`engine` if it travelled as a shm handle.
+
+        Returns the attached view (the caller owns its ``close()``), or
+        ``None`` when the engine was shipped directly.
+        """
+        if self.engine is not None:
+            return None
+        from repro.ppi.shm import SharedProteomeView
+
+        view = SharedProteomeView.attach(self.shm_handle)
+        database = view.build_database()
+        self.engine = PipeEngine(database, self.config)
+        graph = database.graph
+        graph.index_of(self.target)
+        for nt in self.non_targets:
+            graph.index_of(nt)
+        return view
 
     def warm_cache(self) -> None:
         """Precompute target/non-target similarity structures (the paper's
@@ -174,6 +224,30 @@ def worker_loop(
     exception is reported as a :class:`WorkFailure` and the loop continues
     with the next item.
     """
+    view = context.ensure_engine()
+    try:
+        return _worker_loop_inner(
+            worker_id,
+            context,
+            task_queue,
+            result_queue,
+            sticky_queue=sticky_queue,
+            poll_timeout=poll_timeout,
+        )
+    finally:
+        if view is not None:
+            view.close()
+
+
+def _worker_loop_inner(
+    worker_id: int,
+    context: WorkerContext,
+    task_queue,
+    result_queue,
+    *,
+    sticky_queue=None,
+    poll_timeout: float = 1.0,
+) -> int:
     context.warm_cache()
     faults = context.faults
     inject = faults is not None and faults.applies_to(worker_id)

@@ -27,7 +27,15 @@ from repro.ppi.delta import (
 )
 from repro.ppi.evaluation import PipeEvaluation, evaluate_pipe
 from repro.ppi.graph import InteractionGraph
-from repro.ppi.pipe import PipeConfig, PipeEngine, PipeResult
+from repro.ppi.kernels import (
+    BatchedNumpyKernel,
+    ChunkedNumpyKernel,
+    SimilarityKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.ppi.pipe import BatchScores, PipeConfig, PipeEngine, PipeResult
 from repro.ppi.sites import BindingSite, predict_binding_sites
 from repro.ppi.similarity import (
     calibrate_threshold,
@@ -36,9 +44,13 @@ from repro.ppi.similarity import (
     similar_window_mask,
     window_similarity_scores,
 )
+from repro.ppi.shm import SharedProteomeHandle, SharedProteomeView
 from repro.ppi.windows import num_windows
 
 __all__ = [
+    "BatchScores",
+    "BatchedNumpyKernel",
+    "ChunkedNumpyKernel",
     "DeltaStats",
     "DeltaUpdate",
     "InteractionGraph",
@@ -59,6 +71,12 @@ __all__ = [
     "evaluate_pipe",
     "predict_binding_sites",
     "SequenceSimilarity",
+    "SharedProteomeHandle",
+    "SharedProteomeView",
+    "SimilarityKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
     "calibrate_threshold",
     "exact_threshold",
     "num_windows",

@@ -19,6 +19,7 @@ implements both halves:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Sequence
@@ -27,9 +28,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.ppi.graph import InteractionGraph
-from repro.ppi.similarity import windowed_diagonal_sums
+from repro.ppi.kernels import SimilarityKernel, get_kernel
 from repro.ppi.windows import num_windows
 from repro.substitution.matrix import SubstitutionMatrix
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["PipeDatabase", "SequenceSimilarity", "DeltaUpdate"]
 
@@ -103,6 +105,20 @@ class PipeDatabase:
         bounds peak memory at roughly ``max_query_len * chunk_residues``
         float64 entries, mirroring the paper's concern with per-thread
         memory footprint on the BGQ.
+    kernel:
+        The similarity-sweep kernel (a
+        :class:`~repro.ppi.kernels.SimilarityKernel` instance or registry
+        name); defaults to the batched numpy kernel, bit-exact with the
+        ``"chunked"`` reference.
+    protein_cache_size:
+        Bound of the known-protein similarity LRU (the offline
+        preprocessing cache).  The GA's fixed target/non-target set fits
+        far inside the default; scan workloads touching many proteins are
+        capped instead of growing without limit.
+    telemetry:
+        Optional metrics registry for the ``pipe.protein_cache.*``
+        counters; usually attached later through :meth:`set_telemetry` by
+        the owning engine.
     """
 
     def __init__(
@@ -113,19 +129,21 @@ class PipeDatabase:
         threshold: float,
         *,
         chunk_residues: int = 250_000,
+        kernel: SimilarityKernel | str | None = None,
+        protein_cache_size: int = 4096,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
-        if window_size < 1:
-            raise ValueError(f"window_size must be >= 1, got {window_size}")
-        if chunk_residues < window_size:
-            raise ValueError("chunk_residues must be >= window_size")
-        self.graph = graph
-        self.matrix = matrix
-        self.window_size = int(window_size)
-        self.threshold = float(threshold)
-        self.chunk_residues = int(chunk_residues)
-
+        self._init_common(
+            graph,
+            matrix,
+            window_size,
+            threshold,
+            chunk_residues=chunk_residues,
+            kernel=kernel,
+            protein_cache_size=protein_cache_size,
+            telemetry=telemetry,
+        )
         proteins = graph.proteins
-        self.num_proteins = len(proteins)
         lengths = np.array([len(p) for p in proteins], dtype=np.int64)
         # Pad the concatenated proteome with window_size - 1 trailing
         # residues so every protein owns exactly `len(p)` window-start
@@ -145,7 +163,86 @@ class PipeDatabase:
             self.valid_columns[start:last_valid] = True
 
         self.adjacency = graph.adjacency_matrix()
-        self._protein_similarity_cache: dict[str, SequenceSimilarity] = {}
+
+    def _init_common(
+        self,
+        graph: InteractionGraph,
+        matrix: SubstitutionMatrix,
+        window_size: int,
+        threshold: float,
+        *,
+        chunk_residues: int,
+        kernel: SimilarityKernel | str | None,
+        protein_cache_size: int,
+        telemetry: MetricsRegistry | None,
+    ) -> None:
+        """Scalar state shared by __init__ and :meth:`from_arrays`."""
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if chunk_residues < window_size:
+            raise ValueError("chunk_residues must be >= window_size")
+        if protein_cache_size < 1:
+            raise ValueError(
+                f"protein_cache_size must be >= 1, got {protein_cache_size}"
+            )
+        self.graph = graph
+        self.matrix = matrix
+        self.window_size = int(window_size)
+        self.threshold = float(threshold)
+        self.chunk_residues = int(chunk_residues)
+        self.kernel = get_kernel(kernel)
+        self.num_proteins = len(graph.proteins)
+        self.protein_cache_size = int(protein_cache_size)
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._protein_similarity_cache: OrderedDict[str, SequenceSimilarity] = (
+            OrderedDict()
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: InteractionGraph,
+        matrix: SubstitutionMatrix,
+        window_size: int,
+        threshold: float,
+        *,
+        concatenated: np.ndarray,
+        offsets: np.ndarray,
+        valid_columns: np.ndarray,
+        adjacency: sp.csr_matrix,
+        chunk_residues: int = 250_000,
+        kernel: SimilarityKernel | str | None = None,
+        protein_cache_size: int = 4096,
+        telemetry: MetricsRegistry | None = None,
+    ) -> "PipeDatabase":
+        """Build a database around *prebuilt* proteome arrays.
+
+        Used by :class:`~repro.ppi.shm.SharedProteomeView` to attach a
+        worker-side database whose arrays are zero-copy views into
+        shared-memory segments; the arrays are adopted as-is (treat them
+        as read-only).
+        """
+        self = cls.__new__(cls)
+        self._init_common(
+            graph,
+            matrix,
+            window_size,
+            threshold,
+            chunk_residues=chunk_residues,
+            kernel=kernel,
+            protein_cache_size=protein_cache_size,
+            telemetry=telemetry,
+        )
+        self.concatenated = np.asarray(concatenated, dtype=np.uint8)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.valid_columns = np.asarray(valid_columns, dtype=bool)
+        self.adjacency = adjacency
+        return self
+
+    def set_telemetry(self, telemetry: MetricsRegistry | None) -> None:
+        """Attach (or, with None, detach) a metrics registry for the
+        ``pipe.protein_cache.*`` cache accounting."""
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
 
     # -- similarity sweep ----------------------------------------------------
 
@@ -156,46 +253,14 @@ class PipeDatabase:
     def _sweep_counts(self, seq: np.ndarray) -> np.ndarray:
         """Dense ``(num_windows, num_proteins)`` match counts for ``seq``.
 
-        The one similarity kernel: both the full sweep and the delta
+        Delegates to the pluggable similarity kernel
+        (:mod:`repro.ppi.kernels`); both the full sweep and the delta
         re-sweep of dirty rows run through here, so the two paths are
         bit-exact by construction (a subsequence's rows reproduce the
         corresponding rows of the full sweep — same chunking over the
         proteome, same float64 summation order).
         """
-        n_win = num_windows(seq.size, self.window_size)
-        total_cols = self.valid_columns.size  # one column per proteome residue
-        w = self.window_size
-        counts = np.zeros((n_win, self.num_proteins), dtype=np.int64)
-        offsets = self.offsets
-        start = 0
-        while start < total_cols:
-            stop = min(start + self.chunk_residues, total_cols)
-            # Overlap by w - 1 residues so windows starting near the chunk
-            # edge are complete; the padded tail guarantees availability.
-            segment = self.concatenated[start : stop + w - 1]
-            scores = windowed_diagonal_sums(
-                self.matrix.pair_scores(seq, segment), w
-            )
-            mask = scores >= self.threshold
-            mask[:, ~self.valid_columns[start:stop]] = False
-            # Collapse window-start columns into per-protein counts with a
-            # dense segment reduction (far cheaper than a sparse
-            # intermediate): the chunk's columns belong to the protein run
-            # [first_protein, ...] split at the offsets inside the chunk.
-            first_protein = int(np.searchsorted(offsets, start, side="right")) - 1
-            inner = offsets[(offsets > start) & (offsets < stop)]
-            seg_starts = np.concatenate(
-                [[0], inner - start]
-            ).astype(np.intp)
-            chunk_counts = np.add.reduceat(
-                mask.astype(np.int64), seg_starts, axis=1
-            )
-            proteins_hit = np.arange(
-                first_protein, first_protein + seg_starts.size
-            )
-            counts[:, proteins_hit] += chunk_counts
-            start = stop
-        return counts
+        return self.kernel.sweep(self, seq)
 
     def sequence_similarity(self, encoded: np.ndarray) -> SequenceSimilarity:
         """Build the per-candidate similarity structure (Algorithm 2's
@@ -212,6 +277,45 @@ class PipeDatabase:
             empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
             return SequenceSimilarity(empty, 0)
         return SequenceSimilarity(sp.csr_matrix(self._sweep_counts(seq)), n_win)
+
+    def sequence_similarity_batch(
+        self, encoded: Sequence[np.ndarray]
+    ) -> list[SequenceSimilarity]:
+        """Similarity structures for a whole population in one batched sweep.
+
+        The batched entry point of the kernel interface: all queries'
+        windows are scored against the proteome through
+        :meth:`~repro.ppi.kernels.SimilarityKernel.sweep_batch` (one
+        stacked array op per pass under the batched kernel), bit-exact
+        per sequence with :meth:`sequence_similarity`.
+        """
+        arrays: list[np.ndarray] = []
+        for encoded_seq in encoded:
+            seq = np.asarray(encoded_seq, dtype=np.uint8)
+            if seq.ndim != 1 or seq.size == 0:
+                raise ValueError(
+                    "encoded sequences must be non-empty 1-D arrays"
+                )
+            arrays.append(seq)
+        # Sequences shorter than the window have no rows to sweep.
+        sweepable = [
+            i
+            for i, seq in enumerate(arrays)
+            if num_windows(seq.size, self.window_size) > 0
+        ]
+        counts = self.kernel.sweep_batch(self, [arrays[i] for i in sweepable])
+        out: list[SequenceSimilarity] = []
+        by_index = dict(zip(sweepable, counts))
+        for i, seq in enumerate(arrays):
+            n_win = num_windows(seq.size, self.window_size)
+            if n_win == 0:
+                empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
+                out.append(SequenceSimilarity(empty, 0))
+            else:
+                out.append(
+                    SequenceSimilarity(sp.csr_matrix(by_index[i]), n_win)
+                )
+        return out
 
     def update_similarity(
         self,
@@ -272,9 +376,13 @@ class PipeDatabase:
             src_row[rows[take]] = parent_rows[take]
 
         # Assemble the child CSR from maximal row runs: dirty runs are
-        # re-swept as a subsequence (windows [a, j) need residues
-        # [a, j - 1 + w)); clean runs slice consecutive parent rows.
-        blocks: list[sp.spmatrix] = []
+        # re-swept as subsequences (windows [a, j) need residues
+        # [a, j - 1 + w)) — all of a child's dirty runs go through the
+        # kernel's batched entry point in one call — while clean runs
+        # slice consecutive parent rows.
+        blocks: list[sp.spmatrix | None] = []
+        dirty_slots: list[int] = []
+        dirty_seqs: list[np.ndarray] = []
         rows_rescored = 0
         j = 0
         while j < n_win:
@@ -282,7 +390,9 @@ class PipeDatabase:
             if src_of[j] < 0:
                 while j < n_win and src_of[j] < 0:
                     j += 1
-                blocks.append(sp.csr_matrix(self._sweep_counts(seq[a : j - 1 + w])))
+                dirty_slots.append(len(blocks))
+                dirty_seqs.append(seq[a : j - 1 + w])
+                blocks.append(None)
                 rows_rescored += j - a
             else:
                 k = src_of[j]
@@ -294,6 +404,11 @@ class PipeDatabase:
                     j += 1
                 j += 1
                 blocks.append(sources[k][0].counts[src_row[a] : src_row[a] + (j - a)])
+        if dirty_seqs:
+            for slot, counts in zip(
+                dirty_slots, self.kernel.sweep_batch(self, dirty_seqs)
+            ):
+                blocks[slot] = sp.csr_matrix(counts)
         counts = sp.vstack(blocks, format="csr") if len(blocks) > 1 else blocks[0].tocsr()
         return DeltaUpdate(SequenceSimilarity(counts, n_win), rows_rescored, n_win)
 
@@ -308,7 +423,15 @@ class PipeDatabase:
         if cached is None:
             protein = self.graph.protein(name)
             cached = self.sequence_similarity(protein.encoded)
+            while len(self._protein_similarity_cache) >= self.protein_cache_size:
+                self._protein_similarity_cache.popitem(last=False)
+                self.telemetry.count("pipe.protein_cache.evictions")
             self._protein_similarity_cache[name] = cached
+            self.telemetry.set_gauge(
+                "pipe.protein_cache.size", len(self._protein_similarity_cache)
+            )
+        else:
+            self._protein_similarity_cache.move_to_end(name)
         return cached
 
     def precompute(self, names: list[str] | None = None) -> None:

@@ -277,3 +277,133 @@ class SimilarityLRU:
             else None
         )
         return similarity, stats
+
+    def similarity_batch(
+        self,
+        database: "PipeDatabase",
+        children: "Iterable[np.ndarray]",
+        provenances: "Iterable[Provenance | None]",
+    ) -> "list[tuple[SequenceSimilarity, DeltaStats | None]]":
+        """Batched :meth:`similarity_for` over a whole population.
+
+        Each child takes the same cheapest-correct route as a
+        ``similarity_for`` loop over the batch — cached structure, delta
+        patch, or full sweep — but all full sweeps of a round are scored
+        together through
+        :meth:`~repro.ppi.database.PipeDatabase.sequence_similarity_batch`
+        (one batched-kernel pass) instead of one sweep per child.  A child
+        whose parent is itself a full-sweep member of the batch is
+        deferred to the next round, so it still patches from the freshly
+        swept parent exactly as the sequential loop would.  Results and
+        per-item :class:`DeltaStats` are identical to the scalar method.
+        """
+        work: list[tuple[int, np.ndarray, bytes, Provenance | None]] = []
+        for i, (child, provenance) in enumerate(zip(children, provenances)):
+            child = np.asarray(child, dtype=np.uint8)
+            work.append((i, child, child.tobytes(), provenance))
+        out: list["tuple[SequenceSimilarity, DeltaStats | None] | None"] = [
+            None
+        ] * len(work)
+
+        def resolve_cached(
+            i: int,
+            similarity: "SequenceSimilarity",
+            provenance: Provenance | None,
+        ) -> None:
+            stats = (
+                DeltaStats(
+                    hit=True, rows_rescored=0, rows_total=similarity.num_windows
+                )
+                if provenance is not None
+                else None
+            )
+            out[i] = (similarity, stats)
+
+        while work:
+            # One round: route every item against the cache as it stands;
+            # sweeps needed this round run as one batch, and items whose
+            # parents are in that batch wait for the next round.
+            pending: "OrderedDict[bytes, list[tuple[int, Provenance | None]]]" = (
+                OrderedDict()
+            )
+            pending_seqs: dict[bytes, np.ndarray] = {}
+            deferred: list[tuple[int, np.ndarray, bytes, Provenance | None]] = []
+            # Keys that enter the cache later than "now" in sequential
+            # order: pending sweeps of this round plus every deferred
+            # item.  An item touching one of these (as its own key or as
+            # a provenance parent) must wait, or it would full-sweep
+            # where the sequential loop takes the cached/delta route.
+            unresolved: set[bytes] = set()
+            for i, child, key, provenance in work:
+                if key in pending:
+                    # Identical to an earlier full-sweep member: by the
+                    # time the sequential loop reached it, the first copy
+                    # would be cached — share the result as a cache hit.
+                    pending[key].append((i, provenance))
+                    continue
+                if key in unresolved:
+                    # Identical to an earlier *deferred* member: once that
+                    # one resolves, this is a plain cache hit.
+                    deferred.append((i, child, key, provenance))
+                    continue
+                cached = self.get(key)
+                if cached is not None:
+                    resolve_cached(i, cached, provenance)
+                    continue
+                sources = []
+                parent_unresolved = False
+                if provenance is not None:
+                    for seg in provenance.segments:
+                        parent_sim = self.get(seg.parent_key)
+                        if parent_sim is not None:
+                            sources.append(
+                                (
+                                    parent_sim,
+                                    seg.parent_start,
+                                    seg.child_start,
+                                    seg.length,
+                                )
+                            )
+                        elif seg.parent_key in unresolved:
+                            parent_unresolved = True
+                if parent_unresolved:
+                    deferred.append((i, child, key, provenance))
+                    unresolved.add(key)
+                    continue
+                if sources:
+                    update = database.update_similarity(child, sources)
+                    self.put(key, update.similarity)
+                    out[i] = (
+                        update.similarity,
+                        DeltaStats(
+                            hit=True,
+                            rows_rescored=update.rows_rescored,
+                            rows_total=update.rows_total,
+                        ),
+                    )
+                    continue
+                pending[key] = [(i, provenance)]
+                pending_seqs[key] = child
+                unresolved.add(key)
+            if pending:
+                keys = list(pending)
+                sims = database.sequence_similarity_batch(
+                    [pending_seqs[k] for k in keys]
+                )
+                for key, similarity in zip(keys, sims):
+                    self.put(key, similarity)
+                    (first, first_prov), *rest = pending[key]
+                    n_win = similarity.num_windows
+                    out[first] = (
+                        similarity,
+                        DeltaStats(
+                            hit=False, rows_rescored=n_win, rows_total=n_win
+                        )
+                        if first_prov is not None
+                        else None,
+                    )
+                    for i, dup_prov in rest:
+                        resolve_cached(i, similarity, dup_prov)
+            work = deferred
+        assert all(o is not None for o in out)
+        return out  # type: ignore[return-value]

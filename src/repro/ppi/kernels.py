@@ -1,0 +1,392 @@
+"""Pluggable PIPE similarity-sweep kernels.
+
+The window sweep — "build the specified portion of sequence_similarity"
+(Algorithm 2) — is the hot loop of the whole reproduction: every candidate
+(or every dirty window row of a delta re-score) is aligned against the
+entire concatenated proteome.  This module makes that sweep a *pluggable
+kernel* behind one small interface, so alternative implementations
+(batched numpy today; numba/GPU backends later) can be swapped in without
+touching :class:`~repro.ppi.database.PipeDatabase` or any provider:
+
+* :class:`SimilarityKernel` — the contract: ``sweep`` produces the dense
+  ``(num_windows, num_proteins)`` match-count matrix of one query;
+  ``sweep_batch`` produces the same for a whole population of queries.
+* :class:`ChunkedNumpyKernel` — the bit-exact reference: the chunked
+  per-sequence sweep that has been the one kernel since the seed.
+* :class:`BatchedNumpyKernel` — the batched entry point: all queries of a
+  generation (full candidates and the dirty runs of delta re-scores
+  alike) are stacked into one query array and swept against the proteome
+  in a single pass per chunk, amortising the per-call numpy overhead
+  that dominates when candidates are short.  Row-for-row **bit-exact**
+  with the reference: stacking only adds seam rows (later discarded) and
+  every retained row accumulates exactly the per-sequence sweep's terms.
+
+Kernels are stateless and hold no references to the database; they read
+the read-only proteome arrays off whatever database-like object is passed
+in (a :class:`~repro.ppi.database.PipeDatabase` or a shared-memory view
+from :mod:`repro.ppi.shm`), so one kernel instance can serve many
+databases and processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+import numpy as np
+
+from repro.ppi.similarity import windowed_diagonal_sums
+from repro.ppi.windows import num_windows
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.substitution.matrix import SubstitutionMatrix
+
+__all__ = [
+    "ProteomeArrays",
+    "SimilarityKernel",
+    "ChunkedNumpyKernel",
+    "BatchedNumpyKernel",
+    "get_kernel",
+    "register_kernel",
+    "available_kernels",
+    "DEFAULT_KERNEL",
+]
+
+
+class ProteomeArrays(Protocol):
+    """What a kernel needs from a database: the broadcast-once arrays.
+
+    Satisfied by :class:`~repro.ppi.database.PipeDatabase` and by the
+    shared-memory database built from
+    :class:`~repro.ppi.shm.SharedProteomeView` (whose arrays live in
+    ``multiprocessing.shared_memory`` segments).
+    """
+
+    concatenated: np.ndarray
+    offsets: np.ndarray
+    valid_columns: np.ndarray
+    matrix: "SubstitutionMatrix"
+    window_size: int
+    threshold: float
+    chunk_residues: int
+    num_proteins: int
+
+
+class SimilarityKernel(ABC):
+    """One similarity-sweep implementation.
+
+    Implementations must be bit-exact with :class:`ChunkedNumpyKernel`
+    (the property tests enforce it): the GA's delta re-scoring, the
+    checkpoint bit-exact-resume guarantee and the serial-vs-parallel
+    equality tests all assume a sweep's result is a pure function of the
+    query and the database, independent of which kernel produced it.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def sweep(self, db: ProteomeArrays, seq: np.ndarray) -> np.ndarray:
+        """Dense ``(num_windows, num_proteins)`` match counts for one
+        encoded query sequence."""
+
+    def sweep_batch(
+        self, db: ProteomeArrays, seqs: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Match counts for many queries; default loops over :meth:`sweep`."""
+        return [self.sweep(db, np.asarray(s, dtype=np.uint8)) for s in seqs]
+
+
+class ChunkedNumpyKernel(SimilarityKernel):
+    """The reference sweep: one query, chunked over the proteome.
+
+    Chunking bounds peak memory at roughly
+    ``num_windows * chunk_residues`` float64 entries, mirroring the
+    paper's concern with per-thread memory footprint on the BGQ.
+    """
+
+    name = "chunked"
+
+    def sweep(self, db: ProteomeArrays, seq: np.ndarray) -> np.ndarray:
+        seq = np.asarray(seq, dtype=np.uint8)
+        n_win = num_windows(seq.size, db.window_size)
+        total_cols = db.valid_columns.size  # one column per proteome residue
+        w = db.window_size
+        counts = np.zeros((n_win, db.num_proteins), dtype=np.int64)
+        offsets = db.offsets
+        start = 0
+        while start < total_cols:
+            stop = min(start + db.chunk_residues, total_cols)
+            # Overlap by w - 1 residues so windows starting near the chunk
+            # edge are complete; the padded tail guarantees availability.
+            segment = db.concatenated[start : stop + w - 1]
+            scores = windowed_diagonal_sums(db.matrix.pair_scores(seq, segment), w)
+            mask = scores >= db.threshold
+            mask[:, ~db.valid_columns[start:stop]] = False
+            # Collapse window-start columns into per-protein counts with a
+            # dense segment reduction (far cheaper than a sparse
+            # intermediate): the chunk's columns belong to the protein run
+            # [first_protein, ...] split at the offsets inside the chunk.
+            first_protein = int(np.searchsorted(offsets, start, side="right")) - 1
+            inner = offsets[(offsets > start) & (offsets < stop)]
+            seg_starts = np.concatenate([[0], inner - start]).astype(np.intp)
+            chunk_counts = np.add.reduceat(
+                mask.astype(np.int64), seg_starts, axis=1
+            )
+            proteins_hit = np.arange(
+                first_protein, first_protein + seg_starts.size
+            )
+            counts[:, proteins_hit] += chunk_counts
+            start = stop
+        return counts
+
+
+def _diag_window_sums_int(
+    scores: np.ndarray, w: int, n_win: int, cols: int
+) -> np.ndarray:
+    """Exact integer window sums along the diagonals of ``scores``.
+
+    ``out[r, c] = sum(scores[r + t, c + t] for t in range(w))`` computed
+    with pairwise doubling — ``O(log2 w)`` whole-matrix adds instead of
+    the reference path's ``w - 1``.  Integer addition is associative, so
+    the regrouping is *exact*; only the float64 reference must keep its
+    sequential accumulation order.  Partial sums cover at most ``w``
+    consecutive terms, so the caller's ``w * max|score| < int16 max``
+    overflow guard bounds every intermediate too.
+    """
+    if w == 1:
+        return scores[:n_win, :cols]
+    # powers[k] holds D[r, c] = sum(scores[r+t, c+t] for t < 2**k).
+    powers = [scores]
+    k = 1
+    while k * 2 <= w:
+        d = powers[-1]
+        powers.append(d[:-k, :-k] + d[k:, k:])
+        k *= 2
+    # Binary decomposition of w, highest power first: each piece extends
+    # the covered prefix of the window by 2**bit diagonal steps.
+    result = None
+    covered = 0
+    for bit in range(len(powers) - 1, -1, -1):
+        if not (w - covered) >> bit:
+            continue
+        d = powers[bit]
+        piece = d[covered : covered + n_win, covered : covered + cols]
+        result = piece if result is None else result + piece
+        covered += 1 << bit
+    return result
+
+
+class BatchedNumpyKernel(ChunkedNumpyKernel):
+    """Batched sweep: a whole population's windows in one stacked pass.
+
+    All queries of a batch are concatenated back to back into one array
+    and swept against the proteome; each query's window rows are then
+    sliced back out, discarding the ``window_size - 1`` rows per seam
+    that straddle two queries.  Every retained row accumulates exactly
+    the terms of the per-sequence sweep, so the result is bit-exact with
+    :class:`ChunkedNumpyKernel` — property-tested, not assumed.
+
+    Two things make the stacked pass faster than a per-sequence loop:
+
+    * **int16 scoring** — substitution matrices are integer-valued
+      (PAM120/BLOSUM62), so window sums are computed exactly in int16 at
+      a quarter of the float64 memory traffic; the threshold compare uses
+      ``ceil(threshold)``, identical for integer sums.  A non-integer
+      matrix (or one whose window sums could overflow int16) falls back
+      to the float64 reference path.
+    * **cache-sized column chunks** — the score matrix is swept in
+      ``~stacked_rows x small_cols`` tiles (``fast_chunk_elements``
+      bounds the tile) that stay inside the CPU caches, where a
+      population-sized float64 matrix would spill to (slow) main memory.
+
+    ``batch_elements`` bounds the stacked_rows x proteome-chunk product
+    of the fallback path and ``batch_residues`` caps the stacked length,
+    so batches too large for one pass are swept in greedy groups —
+    grouping changes wall time only, never results.
+    """
+
+    name = "batched"
+
+    def __init__(
+        self,
+        *,
+        batch_residues: int = 16_384,
+        batch_elements: int = 33_554_432,
+        fast_chunk_elements: int = 524_288,
+    ) -> None:
+        if batch_residues < 1:
+            raise ValueError(
+                f"batch_residues must be >= 1, got {batch_residues}"
+            )
+        if batch_elements < 1:
+            raise ValueError(
+                f"batch_elements must be >= 1, got {batch_elements}"
+            )
+        if fast_chunk_elements < 1:
+            raise ValueError(
+                f"fast_chunk_elements must be >= 1, got {fast_chunk_elements}"
+            )
+        self.batch_residues = int(batch_residues)
+        self.batch_elements = int(batch_elements)
+        self.fast_chunk_elements = int(fast_chunk_elements)
+        # matrix-id -> int16 table, or None when the fast path is unsafe.
+        self._int_tables: dict[int, np.ndarray | None] = {}
+
+    def _stack_limit(self, db: ProteomeArrays) -> int:
+        """Stacked residues allowed per pass given the chunk width."""
+        chunk_cols = max(1, min(db.chunk_residues, db.valid_columns.size))
+        return max(1, min(self.batch_residues, self.batch_elements // chunk_cols))
+
+    def _int_table(self, db: ProteomeArrays) -> "np.ndarray | None":
+        """The substitution table as int16, or None when fast-path
+        integer scoring would not be exact (non-integer entries) or could
+        overflow (pathologically large scores x window size)."""
+        key = id(db.matrix)
+        if key not in self._int_tables:
+            table = np.asarray(db.matrix.scores)
+            ok = bool(np.all(table == np.rint(table)))
+            if ok:
+                bound = float(np.abs(table).max()) * db.window_size
+                ok = bound < np.iinfo(np.int16).max
+            self._int_tables[key] = (
+                table.astype(np.int16) if ok else None
+            )
+        return self._int_tables[key]
+
+    def sweep(self, db: ProteomeArrays, seq: np.ndarray) -> np.ndarray:
+        table = self._int_table(db)
+        if table is None:
+            return super().sweep(db, seq)
+        return self._sweep_int(db, seq, table)
+
+    def _sweep_int(
+        self, db: ProteomeArrays, seq: np.ndarray, table: np.ndarray
+    ) -> np.ndarray:
+        seq = np.asarray(seq, dtype=np.uint8)
+        w = db.window_size
+        n_win = num_windows(seq.size, w)
+        total_cols = db.valid_columns.size
+        counts = np.zeros((n_win, db.num_proteins), dtype=np.int64)
+        if n_win == 0:
+            return counts
+        # Integer window sums reach the same >= verdict at ceil(threshold).
+        ithr = int(np.ceil(db.threshold))
+        # Tile columns so the int16 score matrix stays cache-resident.
+        chunk = max(64, min(db.chunk_residues, self.fast_chunk_elements // n_win))
+        offsets = db.offsets
+        sidx = seq.astype(np.intp)[:, None]
+        start = 0
+        while start < total_cols:
+            stop = min(start + chunk, total_cols)
+            segment = db.concatenated[start : stop + w - 1].astype(np.intp)
+            scores = table[sidx, segment[None, :]]
+            cols = stop - start
+            sums = _diag_window_sums_int(scores, w, n_win, cols)
+            mask = sums >= ithr
+            mask[:, ~db.valid_columns[start:stop]] = False
+            first_protein = int(np.searchsorted(offsets, start, side="right")) - 1
+            inner = offsets[(offsets > start) & (offsets < stop)]
+            seg_starts = np.concatenate([[0], inner - start]).astype(np.intp)
+            chunk_counts = np.add.reduceat(
+                mask, seg_starts, axis=1, dtype=np.int64
+            )
+            counts[
+                :, first_protein : first_protein + seg_starts.size
+            ] += chunk_counts
+            start = stop
+        return counts
+
+    def sweep_batch(
+        self, db: ProteomeArrays, seqs: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        arrays = [np.asarray(s, dtype=np.uint8) for s in seqs]
+        if len(arrays) < 2:
+            return [self.sweep(db, a) for a in arrays]
+        limit = self._stack_limit(db)
+        out: list[np.ndarray | None] = [None] * len(arrays)
+        group: list[int] = []
+        group_len = 0
+        for i, arr in enumerate(arrays):
+            if group and group_len + arr.size > limit:
+                self._sweep_group(db, arrays, group, out)
+                group, group_len = [], 0
+            group.append(i)
+            group_len += arr.size
+        if group:
+            self._sweep_group(db, arrays, group, out)
+        assert all(o is not None for o in out)
+        return out  # type: ignore[return-value]
+
+    def _sweep_group(
+        self,
+        db: ProteomeArrays,
+        arrays: list[np.ndarray],
+        group: list[int],
+        out: list[np.ndarray | None],
+    ) -> None:
+        """Sweep one group of queries as a single stacked pass.
+
+        Queries are concatenated back to back — no separators needed:
+        a window row straddling two queries is simply never retained
+        (query ``i``'s rows are ``starts[i] .. starts[i] + n_win_i - 1``,
+        all fully inside query ``i``), so the straddle rows' garbage sums
+        are computed and discarded while every retained row accumulates
+        exactly the per-sequence sweep's terms.
+        """
+        w = db.window_size
+        if len(group) == 1:
+            i = group[0]
+            out[i] = self.sweep(db, arrays[i])
+            return
+        starts: list[int] = []
+        pos = 0
+        for i in group:
+            starts.append(pos)
+            pos += arrays[i].size
+        stacked = np.concatenate([arrays[i] for i in group])
+        stacked_counts = self.sweep(db, stacked)
+        for i, start in zip(group, starts):
+            n_win = num_windows(arrays[i].size, w)
+            # Copy so the (much larger) stacked matrix is freed promptly.
+            out[i] = stacked_counts[start : start + n_win].copy()
+
+
+DEFAULT_KERNEL = BatchedNumpyKernel.name
+
+_REGISTRY: dict[str, type[SimilarityKernel]] = {
+    ChunkedNumpyKernel.name: ChunkedNumpyKernel,
+    BatchedNumpyKernel.name: BatchedNumpyKernel,
+}
+
+
+def register_kernel(cls: type[SimilarityKernel]) -> type[SimilarityKernel]:
+    """Register a kernel class under its ``name`` (also usable as a
+    decorator for out-of-tree backends)."""
+    name = getattr(cls, "name", None)
+    if not name or name == SimilarityKernel.name:
+        raise ValueError(f"{cls.__name__} must define a concrete `name`")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_kernels() -> list[str]:
+    """Registered kernel names, reference first."""
+    return sorted(_REGISTRY, key=lambda n: (n != ChunkedNumpyKernel.name, n))
+
+
+def get_kernel(kernel: "SimilarityKernel | str | None" = None) -> SimilarityKernel:
+    """Resolve a kernel argument: an instance passes through, a name is
+    looked up in the registry, ``None`` yields the default
+    (:class:`BatchedNumpyKernel` — bit-exact with the reference)."""
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
+    if isinstance(kernel, SimilarityKernel):
+        return kernel
+    try:
+        return _REGISTRY[kernel]()
+    except KeyError:
+        raise ValueError(
+            f"unknown similarity kernel {kernel!r}; "
+            f"available: {', '.join(available_kernels())}"
+        ) from None

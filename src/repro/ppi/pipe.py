@@ -22,13 +22,18 @@ likelihoods*, not probabilities.
 
 from __future__ import annotations
 
+import time
+import warnings
 from collections import OrderedDict
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.ndimage as ndi
 
 from repro.ppi.database import PipeDatabase, SequenceSimilarity
+from repro.ppi.delta import DeltaStats
 from repro.ppi.graph import InteractionGraph
 from repro.ppi.similarity import calibrate_threshold
 from repro.substitution import PAM120, get_matrix
@@ -36,7 +41,10 @@ from repro.substitution.matrix import SubstitutionMatrix
 from repro.util.validation import check_fraction, check_int_range, check_positive
 from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["PipeConfig", "PipeEngine", "PipeResult"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ga.fitness import ScoreSet
+
+__all__ = ["BatchScores", "PipeConfig", "PipeEngine", "PipeResult"]
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,77 @@ class PipeResult:
         return self.score >= self.decision_threshold
 
 
+class BatchScores(Mapping):
+    """Typed result of one :meth:`PipeEngine.score_against` batch.
+
+    Carries the per-protein scores together with the evaluation's
+    provenance — the :class:`~repro.ppi.delta.DeltaStats` of the
+    candidate's similarity build (when the delta path produced it) and
+    the wall-clock time of the batch — mirroring how
+    :class:`~repro.ga.fitness.ScoreSet` types the GA-facing scores.
+
+    The class is a :class:`collections.abc.Mapping` over
+    ``{protein_name: score}``, so every existing caller that indexed,
+    iterated or compared the old ``dict[str, float]`` return keeps
+    working unchanged.
+    """
+
+    __slots__ = ("per_protein", "delta", "elapsed_s")
+
+    def __init__(
+        self,
+        per_protein: Mapping[str, float],
+        *,
+        delta: DeltaStats | None = None,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        self.per_protein: dict[str, float] = dict(per_protein)
+        self.delta = delta
+        self.elapsed_s = float(elapsed_s)
+
+    # -- mapping shim ---------------------------------------------------------
+
+    def __getitem__(self, name: str) -> float:
+        return self.per_protein[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.per_protein)
+
+    def __len__(self) -> int:
+        return len(self.per_protein)
+
+    def __eq__(self, other: object) -> bool:
+        # Mapping does not define __eq__; compare by scores (like the old
+        # dict return did) so `scores == {"T": 0.5}` and cross-provider
+        # equality assertions keep passing.
+        if isinstance(other, BatchScores):
+            return self.per_protein == other.per_protein
+        if isinstance(other, Mapping):
+            return self.per_protein == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchScores({self.per_protein!r}, delta={self.delta!r}, "
+            f"elapsed_s={self.elapsed_s:.6f})"
+        )
+
+    # -- GA bridge ------------------------------------------------------------
+
+    def score_set(self, target: str, non_targets: list[str]) -> "ScoreSet":
+        """The GA-facing :class:`~repro.ga.fitness.ScoreSet` view."""
+        from repro.ga.fitness import ScoreSet
+
+        return ScoreSet(
+            target_score=self.per_protein[target],
+            non_target_scores=tuple(self.per_protein[n] for n in non_targets),
+        )
+
+
 class PipeEngine:
     """Scores query pairs against a :class:`PipeDatabase`.
 
@@ -177,9 +256,11 @@ class PipeEngine:
         ``pipe.window_build`` (candidate similarity structure),
         ``pipe.triple_product`` (``M_A · G · M_Bᵀ``) and
         ``pipe.box_filter`` (mean filter + saturating score map), plus the
-        counter ``pipe.evaluations``.
+        counter ``pipe.evaluations``.  Forwarded to the database so the
+        ``pipe.protein_cache.*`` accounting lands in the same registry.
         """
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.database.set_telemetry(telemetry)
 
     # -- construction helpers -------------------------------------------------
 
@@ -187,7 +268,19 @@ class PipeEngine:
     def build(
         cls, graph: InteractionGraph, config: PipeConfig | None = None
     ) -> "PipeEngine":
-        """Build database + engine from an interaction graph in one call."""
+        """Build database + engine from an interaction graph in one call.
+
+        .. deprecated::
+            Use :func:`repro.providers.make_engine` (or
+            :func:`repro.providers.make_score_provider` for a full scoring
+            backend); this shim stays for compatibility.
+        """
+        warnings.warn(
+            "PipeEngine.build is deprecated; use repro.providers.make_engine "
+            "(or make_score_provider for a scoring backend)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         cfg = config or PipeConfig()
         database = PipeDatabase(
             graph, cfg.matrix, cfg.window_size, cfg.resolved_threshold()
@@ -303,13 +396,18 @@ class PipeEngine:
         protein_names: list[str],
         *,
         similarity: SequenceSimilarity | None = None,
-    ) -> dict[str, float]:
+        delta: DeltaStats | None = None,
+    ) -> BatchScores:
         """Scores of one candidate against many known proteins.
 
         This is the worker-process inner loop (Algorithm 2): the candidate's
         similarity structure is built once and reused for the target and
-        every non-target.
+        every non-target.  Returns a :class:`BatchScores` — a typed,
+        mapping-compatible result that also carries the caller-supplied
+        ``delta`` accounting of the similarity build and the batch's
+        wall-clock time.
         """
+        started = time.perf_counter()
         telemetry = self.telemetry
         sim = similarity if similarity is not None else self.similarity_of(sequence)
         ma = sim.counts if self.config.count_positions else sim.binary
@@ -335,4 +433,6 @@ class PipeEngine:
                 h = np.asarray((ma @ evidence).toarray(), dtype=np.float64)
             out[name], _ = self.score_matrix(h)
         telemetry.count("pipe.evaluations", len(protein_names))
-        return out
+        return BatchScores(
+            out, delta=delta, elapsed_s=time.perf_counter() - started
+        )

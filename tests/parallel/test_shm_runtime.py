@@ -1,0 +1,145 @@
+"""The shared-memory proteome under the real multiprocessing runtime.
+
+Covers what `tests/ppi/test_shm.py` cannot: workers that attach from a
+*different* process, and leak safety when a worker is killed mid-attach —
+the master must still unlink the segment on `close()` regardless of what
+its children managed to do (the crash tests carry the `faults` marker
+like the rest of the fault-injection suite).
+"""
+
+import glob
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ga.fitness import SerialScoreProvider
+from repro.parallel.mp_backend import MultiprocessScoreProvider
+from repro.parallel.worker import FaultPlan
+from repro.telemetry import MetricsRegistry
+
+
+def _seqs(rng, n, size=25):
+    return [rng.integers(0, 20, size=size).astype(np.uint8) for _ in range(n)]
+
+
+def _live_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro-proteome-*")
+
+
+def test_shm_provider_matches_serial(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    serial = SerialScoreProvider(tiny_engine, target, non_targets)
+    seqs = _seqs(rng, 6)
+    expected = serial.scores(seqs)
+    before = set(_live_segments())
+    with MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=2, timeout=120.0
+    ) as provider:
+        assert provider.share_memory is True
+        out = provider.scores(seqs)
+        stats = provider.shm_stats()
+        assert stats is not None and stats["owner"] is True
+    for got, want in zip(out, expected):
+        assert got.target_score == pytest.approx(want.target_score)
+        assert got.non_target_scores == pytest.approx(want.non_target_scores)
+    assert set(_live_segments()) == before  # unlinked on close
+
+
+def test_shipped_context_is_lightweight(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=1, timeout=120.0
+    )
+    try:
+        provider.scores(_seqs(rng, 2))
+        shipped = pickle.dumps(provider._ship_context)
+        full = pickle.dumps(provider.context)
+        assert len(shipped) < len(full)
+        assert provider._ship_context.engine is None
+        assert provider._ship_context.shm_handle is not None
+    finally:
+        provider.close()
+
+
+def test_share_memory_off_ships_engine(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    with MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=120.0,
+        share_memory=False,
+    ) as provider:
+        out = provider.scores(_seqs(rng, 2))
+        assert provider.shm_stats() is None
+        assert provider._ship_context.engine is not None
+    assert len(out) == 2
+
+
+def test_provider_reusable_after_close(tiny_engine, tiny_problem, rng):
+    target, non_targets = tiny_problem
+    provider = MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=1, timeout=120.0
+    )
+    seqs = _seqs(rng, 2)
+    first = provider.scores(seqs)
+    provider.close()
+    assert not _live_segments()
+    again = provider.scores(_seqs(np.random.default_rng(99), 2))
+    provider.close()
+    assert len(first) == 2 and len(again) == 2
+    assert not _live_segments()
+
+
+@pytest.mark.faults
+def test_no_segment_leak_after_worker_sigkill(tiny_engine, tiny_problem, rng):
+    """SIGKILL a worker holding an attachment: the kernel drops its
+    mapping, the master respawns and still unlinks on close — no
+    `/dev/shm/repro-proteome-*` entry survives."""
+    target, non_targets = tiny_problem
+    telemetry = MetricsRegistry()
+    before = set(_live_segments())
+    with MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=2,
+        timeout=60.0,
+        poll_interval=0.1,
+        faults=FaultPlan(crash_on_item=1, only_worker=0),
+        telemetry=telemetry,
+    ) as provider:
+        serial = SerialScoreProvider(tiny_engine, target, non_targets)
+        seqs = _seqs(rng, 6)
+        expected = serial.scores(seqs)
+        out = provider.scores(seqs)
+        for got, want in zip(out, expected):
+            assert got.target_score == pytest.approx(want.target_score)
+        assert provider.worker_deaths >= 1
+    assert set(_live_segments()) == before
+
+
+@pytest.mark.faults
+def test_degraded_serial_fallback_keeps_segment_usable(
+    tiny_engine, tiny_problem, rng
+):
+    """Permanent pool loss degrades to master-serial scoring; the shm
+    segment must survive the degradation and still unlink on close."""
+    target, non_targets = tiny_problem
+    before = set(_live_segments())
+    with MultiprocessScoreProvider(
+        tiny_engine,
+        target,
+        non_targets,
+        num_workers=1,
+        timeout=10.0,
+        poll_interval=0.1,
+        max_retries=0,
+        faults=FaultPlan(crash_on_item=0),
+        telemetry=MetricsRegistry(),
+    ) as provider:
+        out = provider.scores(_seqs(rng, 4))
+        assert len(out) == 4
+    assert set(_live_segments()) == before

@@ -1,0 +1,175 @@
+"""Tests for the pluggable similarity-kernel layer.
+
+The chunked numpy kernel is the bit-exact reference; the batched kernel
+must reproduce it exactly (the padding rows between stacked sequences are
+discarded, per-row float64 summation order is unchanged) while sweeping a
+whole population in a handful of stacked passes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ppi.database import PipeDatabase
+from repro.ppi.graph import InteractionGraph
+from repro.ppi.kernels import (
+    DEFAULT_KERNEL,
+    BatchedNumpyKernel,
+    ChunkedNumpyKernel,
+    SimilarityKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.sequences.encoding import decode
+from repro.sequences.protein import Protein
+from repro.substitution import PAM120
+
+W = 3
+THRESHOLD = 15.0
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(7)
+    proteins = [
+        Protein(f"P{i}", decode(rng.integers(0, 20, size=int(n)).astype(np.uint8)))
+        for i, n in enumerate(rng.integers(8, 30, size=8))
+    ]
+    proteins.append(Protein("SHORT", "AC"))  # shorter than the window
+    graph = InteractionGraph(proteins, [("P0", "P1"), ("P2", "P3")])
+    return PipeDatabase(graph, PAM120, W, THRESHOLD, kernel="chunked")
+
+
+def _population(rng, n, lo=4, hi=40):
+    return [
+        rng.integers(0, 20, size=int(length)).astype(np.uint8)
+        for length in rng.integers(lo, hi, size=n)
+    ]
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_lists_reference_first():
+    names = available_kernels()
+    assert names[0] == ChunkedNumpyKernel.name == "chunked"
+    assert BatchedNumpyKernel.name in names
+
+
+def test_default_kernel_is_batched():
+    assert DEFAULT_KERNEL == "batched"
+    assert isinstance(get_kernel(None), BatchedNumpyKernel)
+
+
+def test_get_kernel_by_name_and_passthrough():
+    assert isinstance(get_kernel("chunked"), ChunkedNumpyKernel)
+    instance = BatchedNumpyKernel(batch_residues=64)
+    assert get_kernel(instance) is instance
+
+
+def test_get_kernel_unknown_name():
+    with pytest.raises(ValueError, match="unknown similarity kernel"):
+        get_kernel("does-not-exist")
+
+
+def test_register_kernel_requires_concrete_name():
+    class Nameless(ChunkedNumpyKernel):
+        name = SimilarityKernel.name
+
+    with pytest.raises(ValueError):
+        register_kernel(Nameless)
+
+
+def test_register_kernel_decorator_roundtrip():
+    @register_kernel
+    class Doubled(ChunkedNumpyKernel):
+        name = "test-doubled"
+
+    try:
+        assert "test-doubled" in available_kernels()
+        assert isinstance(get_kernel("test-doubled"), Doubled)
+    finally:
+        from repro.ppi import kernels
+
+        kernels._REGISTRY.pop("test-doubled", None)
+
+
+# ------------------------------------------------------------- bit-exact
+
+
+def test_batched_sweep_matches_chunked(database):
+    rng = np.random.default_rng(11)
+    seqs = _population(rng, 12)
+    chunked = ChunkedNumpyKernel()
+    batched = BatchedNumpyKernel()
+    expected = [chunked.sweep(database, s) for s in seqs]
+    got = batched.sweep_batch(database, seqs)
+    assert len(got) == len(expected)
+    for e, g in zip(expected, got):
+        assert g.dtype == e.dtype
+        assert np.array_equal(e, g)
+
+
+def test_batched_grouping_limits_do_not_change_results(database):
+    rng = np.random.default_rng(13)
+    seqs = _population(rng, 10)
+    reference = BatchedNumpyKernel().sweep_batch(database, seqs)
+    # batch_residues=8 forces nearly one group per sequence; batch_elements
+    # tiny enough to cap the stack via the element bound instead.
+    for kernel in (
+        BatchedNumpyKernel(batch_residues=8),
+        BatchedNumpyKernel(batch_elements=512),
+    ):
+        split = kernel.sweep_batch(database, seqs)
+        for r, s in zip(reference, split):
+            assert np.array_equal(r, s)
+
+
+def test_batched_single_sequence_equals_sweep(database):
+    rng = np.random.default_rng(17)
+    seq = rng.integers(0, 20, size=23).astype(np.uint8)
+    batched = BatchedNumpyKernel()
+    (only,) = batched.sweep_batch(database, [seq])
+    assert np.array_equal(only, batched.sweep(database, seq))
+
+
+def test_sweep_batch_empty(database):
+    assert BatchedNumpyKernel().sweep_batch(database, []) == []
+
+
+def test_default_sweep_batch_loops(database):
+    rng = np.random.default_rng(19)
+    seqs = _population(rng, 4)
+    chunked = ChunkedNumpyKernel()
+    got = chunked.sweep_batch(database, seqs)
+    for g, s in zip(got, seqs):
+        assert np.array_equal(g, chunked.sweep(database, s))
+
+
+# -------------------------------------------------- database integration
+
+
+def test_database_batch_matches_per_sequence(database):
+    rng = np.random.default_rng(23)
+    seqs = _population(rng, 9, lo=1, hi=30)  # includes shorter-than-window
+    singles = [database.sequence_similarity(s) for s in seqs]
+    batch = database.sequence_similarity_batch(seqs)
+    assert len(batch) == len(singles)
+    for a, b in zip(singles, batch):
+        assert a.num_windows == b.num_windows
+        assert (a.counts != b.counts).nnz == 0
+
+
+def test_database_kernel_choice_is_bit_exact():
+    rng = np.random.default_rng(29)
+    proteins = [
+        Protein(f"Q{i}", decode(rng.integers(0, 20, size=15).astype(np.uint8)))
+        for i in range(5)
+    ]
+    graph = InteractionGraph(proteins, [("Q0", "Q1")])
+    chunked_db = PipeDatabase(graph, PAM120, W, THRESHOLD, kernel="chunked")
+    batched_db = PipeDatabase(graph, PAM120, W, THRESHOLD, kernel="batched")
+    seq = rng.integers(0, 20, size=30).astype(np.uint8)
+    a = chunked_db.sequence_similarity(seq)
+    b = batched_db.sequence_similarity(seq)
+    assert (a.counts != b.counts).nnz == 0

@@ -1,0 +1,162 @@
+"""Hypothesis property tests: the batched similarity kernel and the
+batched database/LRU entry points are bit-exact with the serial reference.
+
+The batched kernel stacks a whole population (zero-padded, ``w - 1``
+residues between sequences so no retained window row straddles two
+candidates) and sweeps it in one chunked pass; the claim is bitwise
+equality with per-sequence :class:`ChunkedNumpyKernel` sweeps, for any
+population and any grouping limits.  `similarity_batch` additionally must
+preserve the *sequential* delta semantics: a child batched together with
+its parent still takes the delta route, and the result is identical to
+calling `similarity_for` one sequence at a time.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.operators import mutate_with_provenance
+from repro.ppi.database import PipeDatabase
+from repro.ppi.delta import SimilarityLRU
+from repro.ppi.graph import InteractionGraph
+from repro.ppi.kernels import BatchedNumpyKernel, ChunkedNumpyKernel
+from repro.sequences.encoding import decode
+from repro.sequences.protein import Protein
+from repro.substitution import PAM120
+
+W = 3
+THRESHOLD = 15.0
+
+
+def _build_database():
+    rng = np.random.default_rng(424242)
+    proteins = [
+        Protein(
+            f"P{i}",
+            decode(rng.integers(0, 20, size=int(rng.integers(8, 24))).astype(np.uint8)),
+        )
+        for i in range(6)
+    ]
+    proteins.append(Protein("SHORT", "AC"))
+    edges = [("P0", "P1"), ("P1", "P2"), ("P2", "P3"), ("P4", "P5")]
+    return PipeDatabase(
+        InteractionGraph(proteins, edges), PAM120, W, THRESHOLD, kernel="chunked"
+    )
+
+
+# Read-only after construction, so one shared instance serves every example.
+DATABASE = _build_database()
+
+populations = st.lists(
+    st.lists(st.integers(min_value=0, max_value=19), min_size=1, max_size=30).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(deadline=None, max_examples=30)
+@given(populations)
+def test_batched_kernel_bit_exact(population):
+    chunked = ChunkedNumpyKernel()
+    batched = BatchedNumpyKernel()
+    swept = [s for s in population if s.size >= W]
+    expected = [chunked.sweep(DATABASE, s) for s in swept]
+    got = batched.sweep_batch(DATABASE, swept)
+    for e, g in zip(expected, got):
+        assert np.array_equal(e, g)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    populations,
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=64, max_value=4096),
+)
+def test_batched_kernel_grouping_invariant(population, residues, elements):
+    """Any (batch_residues, batch_elements) split yields identical counts —
+    grouping is a wall-clock decision, never a numerical one."""
+    swept = [s for s in population if s.size >= W]
+    reference = BatchedNumpyKernel().sweep_batch(DATABASE, swept)
+    limited = BatchedNumpyKernel(
+        batch_residues=residues, batch_elements=elements
+    ).sweep_batch(DATABASE, swept)
+    for r, l in zip(reference, limited):
+        assert np.array_equal(r, l)
+
+
+@settings(deadline=None, max_examples=25)
+@given(populations)
+def test_database_batch_bit_exact(population):
+    singles = [DATABASE.sequence_similarity(s) for s in population]
+    batch = DATABASE.sequence_similarity_batch(population)
+    for a, b in zip(singles, batch):
+        assert a.num_windows == b.num_windows
+        assert (a.counts != b.counts).nnz == 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    st.lists(st.integers(min_value=0, max_value=19), min_size=6, max_size=30).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=4),
+)
+def test_similarity_batch_matches_sequential_deltas(parent, rng_seed, depth):
+    """A mutation chain scored through `similarity_batch` — parent and all
+    descendants in ONE batch — equals the one-at-a-time `similarity_for`
+    route, and the descendants still take the delta path (hit=True)."""
+    rng = np.random.default_rng(rng_seed)
+    children = [(parent, None)]
+    current = parent
+    for _ in range(depth):
+        current, prov = mutate_with_provenance(current, 0.2, rng)
+        children.append((current, prov))
+    seqs = [c for c, _ in children]
+    provs = [p for _, p in children]
+
+    sequential = SimilarityLRU(16)
+    expected = [
+        sequential.similarity_for(DATABASE, c, p) for c, p in children
+    ]
+    batched = SimilarityLRU(16)
+    got = batched.similarity_batch(DATABASE, seqs, provs)
+
+    assert len(got) == len(expected)
+    for (e_sim, e_stats), (g_sim, g_stats) in zip(expected, got):
+        assert e_sim.num_windows == g_sim.num_windows
+        assert (e_sim.counts != g_sim.counts).nnz == 0
+        if e_stats is not None:
+            assert g_stats is not None
+            assert e_stats.hit == g_stats.hit
+            assert e_stats.rows_rescored == g_stats.rows_rescored
+            assert e_stats.rows_total == g_stats.rows_total
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    st.lists(st.integers(min_value=0, max_value=19), min_size=8, max_size=24).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    )
+)
+def test_similarity_batch_duplicates_resolve_as_hits(seq):
+    """Duplicates of a pending sequence inside one batch cost one sweep;
+    with provenance attached they report as cache hits, matching the
+    sequential loop (the copy operation re-submits identical bytes)."""
+    from repro.ppi.delta import copy_provenance
+
+    lru = SimilarityLRU(8)
+    results = lru.similarity_batch(
+        DATABASE,
+        [seq, seq.copy(), seq.copy()],
+        [None, copy_provenance(seq), copy_provenance(seq)],
+    )
+    reference = DATABASE.sequence_similarity(seq)
+    for sim, _ in results:
+        assert (sim.counts != reference.counts).nnz == 0
+    assert results[0][1] is None  # no provenance, nothing to account
+    for _, dup_stats in results[1:]:
+        assert dup_stats is not None and dup_stats.hit
+        assert dup_stats.rows_rescored == 0
