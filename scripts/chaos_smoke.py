@@ -15,18 +15,27 @@ traceback:
    must quarantine the damaged file (``*.corrupt``), walk back to the
    previous valid snapshot, and still finish bit-exact against the
    uninterrupted reference.
+3. **Elastic resize.**  The same campaign runs under the
+   ``latency-target`` scaling policy with per-item latency inflated by a
+   delay fault: the controller must scale the pool up *and* back down
+   (both counters nonzero) while the result stays bit-exact with the
+   serial reference.
 
 Every fault is scheduled deterministically (no timing races, no random
 kill points), so a failure here is a regression, not flake.  Exit status
-0 when both scenarios hold, 1 otherwise.
+0 when the selected scenarios hold, 1 otherwise.
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python scripts/chaos_smoke.py
+    PYTHONPATH=src python scripts/chaos_smoke.py [--only NAME ...]
+
+``--only`` limits the run to named scenarios (``pool-loss``,
+``checkpoint``, ``elastic``); default is all three.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import tempfile
@@ -156,13 +165,77 @@ def _scenario_checkpoint_corruption(world, non_targets, reference) -> bool:
     return _check(checks)
 
 
+def _scenario_elastic_resize(world, non_targets, reference) -> bool:
+    """Scenario 3: latency-target policy resizes both ways, bit-exact."""
+    from repro.parallel import LatencyTargetScaling, MultiprocessScoreProvider
+    from repro.parallel.worker import FaultPlan
+    from repro.telemetry import MetricsRegistry
+
+    print("scenario 3: elastic resize under inflated latency ...", flush=True)
+    telemetry = MetricsRegistry()
+    with MultiprocessScoreProvider(
+        world.engine,
+        TARGET,
+        non_targets,
+        num_workers=1,
+        scaling=LatencyTargetScaling(1, 3, target_s=0.08),
+        poll_interval=0.05,
+        faults=FaultPlan(delay=0.03),  # ~30 ms/item inflates the EWMA
+        telemetry=telemetry,
+    ) as provider:
+        result = _engine(provider).run(GENERATIONS)
+        stats = provider.elastic_stats()
+        checks = {
+            "campaign completed": result.completed,
+            "best sequence bit-exact": (
+                result.best.sequence == reference.best.sequence
+            ),
+            "history bit-exact": json.dumps(result.history.to_payload())
+            == json.dumps(reference.history.to_payload()),
+            "scale_up observed": stats["scale_ups"] > 0,
+            "scale_down observed": stats["scale_downs"] > 0,
+            "pool peaked above start": (
+                telemetry.gauge("parallel.pool_size").max > 1
+            ),
+            "latency EWMA tracked": (
+                telemetry.gauge("parallel.item_latency_ewma").value > 0.0
+            ),
+            "no deaths (resizes are clean)": provider.worker_deaths == 0,
+            "telemetry agrees": (
+                telemetry.counter("parallel.scale_up").value
+                == stats["scale_ups"]
+            ),
+        }
+    return _check(checks)
+
+
+SCENARIOS = {
+    "pool-loss": _scenario_pool_loss,
+    "checkpoint": _scenario_checkpoint_corruption,
+    "elastic": _scenario_elastic_resize,
+}
+
+
 def _main() -> int:
+    parser = argparse.ArgumentParser(description="campaign chaos smoke test")
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="run only these scenarios (default: all)",
+    )
+    args = parser.parse_args()
+    selected = args.only or list(SCENARIOS)
+
     world, non_targets = _world_problem()
     print("reference run ...", flush=True)
     reference = _reference(world, non_targets)
 
-    ok = _scenario_pool_loss(world, non_targets, reference)
-    ok = _scenario_checkpoint_corruption(world, non_targets, reference) and ok
+    ok = True
+    for name in SCENARIOS:
+        if name in selected:
+            ok = SCENARIOS[name](world, non_targets, reference) and ok
     print(f"chaos smoke: {'PASS' if ok else 'FAIL'}", flush=True)
     return 0 if ok else 1
 

@@ -13,6 +13,10 @@ and send them back.  This package reproduces that architecture on
 * :mod:`repro.parallel.mp_backend` — the
   :class:`~repro.ga.fitness.ScoreProvider` implementation that the GA
   engine plugs in unchanged;
+* :mod:`repro.parallel.elastic` — the telemetry-driven elastic pool
+  control loop (:class:`~repro.parallel.elastic.ScalingPolicy` and
+  friends) that resizes the pool between ``min_workers`` and
+  ``max_workers`` and chunks dispatch to a latency target;
 * :mod:`repro.parallel.multirack` — the paper's proposed multi-rack
   extension (one master per rack, elite synchronisation each generation).
 
@@ -29,7 +33,23 @@ parallelism (GIL); that level is modelled by the Blue Gene/Q discrete-event
 simulator in :mod:`repro.cluster` instead.
 """
 
-from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
+from repro.parallel.elastic import (
+    SCALING_POLICIES,
+    ElasticController,
+    FixedScaling,
+    LatencyTargetScaling,
+    PoolSnapshot,
+    QueueDepthScaling,
+    ScalingPolicy,
+    make_scaling_policy,
+)
+from repro.parallel.messages import (
+    EndSignal,
+    RetireSignal,
+    WorkFailure,
+    WorkItem,
+    WorkResult,
+)
 from repro.parallel.mp_backend import (
     DeadWorkerError,
     MultiprocessScoreProvider,
@@ -50,14 +70,22 @@ from repro.parallel.worker import (
 )
 
 __all__ = [
+    "SCALING_POLICIES",
     "DeadWorkerError",
+    "ElasticController",
     "EndSignal",
     "FaultPlan",
+    "FixedScaling",
+    "LatencyTargetScaling",
     "MultiRackGA",
     "MultiprocessScoreProvider",
     "OnDemandScheduler",
+    "PoolSnapshot",
+    "QueueDepthScaling",
     "RackResult",
+    "RetireSignal",
     "Scheduler",
+    "ScalingPolicy",
     "StaticScheduler",
     "StickyScheduler",
     "WorkFailure",
@@ -65,6 +93,7 @@ __all__ = [
     "WorkResult",
     "WorkerContext",
     "WorkerFailureError",
+    "make_scaling_policy",
     "score_candidate",
     "score_candidate_with_delta",
 ]

@@ -26,7 +26,7 @@ import numpy as np
 from repro.ga.fitness import ScoreSet
 from repro.ppi.delta import DeltaStats, Provenance
 
-__all__ = ["WorkItem", "WorkResult", "WorkFailure", "EndSignal"]
+__all__ = ["WorkItem", "WorkResult", "WorkFailure", "EndSignal", "RetireSignal"]
 
 
 @dataclass(frozen=True)
@@ -115,3 +115,18 @@ class EndSignal:
     """Master → worker: no more work (Algorithm 1's END)."""
 
     reason: str = "complete"
+
+
+@dataclass(frozen=True)
+class RetireSignal:
+    """Master → one worker: drain out and exit (elastic scale-down).
+
+    Unlike :class:`EndSignal` (broadcast on the shared queue and
+    re-enqueued by each worker for its siblings), a retire travels on a
+    single worker's *private* queue and is never re-enqueued: exactly one
+    worker leaves, the rest of the pool keeps serving.  The master drains
+    the worker's private queue back onto the shared queue *before*
+    sending the signal, so no parked item can be lost behind it.
+    """
+
+    reason: str = "scale_down"

@@ -43,11 +43,44 @@ Shutdown is bounded: ``close()`` joins each worker under a grace period,
 then escalates ``terminate()`` → ``kill()`` (counted as
 ``parallel.force_killed``), so a hung worker cannot wedge the master.
 
+Elastic pool (the telemetry-driven control loop)
+------------------------------------------------
+The pool is *elastic*: a :class:`~repro.parallel.elastic.ScalingPolicy`
+(``scaling="fixed" | "queue-depth" | "latency-target"``, or any policy
+instance) observes queue depth, a per-item latency EWMA and
+sticky-backlog skew on every scheduling step and resizes the pool
+between ``min_workers`` and ``max_workers``:
+
+* **scale-up** spawns workers that *late-attach* to the existing
+  :class:`~repro.ppi.shm.SharedProteomeView` segment (a handle, not a
+  pickled engine, crosses the process boundary — the same broadcast the
+  initial pool got);
+* **scale-down** retires a worker through a private
+  :class:`~repro.parallel.messages.RetireSignal` after draining its
+  sticky queue back to the shared pool, so affinity routing and the
+  retry accounting survive the resize — a retiring worker that crashes
+  instead of exiting cleanly is recovered by the exact death machinery
+  above;
+* **chunked dispatch**: instead of flooding the task queue with the
+  whole generation, the policy may cap in-flight items
+  (latency-target sizes the window to ``target_s`` of work per worker),
+  keeping the master responsive to stragglers.
+
+Policies decide, the provider executes — so elastic runs return scores
+bit-exact with the fixed pool, whatever the policy does.  The control
+loop shares the resilience layer's injectable clock
+(:class:`~repro.resilience.Deadline` cooldowns; the provider's ``clock``
+parameter also drives stall detection, making timeout paths testable
+without real sleeps).
+
 The provider shares the bounded-LRU score cache with the serial path
 through :class:`~repro.ga.fitness.CachingScoreProvider` and reports the
 master-side view of the runtime through telemetry: batch wall time
-(``parallel.batch``), dispatch counters, queue depth at dispatch
-(``parallel.queue_depth``), the fault-tolerance counters
+(``parallel.batch``), dispatch counters, the live outstanding-item count
+(``parallel.queue_depth``, decaying to 0 as each batch drains), the pool
+size and latency signals (``parallel.pool_size``,
+``parallel.item_latency_ewma``, ``parallel.scale_{up,down}``,
+``parallel.retired``), the fault-tolerance counters
 (``parallel.{worker_deaths,respawns,retries,stale_dropped,failures}``)
 and — from the worker-reported per-item wall times — per-worker busy
 time, item counts, throughput and utilisation
@@ -62,13 +95,20 @@ import multiprocessing as mp
 import os
 import queue as queue_mod
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 
 import numpy as np
 
 from repro.ga.fitness import CachingScoreProvider, ScoreSet
+from repro.parallel.elastic import (
+    ElasticController,
+    PoolSnapshot,
+    ScalingPolicy,
+    make_scaling_policy,
+)
 from repro.parallel.messages import (
     EndSignal,
+    RetireSignal,
     WorkFailure,
     WorkItem,
     WorkResult,
@@ -123,7 +163,28 @@ class MultiprocessScoreProvider(CachingScoreProvider):
     target, non_targets:
         The design problem.
     num_workers:
-        Worker process count (paper: nodes - 1; default: available CPUs).
+        Initial worker process count (paper: nodes - 1; default:
+        available CPUs).  Under an elastic policy this is where the pool
+        *starts*; it then floats between ``min_workers`` and
+        ``max_workers``.
+    min_workers, max_workers:
+        Bounds of the elastic pool.  Default to ``num_workers`` for the
+        fixed policy (no resizing) and to ``(1, num_workers)`` for the
+        adaptive ones.  Ignored when ``scaling`` is already a policy
+        instance (its own bounds win).
+    scaling:
+        ``"fixed"`` (default — the classic constant pool),
+        ``"queue-depth"``, ``"latency-target"``, or any
+        :class:`~repro.parallel.elastic.ScalingPolicy` instance.
+    latency_target_s:
+        The ``latency-target`` policy's wall-clock drain target.
+    scale_cooldown_s:
+        Minimum time (by ``clock``) between resizes — hysteresis against
+        scale thrash; 0 disables.
+    clock:
+        Monotonic clock used by stall detection and the elastic
+        controller's cooldowns (injectable for tests; default
+        :func:`time.monotonic`).
     timeout:
         Seconds of *no progress* (no reply received, no dead worker
         recovered) the collection loop tolerates before declaring the
@@ -189,6 +250,12 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         non_targets: list[str],
         *,
         num_workers: int | None = None,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
+        scaling: "ScalingPolicy | str" = "fixed",
+        latency_target_s: float = 0.25,
+        scale_cooldown_s: float = 0.0,
+        clock=time.monotonic,
         timeout: float = 300.0,
         poll_interval: float = 0.25,
         max_retries: int = 3,
@@ -228,6 +295,30 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             use_delta=use_delta,
         )
         self.num_workers = num_workers or max(1, os.cpu_count() or 1)
+        if isinstance(scaling, ScalingPolicy):
+            self._policy = scaling
+        else:
+            if scaling == "fixed":
+                lo = min_workers if min_workers is not None else self.num_workers
+                hi = max_workers if max_workers is not None else self.num_workers
+            else:
+                lo = min_workers if min_workers is not None else 1
+                hi = max_workers if max_workers is not None else max(
+                    self.num_workers, min_workers or 1
+                )
+            self._policy = make_scaling_policy(
+                scaling,
+                min_workers=lo,
+                max_workers=hi,
+                latency_target_s=latency_target_s,
+            )
+        self.min_workers = self._policy.min_workers
+        self.max_workers = self._policy.max_workers
+        self._clock = clock
+        self._controller = ElasticController(
+            self._policy, cooldown_s=scale_cooldown_s, clock=clock
+        )
+        self._target_workers = self._policy.clamp(self.num_workers)
         self.timeout = float(timeout)
         self.poll_interval = float(poll_interval)
         self.max_retries = int(max_retries)
@@ -245,9 +336,13 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self._result_queue = None
         self._workers: dict[int, mp.Process] = {}
         self._sticky_queues: dict[int, object] = {}
+        self._retiring: dict[int, mp.Process] = {}
         self._next_worker_id = 0
         self._epoch = 0
         self.dispatched = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.retired = 0
         self.worker_deaths = 0
         self.respawns = 0
         self.retries = 0
@@ -286,15 +381,29 @@ class MultiprocessScoreProvider(CachingScoreProvider):
     # -- lifecycle ---------------------------------------------------------
 
     def _spawn_worker(self) -> int:
-        """Start one worker process under a fresh, never-reused worker id."""
+        """Start one worker process under a fresh, never-reused worker id.
+
+        Every worker gets a private queue — the sticky (affinity) lane
+        when routing is on, and always the control lane a
+        :class:`~repro.parallel.messages.RetireSignal` travels on.  A
+        worker spawned mid-campaign (elastic scale-up) late-attaches to
+        the existing shared proteome segment; if the segment is somehow
+        gone the pickled engine is shipped instead — slower, never wrong.
+        """
         wid = self._next_worker_id
         self._next_worker_id += 1
-        sticky_queue = self._ctx.Queue() if self.sticky else None
+        ship = self._ship_context
+        if ship is not self.context and self._shm_view is not None:
+            if self._shm_view.closed or not SharedProteomeView.attachable(
+                self._shm_view.handle
+            ):  # pragma: no cover - defensive, segment lives while open
+                ship = self.context
+        sticky_queue = self._ctx.Queue()
         proc = self._ctx.Process(
             target=_worker_entry,
             args=(
                 wid,
-                self._ship_context,
+                ship,
                 self._task_queue,
                 self._result_queue,
                 sticky_queue,
@@ -303,8 +412,8 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         )
         proc.start()
         self._workers[wid] = proc
-        if sticky_queue is not None:
-            self._sticky_queues[wid] = sticky_queue
+        self._sticky_queues[wid] = sticky_queue
+        self.telemetry.set_gauge("parallel.pool_size", len(self._workers))
         return wid
 
     def _ensure_started(self) -> None:
@@ -332,12 +441,12 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                 )
             self._task_queue = self._ctx.Queue()
             self._result_queue = self._ctx.Queue()
-            for _ in range(self.num_workers):
+            for _ in range(self._target_workers):
                 self._spawn_worker()
         self.telemetry.count("parallel.spawns")
 
     def close(self) -> None:
-        if not self._workers:
+        if not self._workers and not self._retiring:
             self._release_shm()
             super().close()
             return
@@ -366,8 +475,9 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             if isinstance(orphan, EndSignal):  # pragma: no cover - defensive
                 continue
             self._drop_stale()
-        self._task_queue.put(EndSignal())
-        for proc in self._workers.values():
+        if self._task_queue is not None:
+            self._task_queue.put(EndSignal())
+        for proc in [*self._workers.values(), *self._retiring.values()]:
             proc.join(timeout=self.close_grace_s)
             if proc.is_alive():
                 # A hung or wedged worker will never see the EndSignal;
@@ -381,6 +491,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                 self.telemetry.count("parallel.force_killed")
         self._workers = {}
         self._sticky_queues = {}
+        self._retiring = {}
         self._affinity.clear()
         self._task_queue = None
         self._result_queue = None
@@ -447,6 +558,33 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self._batch_wall += time.perf_counter() - start
         return results
 
+    def _sticky_cap(self, batch_size: int) -> int:
+        """Sticky backlog cap: at most ~2x the fair share per *live*
+        worker, so affinity routing cannot starve the on-demand load
+        balance — computed against the pool that actually exists, not the
+        configured size (deaths and elastic resizes make them differ)."""
+        return max(2, math.ceil(2 * batch_size / max(1, len(self._workers))))
+
+    def _snapshot(
+        self,
+        pending: set[int],
+        outstanding: set[int],
+        sticky_load: dict[int, int],
+        batch_size: int,
+    ) -> PoolSnapshot:
+        """The observation record the elastic controller decides from."""
+        return PoolSnapshot(
+            live_workers=len(self._workers),
+            backlog=len(pending),
+            outstanding=len(outstanding),
+            latency_ewma_s=self._controller.latency_ewma_s,
+            max_sticky_backlog=max(sticky_load.values(), default=0),
+            batch_size=batch_size,
+        )
+
+    def _set_queue_depth(self, depth: int) -> None:
+        self.telemetry.set_gauge("parallel.queue_depth", depth)
+
     def _score_via_pool(
         self,
         arrays: list[np.ndarray],
@@ -455,26 +593,34 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         """Dispatch one batch to the worker pool; returns the scores and
         how many items had to be degraded to master-serial scoring."""
         self._ensure_started()
+        # Workers lost *between* batches: reap them now so the sticky cap
+        # and the controller observe the real pool, then refill to target.
+        if self._reap_dead_workers():
+            self._respawn_to_target()
         self._epoch += 1
         epoch = self._epoch
         degraded = 0
         results: list[ScoreSet | None] = [None] * len(arrays)
         with self.telemetry.span("parallel.batch"):
-            self.telemetry.set_gauge("parallel.queue_depth", len(arrays))
-            # Sticky backlog cap: at most ~2x the fair share per worker, so
-            # affinity routing cannot starve the on-demand load balance.
-            sticky_cap = max(2, math.ceil(2 * len(arrays) / max(1, self.num_workers)))
+            sticky_cap = self._sticky_cap(len(arrays))
             sticky_load: dict[int, int] = {}
             items: dict[int, WorkItem] = {}
             for sid, (arr, prov) in enumerate(zip(arrays, provs)):
-                item = WorkItem.from_encoded(
+                items[sid] = WorkItem.from_encoded(
                     sid,
                     arr,
                     batch_epoch=epoch,
                     provenance=prov if self.use_delta else None,
                 )
-                items[sid] = item
-                wid = self._preferred_worker(prov) if self.sticky else None
+            pending = set(items)
+            outstanding: set[int] = set()
+            undispatched = deque(sorted(items))
+            retries: dict[int, int] = {}
+
+            def dispatch_next() -> None:
+                sid = undispatched.popleft()
+                item = items[sid]
+                wid = self._preferred_worker(provs[sid]) if self.sticky else None
                 if wid is not None and sticky_load.get(wid, 0) < sticky_cap:
                     self._sticky_queues[wid].put(item)
                     sticky_load[wid] = sticky_load.get(wid, 0) + 1
@@ -482,67 +628,100 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                     self.telemetry.count("parallel.sticky_routed")
                 else:
                     self._task_queue.put(item)
+                outstanding.add(sid)
                 self.dispatched += 1
-            self.telemetry.count("parallel.dispatched", len(arrays))
-            pending = set(items)
-            retries: dict[int, int] = {}
-            last_progress = time.monotonic()
-            while pending:
-                try:
-                    msg = self._result_queue.get(timeout=self.poll_interval)
-                except queue_mod.Empty:
-                    dead = self._reap_dead_workers()
-                    if dead:
-                        try:
-                            self._recover(dead, items, pending, retries)
-                        except DeadWorkerError as exc:
+                self.telemetry.count("parallel.dispatched")
+
+            def fill() -> None:
+                # Chunked dispatch: keep only the policy's in-flight window
+                # on the queues (None = flood, the fixed-policy behaviour);
+                # never less than one item per live worker.
+                limit = self._controller.chunk_limit(
+                    self._snapshot(pending, outstanding, sticky_load, len(arrays))
+                )
+                if limit is not None:
+                    limit = max(limit, len(self._workers), 1)
+                while undispatched and (
+                    limit is None or len(outstanding) < limit
+                ):
+                    dispatch_next()
+                self._set_queue_depth(len(pending))
+
+            def resize() -> None:
+                self._maybe_resize(
+                    self._snapshot(pending, outstanding, sticky_load, len(arrays)),
+                    sticky_load,
+                )
+
+            try:
+                fill()
+                resize()
+                last_progress = self._clock()
+                while pending:
+                    try:
+                        msg = self._result_queue.get(timeout=self.poll_interval)
+                    except queue_mod.Empty:
+                        dead = self._reap_dead_workers()
+                        if dead:
+                            try:
+                                self._recover(dead, items, outstanding, retries)
+                            except DeadWorkerError as exc:
+                                if self.fail_fast:
+                                    raise
+                                degraded += self._degrade_pending(
+                                    arrays, provs, pending, results,
+                                    reason=str(exc),
+                                )
+                                break
+                            last_progress = self._clock()
+                            fill()
+                        elif self._clock() - last_progress > self.timeout:
+                            missing = sorted(pending)
                             if self.fail_fast:
-                                raise
+                                raise RuntimeError(
+                                    f"timed out waiting for worker results "
+                                    f"({len(arrays) - len(pending)}/{len(arrays)} "
+                                    f"received; missing sequence ids {missing[:10]})"
+                                ) from None
                             degraded += self._degrade_pending(
                                 arrays, provs, pending, results,
-                                reason=str(exc),
+                                reason=(
+                                    f"collection stalled for {self.timeout}s "
+                                    f"with {len(pending)} item(s) outstanding"
+                                ),
                             )
                             break
-                        last_progress = time.monotonic()
-                    elif time.monotonic() - last_progress > self.timeout:
-                        missing = sorted(pending)
-                        if self.fail_fast:
-                            raise RuntimeError(
-                                f"timed out waiting for worker results "
-                                f"({len(arrays) - len(pending)}/{len(arrays)} "
-                                f"received; missing sequence ids {missing[:10]})"
-                            ) from None
-                        degraded += self._degrade_pending(
-                            arrays, provs, pending, results,
-                            reason=(
-                                f"collection stalled for {self.timeout}s "
-                                f"with {len(pending)} item(s) outstanding"
-                            ),
+                        resize()
+                        continue
+                    last_progress = self._clock()
+                    if isinstance(msg, WorkFailure):
+                        if msg.batch_epoch != epoch:
+                            self._drop_stale()
+                            continue
+                        self.failures += 1
+                        self.telemetry.count("parallel.failures")
+                        raise WorkerFailureError(
+                            f"worker {msg.worker_id} failed on sequence "
+                            f"{msg.sequence_id}: {msg.error}\n"
+                            f"--- worker traceback ---\n{msg.traceback}"
                         )
-                        break
-                    continue
-                last_progress = time.monotonic()
-                if isinstance(msg, WorkFailure):
-                    if msg.batch_epoch != epoch:
+                    if not isinstance(msg, WorkResult):  # pragma: no cover
+                        raise TypeError(f"unexpected result {type(msg).__name__}")
+                    if msg.batch_epoch != epoch or msg.sequence_id not in pending:
+                        # Stale epoch, or a duplicate of a re-dispatched item
+                        # that completed twice — either way, not this batch's.
                         self._drop_stale()
                         continue
-                    self.failures += 1
-                    self.telemetry.count("parallel.failures")
-                    raise WorkerFailureError(
-                        f"worker {msg.worker_id} failed on sequence "
-                        f"{msg.sequence_id}: {msg.error}\n"
-                        f"--- worker traceback ---\n{msg.traceback}"
-                    )
-                if not isinstance(msg, WorkResult):  # pragma: no cover
-                    raise TypeError(f"unexpected result {type(msg).__name__}")
-                if msg.batch_epoch != epoch or msg.sequence_id not in pending:
-                    # Stale epoch, or a duplicate of a re-dispatched item
-                    # that completed twice — either way, not this batch's.
-                    self._drop_stale()
-                    continue
-                results[msg.sequence_id] = msg.scores
-                pending.discard(msg.sequence_id)
-                self._record_result(msg, items[msg.sequence_id].payload)
+                    results[msg.sequence_id] = msg.scores
+                    pending.discard(msg.sequence_id)
+                    outstanding.discard(msg.sequence_id)
+                    self._record_result(msg, items[msg.sequence_id].payload)
+                    fill()
+                    resize()
+            finally:
+                # Whatever path ended the batch, consumers of the gauge
+                # must never read a stale mid-batch depth.
+                self._set_queue_depth(0)
         assert all(r is not None for r in results)
         return results, degraded  # type: ignore[return-value]
 
@@ -622,10 +801,82 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                 self.telemetry.count("parallel.degraded_items")
         return out
 
+    # -- elastic control ---------------------------------------------------
+
+    def _maybe_resize(
+        self, snap: PoolSnapshot, sticky_load: dict[int, int] | None = None
+    ) -> None:
+        """Converge the pool toward the controller's decision.
+
+        Scale-up spawns workers (late-attaching to the shared proteome
+        segment); scale-down retires the workers with the lightest sticky
+        load first, never dropping below one live worker mid-batch.  The
+        target is then pinned to the executed size so death recovery
+        (:meth:`_respawn_to_target`) refills to what the policy last
+        wanted, not the original ``num_workers``.
+        """
+        desired = self._controller.decide(snap)
+        live = len(self._workers)
+        if desired > live:
+            added = 0
+            while len(self._workers) < desired:
+                self._spawn_worker()
+                added += 1
+            self.scale_ups += added
+            self.telemetry.count("parallel.scale_up", added)
+        elif desired < live:
+            floor = max(1, self.min_workers)
+            load = sticky_load or {}
+            # Retire the coldest workers first: the fewest parked sticky
+            # items to drain back, the least affinity state thrown away.
+            candidates = sorted(
+                self._workers, key=lambda wid: (load.get(wid, 0), -wid)
+            )
+            removed = 0
+            for wid in candidates:
+                if len(self._workers) <= max(floor, desired):
+                    break
+                self._retire_worker(wid)
+                removed += 1
+            if removed:
+                self.scale_downs += removed
+                self.telemetry.count("parallel.scale_down", removed)
+        self._target_workers = len(self._workers)
+
+    def _retire_worker(self, wid: int) -> None:
+        """Retire one worker: drain its private queue back to the shared
+        pool, then send the :class:`RetireSignal` (FIFO guarantees no
+        parked item can be trapped behind the signal)."""
+        proc = self._workers.pop(wid)
+        self._retiring[wid] = proc
+        sticky_queue = self._sticky_queues.pop(wid)
+        while True:
+            try:
+                parked = sticky_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if isinstance(parked, WorkItem):
+                self._task_queue.put(parked)
+        sticky_queue.put(RetireSignal())
+        self.telemetry.set_gauge("parallel.pool_size", len(self._workers))
+
+    def _respawn_to_target(self) -> None:
+        """Refill the pool to the controller's last executed target."""
+        while len(self._workers) < max(1, self._target_workers):
+            self._spawn_worker()
+            self.respawns += 1
+            self.telemetry.count("parallel.respawns")
+
     # -- fault handling ----------------------------------------------------
 
     def _reap_dead_workers(self) -> list[int]:
-        """Remove and count workers whose processes have exited."""
+        """Remove and count workers whose processes have exited.
+
+        Retiring workers (elastic scale-down) are reaped here too: a clean
+        exit (``exitcode`` 0) is the expected retirement and counts as
+        ``parallel.retired``; a nonzero exit is a death like any other and
+        joins the returned list so recovery re-dispatches its items.
+        """
         dead = [wid for wid, proc in self._workers.items() if not proc.is_alive()]
         for wid in dead:
             proc = self._workers.pop(wid)
@@ -635,34 +886,47 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             self._sticky_queues.pop(wid, None)
             self.worker_deaths += 1
             self.telemetry.count("parallel.worker_deaths")
+        for wid in [w for w, p in self._retiring.items() if not p.is_alive()]:
+            proc = self._retiring.pop(wid)
+            proc.join(timeout=0.1)
+            if proc.exitcode not in (0, None):
+                # Died mid-retirement — its in-flight item needs recovery.
+                dead.append(wid)
+                self.worker_deaths += 1
+                self.telemetry.count("parallel.worker_deaths")
+            else:
+                self.retired += 1
+                self.telemetry.count("parallel.retired")
+        if dead:
+            self.telemetry.set_gauge("parallel.pool_size", len(self._workers))
         return dead
 
     def _recover(
         self,
         dead: list[int],
         items: dict[int, WorkItem],
-        pending: set[int],
+        outstanding: set[int],
         retries: dict[int, int],
     ) -> None:
         """Respawn replacements and re-dispatch unacknowledged items.
 
         The shared task queue hides *which* item a dead worker held, so
-        every unacknowledged item of the epoch is re-dispatched; the
-        epoch/pending guard in the collection loop drops the duplicate
-        replies this can produce.
+        every unacknowledged *dispatched* item of the epoch is
+        re-dispatched (chunked dispatch keeps the undispatched remainder
+        safe in the master); the epoch/pending guard in the collection
+        loop drops the duplicate replies this can produce.
         """
-        for _ in dead:
-            self._spawn_worker()
-            self.respawns += 1
-            self.telemetry.count("parallel.respawns")
-        exhausted = sorted(sid for sid in pending if retries.get(sid, 0) >= self.max_retries)
+        self._respawn_to_target()
+        exhausted = sorted(
+            sid for sid in outstanding if retries.get(sid, 0) >= self.max_retries
+        )
         if exhausted:
             raise DeadWorkerError(
                 f"worker(s) {sorted(dead)} died and sequence(s) "
                 f"{exhausted[:10]} exhausted the retry budget of "
-                f"{self.max_retries}; {len(pending)} item(s) lost"
+                f"{self.max_retries}; {len(outstanding)} item(s) lost"
             )
-        for sid in sorted(pending):
+        for sid in sorted(outstanding):
             retries[sid] = retries.get(sid, 0) + 1
             self.retries += 1
             self.telemetry.count("parallel.retries")
@@ -676,6 +940,8 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         wid = msg.worker_id
         self._worker_items[wid] = self._worker_items.get(wid, 0) + 1
         self._worker_busy[wid] = self._worker_busy.get(wid, 0.0) + msg.elapsed
+        ewma = self._controller.observe_latency(msg.elapsed)
+        self.telemetry.set_gauge("parallel.item_latency_ewma", ewma)
         if payload is not None:
             # This worker now holds the sequence's similarity structure in
             # its local LRU — future children of this sequence stick here.
@@ -751,6 +1017,17 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "epoch": self._epoch,
         }
 
+    def elastic_stats(self) -> dict[str, object]:
+        """Elastic-pool counters (mirrors the scaling telemetry)."""
+        return {
+            **self._controller.stats(),
+            "live_workers": len(self._workers),
+            "target_workers": self._target_workers,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "retired": self.retired,
+        }
+
     def runtime_stats(self) -> dict[str, object]:
         """Master-side runtime summary (batches, wall time, cache, workers)."""
         return {
@@ -761,6 +1038,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             "cache": self.cache_stats,
             "workers": self.worker_stats(),
             "fault_tolerance": self.fault_stats(),
+            "elastic": self.elastic_stats(),
             "delta": self.delta_stats(),
             "shm": self.shm_stats(),
         }

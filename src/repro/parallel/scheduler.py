@@ -189,6 +189,29 @@ class StickyScheduler(Scheduler):
         """Items currently parked for ``worker_id`` (load-balance probe)."""
         return len(self._sticky.get(worker_id, ()))
 
+    def sticky_backlogs(self) -> dict[int, int]:
+        """All non-empty per-worker sticky backlogs — the skew signal the
+        elastic controller reads (one hot queue while siblings idle)."""
+        return {wid: len(q) for wid, q in self._sticky.items() if q}
+
+    def rebalance(self, live_workers: set[int]) -> int:
+        """Release the sticky queues of workers no longer in the pool.
+
+        The elastic runtime retires (or loses) workers mid-batch; items
+        parked on a departed worker's affinity queue would otherwise wait
+        for a steal.  Moving them to the front of the general pool keeps
+        affinity advisory under resizes: the items lose only their delta
+        speedup, never their place in the batch.  Returns how many items
+        were released.
+        """
+        moved = 0
+        for wid in sorted(set(self._sticky) - set(live_workers)):
+            queue = self._sticky.pop(wid)
+            while queue:
+                self._general.appendleft(queue.pop())
+                moved += 1
+        return moved
+
     def _readmit(self, item: WorkItem) -> None:
         # A recovered item is the batch's critical path, and its preferred
         # worker just died — the front of the shared pool is the fastest

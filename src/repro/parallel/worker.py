@@ -27,7 +27,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.ga.fitness import ScoreSet
-from repro.parallel.messages import EndSignal, WorkFailure, WorkItem, WorkResult
+from repro.parallel.messages import (
+    EndSignal,
+    RetireSignal,
+    WorkFailure,
+    WorkItem,
+    WorkResult,
+)
 from repro.ppi.delta import DeltaStats, Provenance, SimilarityLRU
 from repro.ppi.pipe import PipeConfig, PipeEngine
 
@@ -66,8 +72,11 @@ class FaultPlan:
         so an orphaned test process still dies) while holding the item —
         simulating a hung node the master can only time out on.
     delay_on_item / delay:
-        Sleep ``delay`` seconds before scoring; with ``delay_on_item``
-        set, only that item is delayed, otherwise every item is.
+        Sleep ``delay`` seconds before scoring, inside the timed region
+        — the worker-reported elapsed (and hence the master's latency
+        EWMA) includes it, simulating a genuinely slow item.  With
+        ``delay_on_item`` set, only that item is delayed, otherwise
+        every item is.
     """
 
     fail_on_item: int | None = None
@@ -220,9 +229,11 @@ def worker_loop(
     master routes children there when this worker scored their parents,
     so the delta path finds the parent similarity structures in the local
     LRU.  The sticky queue is drained before the shared one; the
-    :class:`EndSignal` travels only on the shared queue.  A scoring
-    exception is reported as a :class:`WorkFailure` and the loop continues
-    with the next item.
+    :class:`EndSignal` travels only on the shared queue, while a
+    :class:`RetireSignal` (elastic scale-down) arrives on the private
+    queue and stops *this* worker only — it is never re-enqueued.  A
+    scoring exception is reported as a :class:`WorkFailure` and the loop
+    continues with the next item.
     """
     view = context.ensure_engine()
     try:
@@ -271,6 +282,9 @@ def _worker_loop_inner(
             # Let sibling workers see the signal too.
             task_queue.put(message)
             break
+        if isinstance(message, RetireSignal):
+            # Private scale-down: only this worker leaves the pool.
+            break
         if not isinstance(message, WorkItem):
             raise TypeError(f"unexpected message {type(message).__name__}")
         if inject:
@@ -280,10 +294,15 @@ def _worker_loop_inner(
             if faults.hang_on_item == processed:
                 # Simulated hung node: hold the item without replying.
                 time.sleep(faults.hang_s)
-            if faults.delay > 0.0 and faults.delay_on_item in (None, processed):
-                time.sleep(faults.delay)
         start = time.perf_counter()
         try:
+            if inject and faults.delay > 0.0 and faults.delay_on_item in (
+                None,
+                processed,
+            ):
+                # Simulated slow item: inside the timed region, so the
+                # reported elapsed (and the master's latency EWMA) sees it.
+                time.sleep(faults.delay)
             if inject and faults.fail_on_item == processed:
                 raise RuntimeError(
                     f"injected failure on item {processed} of worker {worker_id}"

@@ -234,6 +234,25 @@ class SharedProteomeView:
     # -- construction (worker) ----------------------------------------------
 
     @classmethod
+    def attachable(cls, handle: SharedProteomeHandle) -> bool:
+        """Whether the segment behind ``handle`` can still be mapped.
+
+        The elastic runtime's late-spawn probe: a worker added
+        mid-campaign attaches to a segment created long before it
+        existed, so the master checks the segment is still linked before
+        shipping the handle (a closed provider, or a crashed master whose
+        ``resource_tracker`` already cleaned up, leaves the handle
+        dangling).  The probe maps and immediately unmaps; it never
+        registers with the resource tracker and never unlinks.
+        """
+        try:
+            shm = _attach_untracked(handle.token)
+        except FileNotFoundError:
+            return False
+        shm.close()
+        return True
+
+    @classmethod
     def attach(
         cls,
         handle: SharedProteomeHandle,
@@ -241,6 +260,11 @@ class SharedProteomeView:
         telemetry: MetricsRegistry | None = None,
     ) -> "SharedProteomeView":
         """Map an existing segment described by ``handle``.
+
+        Safe at any point in the segment's lifetime — workers spawned by
+        an elastic scale-up attach long after the initial broadcast
+        (*late attach*); an attach after the creator unlinked raises a
+        diagnostic ``FileNotFoundError`` naming the token.
 
         In a *different* process the mapping is kept out of the stdlib
         resource tracker (Python < 3.13 tracks attaches too): unlinking
@@ -251,7 +275,13 @@ class SharedProteomeView:
         the creator's registration.
         """
         if os.getpid() != handle.creator_pid:
-            shm = _attach_untracked(handle.token)
+            try:
+                shm = _attach_untracked(handle.token)
+            except FileNotFoundError:
+                raise FileNotFoundError(
+                    f"shared proteome segment {handle.token!r} is gone — "
+                    "late attach after the creating provider unlinked it?"
+                ) from None
         else:
             # Same process as the creator: the name is already tracked
             # exactly once; a plain attach re-registers into the same

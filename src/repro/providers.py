@@ -136,6 +136,9 @@ def make_score_provider(
     config: PipeConfig | None = None,
     backend: str = "serial",
     workers: int | None = None,
+    scaling: object | None = None,
+    min_workers: int | None = None,
+    max_workers: int | None = None,
     telemetry: MetricsRegistry | None = None,
     **backend_kwargs: object,
 ) -> CachingScoreProvider:
@@ -156,6 +159,12 @@ def make_score_provider(
     workers:
         Worker count for the parallel backends; rejected for
         ``backend="serial"``.
+    scaling, min_workers, max_workers:
+        Elastic-pool policy for ``backend="process"`` only: a
+        :class:`~repro.parallel.elastic.ScalingPolicy` name (``"fixed"``,
+        ``"queue-depth"``, ``"latency-target"``) or instance, plus the
+        pool bounds.  Rejected for the other backends — they have no
+        pool to resize.
     telemetry:
         One registry wired through the engine and the provider.
     **backend_kwargs:
@@ -165,6 +174,12 @@ def make_score_provider(
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
+        )
+    if backend != "process" and (
+        scaling is not None or min_workers is not None or max_workers is not None
+    ):
+        raise ValueError(
+            "scaling/min_workers/max_workers only apply to backend='process'"
         )
     engine = make_engine(source, config, telemetry=telemetry)
     if backend == "serial":
@@ -184,6 +199,12 @@ def make_score_provider(
         )
     from repro.parallel.mp_backend import MultiprocessScoreProvider
 
+    if scaling is not None:
+        backend_kwargs["scaling"] = scaling
+    if min_workers is not None:
+        backend_kwargs["min_workers"] = min_workers
+    if max_workers is not None:
+        backend_kwargs["max_workers"] = max_workers
     return MultiprocessScoreProvider(
         engine,
         target,

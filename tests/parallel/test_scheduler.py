@@ -249,3 +249,37 @@ class TestSticky:
                 if item is not None:
                     sched.record(_result(item, w))
         assert [r.sequence_id for r in sched.results_in_order()] == list(range(6))
+
+    def test_sticky_backlogs_reports_only_nonempty_queues(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(5)
+        sched = StickyScheduler(items, preferred={0: 0, 1: 0, 2: 0, 3: 1})
+        assert sched.sticky_backlogs() == {0: 3, 1: 1}
+        sched.next_for(1)  # drains worker 1's only parked item
+        assert sched.sticky_backlogs() == {0: 3}
+
+    def test_rebalance_moves_departed_workers_items_to_general_pool(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(4)
+        sched = StickyScheduler(items, preferred={0: 0, 1: 0, 2: 1})
+        # Worker 0 leaves the pool with two items still parked for it.
+        assert sched.rebalance(live_workers={1}) == 2
+        assert sched.sticky_backlogs() == {1: 1}  # worker 1 keeps item 2
+        # The orphaned items are dispatchable again — nothing is trapped.
+        seen = set()
+        while True:
+            item = sched.next_for(1)
+            if item is None:
+                break
+            seen.add(item.sequence_id)
+        assert seen == {0, 1, 2, 3}
+
+    def test_rebalance_with_all_workers_live_is_a_no_op(self):
+        from repro.parallel.scheduler import StickyScheduler
+
+        items = _items(3)
+        sched = StickyScheduler(items, preferred={0: 0, 1: 1})
+        assert sched.rebalance(live_workers={0, 1}) == 0
+        assert sched.sticky_backlogs() == {0: 1, 1: 1}

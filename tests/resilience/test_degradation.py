@@ -129,12 +129,29 @@ def _same_scores(got, want):
     return True
 
 
+class SteppingClock:
+    """Monotonic fake that advances a fixed step per reading, so stall
+    detection fires from the *injected* clock rather than real waiting."""
+
+    def __init__(self, step: float) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
 def test_stalled_pool_degrades_and_close_escalates(
     tiny_engine, tiny_problem, rng
 ):
     """A hung worker (no reply, still alive) stalls the batch past the
     timeout: the items are degraded to serial, and close() escalates
-    terminate()/kill() instead of waiting out the hang."""
+    terminate()/kill() instead of waiting out the hang.
+
+    The stall is detected through the provider's injectable clock — the
+    300 s timeout could never elapse in real time, so a pass proves the
+    detection path reads ``clock`` and not a hardcoded monotonic."""
     target, non_targets = tiny_problem
     serial = SerialScoreProvider(tiny_engine, target, non_targets)
     telemetry = MetricsRegistry()
@@ -144,9 +161,10 @@ def test_stalled_pool_degrades_and_close_escalates(
         target,
         non_targets,
         num_workers=1,
-        timeout=0.5,
+        timeout=300.0,
         poll_interval=0.05,
         close_grace_s=0.3,
+        clock=SteppingClock(step=200.0),
         faults=spec.fault_plan(),
         telemetry=telemetry,
     )
