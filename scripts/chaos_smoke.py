@@ -20,9 +20,18 @@ traceback:
    delay fault: the controller must scale the pool up *and* back down
    (both counters nonzero) while the result stays bit-exact with the
    serial reference.
+4. **Shared fabric with a client crash.**  Three concurrent seeded
+   campaigns run as clients of one :class:`~repro.fabric.ScoringFabric`;
+   one client is closed mid-run (a campaign crashing and abandoning its
+   in-flight batch).  The two surviving campaigns must finish bit-exact
+   against dedicated-pool runs of the same problems, and the crashed
+   campaign must surface ``ClientClosedError`` instead of wedging the
+   fabric.
 
 Every fault is scheduled deterministically (no timing races, no random
-kill points), so a failure here is a regression, not flake.  Exit status
+kill points), so a failure here is a regression, not flake.  (The fabric
+scenario's injected crash lands at a wall-clock point, but every outcome
+it checks holds wherever in the campaign the close lands.)  Exit status
 0 when the selected scenarios hold, 1 otherwise.
 
 Usage (from the repository root)::
@@ -30,7 +39,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python scripts/chaos_smoke.py [--only NAME ...]
 
 ``--only`` limits the run to named scenarios (``pool-loss``,
-``checkpoint``, ``elastic``); default is all three.
+``checkpoint``, ``elastic``, ``fabric``); default is all of them.
 """
 
 from __future__ import annotations
@@ -209,10 +218,94 @@ def _scenario_elastic_resize(world, non_targets, reference) -> bool:
     return _check(checks)
 
 
+def _scenario_fabric(world, non_targets, reference) -> bool:
+    """Scenario 4: three campaigns share one fabric; one crashes mid-run."""
+    import threading
+    import time
+
+    from repro.fabric import ClientClosedError, ScoringFabric
+    from repro.parallel import MultiprocessScoreProvider
+    from repro.parallel.worker import FaultPlan
+    from repro.telemetry import MetricsRegistry
+
+    print("scenario 4: shared fabric with a client crash ...", flush=True)
+    spare = [n for n in world.non_targets_for(TARGET, limit=12) if n not in non_targets]
+    problems = {"a": (TARGET, non_targets)}
+    for key, extra_target in zip(("b", "c"), spare):
+        problems[key] = (
+            extra_target,
+            world.non_targets_for(extra_target, limit=8),
+        )
+
+    refs = {}
+    for key in ("a", "b"):
+        t, nts = problems[key]
+        with MultiprocessScoreProvider(
+            world.engine, t, nts, num_workers=NUM_WORKERS
+        ) as dedicated:
+            refs[key] = _engine(dedicated).run(GENERATIONS)
+
+    telemetry = MetricsRegistry()
+    results: dict[str, object] = {}
+    errors: dict[str, BaseException] = {}
+    with ScoringFabric(
+        world.engine,
+        num_workers=NUM_WORKERS,
+        max_items=16,
+        faults=FaultPlan(delay=0.01),  # keep campaign C in flight at close
+        telemetry=telemetry,
+    ) as fabric:
+        clients = {k: fabric.client(*problems[k]) for k in ("a", "b", "c")}
+
+        def run_campaign(key: str, generations: int) -> None:
+            try:
+                results[key] = _engine(clients[key]).run(generations)
+            except BaseException as exc:  # noqa: BLE001 - recorded, checked
+                errors[key] = exc
+
+        threads = [
+            threading.Thread(target=run_campaign, args=("a", GENERATIONS)),
+            threading.Thread(target=run_campaign, args=("b", GENERATIONS)),
+            # C would run far past the others; it never gets the chance.
+            threading.Thread(target=run_campaign, args=("c", GENERATIONS * 50)),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        clients["c"].close()  # the injected crash: abandons C's batch
+        for t in threads:
+            t.join()
+        stats = fabric.fabric_stats()
+
+    def _bit_exact(key: str) -> bool:
+        result = results.get(key)
+        return result is not None and (
+            result.best.sequence == refs[key].best.sequence
+            and json.dumps(result.history.to_payload())
+            == json.dumps(refs[key].history.to_payload())
+        )
+
+    checks = {
+        "campaign A completed": getattr(results.get("a"), "completed", False),
+        "campaign B completed": getattr(results.get("b"), "completed", False),
+        "A bit-exact vs dedicated pool": _bit_exact("a"),
+        "B bit-exact vs dedicated pool": _bit_exact("b"),
+        "crashed campaign surfaced ClientClosedError": isinstance(
+            errors.get("c"), ClientClosedError
+        ),
+        "fused dispatches observed": stats["fused_batches"] > 0,
+        "telemetry agrees": (
+            telemetry.counter("fabric.fused_items").value == stats["fused_items"]
+        ),
+    }
+    return _check(checks)
+
+
 SCENARIOS = {
     "pool-loss": _scenario_pool_loss,
     "checkpoint": _scenario_checkpoint_corruption,
     "elastic": _scenario_elastic_resize,
+    "fabric": _scenario_fabric,
 }
 
 

@@ -85,6 +85,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
             resume_from = args.checkpoint_dir
             print(f"resuming from {latest}")
     provider_factory = None
+    fabrics = []
     backend = args.backend
     if backend == "serial" and args.workers:
         backend = "process"  # bare --workers keeps its pre---backend meaning
@@ -93,6 +94,22 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
         def provider_factory(engine, target, non_targets):
             extra = {}
+            if backend == "fabric":
+                from repro.fabric import ScoringFabric
+
+                fabric = ScoringFabric(
+                    engine,
+                    num_workers=args.workers or None,
+                    telemetry=registry,
+                )
+                fabrics.append(fabric)
+                return make_score_provider(
+                    fabric,
+                    target,
+                    non_targets,
+                    backend="fabric",
+                    telemetry=registry,
+                )
             if backend == "process":
                 extra["fail_fast"] = args.fail_fast
                 extra["share_memory"] = not args.no_shm
@@ -124,6 +141,8 @@ def _cmd_design(args: argparse.Namespace) -> int:
         resume_from=resume_from,
         deadline=args.deadline_s,
     )
+    for fabric in fabrics:
+        fabric.close()
     profile = result.inhibition_profile()
     print(f"designed anti-{args.target}: fitness {result.fitness:.4f}")
     if not result.completed:
@@ -169,6 +188,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     profile = get_profile(args.profile)
     provider_factory = None
     created = []
+    fabrics = []
     backend = args.backend
     if backend == "serial" and args.workers:
         backend = "process"
@@ -177,6 +197,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
         def provider_factory(engine, target, non_targets):
             extra = {}
+            if backend == "fabric":
+                from repro.fabric import ScoringFabric
+
+                fabric = ScoringFabric(
+                    engine,
+                    num_workers=args.workers or None,
+                    telemetry=registry,
+                )
+                fabrics.append(fabric)
+                client = make_score_provider(
+                    fabric, target, non_targets, backend="fabric"
+                )
+                # Report the shared pool's worker stats alongside the
+                # fabric line below.
+                created.append(fabric.provider)
+                return client
             if backend == "process":
                 extra["share_memory"] = not args.no_shm
                 if args.scaling != "fixed" or args.min_workers or args.max_workers:
@@ -247,6 +283,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"bytes={shm['bytes']} arrays={shm['arrays']} "
                 f"similarities={shm['similarities']}"
             )
+    for fabric in fabrics:
+        fs = fabric.fabric_stats()
+        print(
+            f"\nfabric: clients={fs['clients']}/{fs['total_clients']} "
+            f"fused_batches={fs['fused_batches']} "
+            f"fused_items={fs['fused_items']} "
+            f"mean_fused={fs['mean_fused_size']:.1f} "
+            f"abandoned={fs['abandoned_items']} "
+            f"max_items={fs['max_items']} "
+            f"max_wait={fs['max_wait_ms']:.0f}ms"
+        )
+        fabric.close()
     if args.out:
         if args.format == "csv":
             rows = export_csv(registry, args.out)
@@ -353,8 +401,10 @@ def main(argv: list[str] | None = None) -> int:
         help="score through N worker processes (0 = serial)",
     )
     p_design.add_argument(
-        "--backend", choices=("serial", "process", "thread"), default="serial",
+        "--backend", choices=("serial", "process", "thread", "fabric"),
+        default="serial",
         help="scoring backend (bare --workers N implies 'process'); "
+        "'fabric' runs the campaign as a client on a ScoringFabric; "
         "see repro.providers.make_score_provider",
     )
     p_design.add_argument(
@@ -393,8 +443,10 @@ def main(argv: list[str] | None = None) -> int:
         help="score through N worker processes (0 = serial)",
     )
     p_stats.add_argument(
-        "--backend", choices=("serial", "process", "thread"), default="serial",
-        help="scoring backend (bare --workers N implies 'process')",
+        "--backend", choices=("serial", "process", "thread", "fabric"),
+        default="serial",
+        help="scoring backend (bare --workers N implies 'process'; "
+        "'fabric' reports the coalescer's fabric line too)",
     )
     p_stats.add_argument(
         "--no-shm", action="store_true",

@@ -37,12 +37,22 @@ class WorkItem:
     its parent(s); a worker holding the parents' similarity structures in
     its local LRU re-sweeps only the dirty windows.  It is advisory —
     a worker that never saw the parents simply does the full sweep.
+
+    ``problem_id`` (optional) binds the item to a fabric-registered
+    ``(target, non_targets)`` problem instead of the worker context's
+    default one, so one pool can serve many concurrent design campaigns
+    (see :mod:`repro.fabric`).  ``problem`` carries the problem spec
+    itself; a worker seeing an unknown id registers it from the spec on
+    first sight — self-describing items make registration race-free on
+    the shared queue (no control-message ordering to get wrong).
     """
 
     sequence_id: int
     payload: bytes  # encoded (uint8) sequence bytes; cheap to pickle
     batch_epoch: int = 0
     provenance: Provenance | None = None
+    problem_id: int | None = None
+    problem: tuple[str, tuple[str, ...]] | None = None
 
     def __post_init__(self) -> None:
         if self.sequence_id < 0:
@@ -51,6 +61,10 @@ class WorkItem:
             raise ValueError("payload must be non-empty")
         if self.batch_epoch < 0:
             raise ValueError(f"batch_epoch must be >= 0, got {self.batch_epoch}")
+        if self.problem_id is not None and self.problem_id < 0:
+            raise ValueError(f"problem_id must be >= 0, got {self.problem_id}")
+        if self.problem is not None and self.problem_id is None:
+            raise ValueError("problem spec requires a problem_id")
 
     @classmethod
     def from_encoded(
@@ -60,12 +74,16 @@ class WorkItem:
         *,
         batch_epoch: int = 0,
         provenance: Provenance | None = None,
+        problem_id: int | None = None,
+        problem: tuple[str, tuple[str, ...]] | None = None,
     ) -> "WorkItem":
         return cls(
             sequence_id,
             np.asarray(encoded, dtype=np.uint8).tobytes(),
             batch_epoch,
             provenance,
+            problem_id,
+            problem,
         )
 
     def decode(self) -> np.ndarray:

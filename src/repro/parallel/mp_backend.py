@@ -338,6 +338,11 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self._sticky_queues: dict[int, object] = {}
         self._retiring: dict[int, mp.Process] = {}
         self._next_worker_id = 0
+        # Fabric-registered problems: items dispatched through
+        # :meth:`score_fused` carry one of these ids and are scored
+        # against that problem instead of the context default.
+        self._problems: dict[int, tuple[str, tuple[str, ...]]] = {}
+        self._next_problem_id = 0
         self._epoch = 0
         self.dispatched = 0
         self.scale_ups = 0
@@ -377,6 +382,71 @@ class MultiprocessScoreProvider(CachingScoreProvider):
     @property
     def non_targets(self) -> list[str]:
         return list(self.context.non_targets)
+
+    # -- fused multi-problem scoring (the fabric surface) --------------------
+
+    def register_problem(self, target: str, non_targets: list[str]) -> int:
+        """Register one ``(target, non_targets)`` design problem and
+        return its id for :meth:`score_fused` items.
+
+        Validates the names against the proteome up front (a typo fails
+        here, not inside a worker).  Problems registered before the pool
+        starts contribute their similarity structures to the shared
+        proteome segment; later registrations are self-describing on the
+        wire and warmed worker-side on first sight.
+        """
+        non_targets = list(non_targets)
+        if target in non_targets:
+            raise ValueError(
+                f"target {target!r} also appears in the non-target list"
+            )
+        graph = self.context.engine.database.graph
+        graph.index_of(target)
+        for nt in non_targets:
+            graph.index_of(nt)
+        pid = self._next_problem_id
+        self._next_problem_id += 1
+        spec = (target, tuple(non_targets))
+        self._problems[pid] = spec
+        if self.context.problems is None:
+            self.context.problems = {}
+        # The ship context shares this dict (dataclasses.replace copies
+        # the reference), so workers spawned later inherit the table.
+        self.context.problems[pid] = spec
+        return pid
+
+    def score_fused(
+        self,
+        arrays: list[np.ndarray],
+        provenances: list[Provenance | None] | None,
+        problem_ids: list[int | None],
+    ) -> list[ScoreSet]:
+        """Score one fused batch whose items may belong to *different*
+        registered problems.
+
+        This entry point deliberately bypasses the provider-level score
+        cache: that LRU is keyed by sequence bytes alone, which is only
+        correct when every item shares one problem.  Fabric clients keep
+        their own per-problem caches instead.  Degradation, retries,
+        sticky routing and the elastic pool behave exactly as in
+        :meth:`scores` — the similarity sweep is problem-independent, so
+        affinity routing across problems stays valid.
+        """
+        arrs = [np.asarray(a, dtype=np.uint8) for a in arrays]
+        provs = (
+            list(provenances) if provenances is not None else [None] * len(arrs)
+        )
+        pids = list(problem_ids)
+        if len(provs) != len(arrs) or len(pids) != len(arrs):
+            raise ValueError(
+                f"{len(arrs)} sequences, {len(provs)} provenances, "
+                f"{len(pids)} problem ids — lengths must match"
+            )
+        for pid in pids:
+            if pid is not None and pid not in self._problems:
+                raise ValueError(f"unregistered problem id {pid}")
+        self._closed = False
+        return self._score_problem_batch(arrs, provs, pids)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -428,12 +498,13 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                 # One segment holds the proteome arrays plus the
                 # preprocessed target/non-target similarity CSRs; workers
                 # get the handle, not the engine.
+                names = [self.context.target, *self.context.non_targets]
+                for tgt, nts in self._problems.values():
+                    names.append(tgt)
+                    names.extend(nts)
                 self._shm_view = SharedProteomeView.share(
                     self.context.engine.database,
-                    similarity_names=[
-                        self.context.target,
-                        *self.context.non_targets,
-                    ],
+                    similarity_names=list(dict.fromkeys(names)),
                     telemetry=self.telemetry,
                 )
                 self._ship_context = self.context.for_shipment(
@@ -532,19 +603,31 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         provs = (
             list(provenances) if provenances is not None else [None] * len(arrays)
         )
+        return self._score_problem_batch(arrays, provs, [None] * len(arrays))
+
+    def _score_problem_batch(
+        self,
+        arrays: list[np.ndarray],
+        provs: list[Provenance | None],
+        pids: list[int | None],
+    ) -> list[ScoreSet]:
+        """One batch through the supervised pool; ``pids`` binds each item
+        to a registered problem (None = the context default)."""
         start = time.perf_counter()
         degrade = not self.fail_fast
         if degrade and not self.breaker.allow():
             # Breaker open: the pool recently lost a batch; stay serial
             # (no respawn-and-die thrash) until a probe is due.
-            results = self._score_batch_serial(arrays, provs, reason="breaker_open")
+            results = self._score_batch_serial(
+                arrays, provs, pids, reason="breaker_open"
+            )
         else:
             probing = degrade and self.breaker.state == BreakerState.HALF_OPEN
             if probing:
                 self.telemetry.count("parallel.breaker_probes")
             degraded = 0
             try:
-                results, degraded = self._score_via_pool(arrays, provs)
+                results, degraded = self._score_via_pool(arrays, provs, pids)
             finally:
                 # A WorkerFailureError (scoring bug) says nothing about
                 # pool health, so only batches that ran to completion
@@ -589,6 +672,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self,
         arrays: list[np.ndarray],
         provs: list[Provenance | None],
+        pids: list[int | None],
     ) -> tuple[list[ScoreSet], int]:
         """Dispatch one batch to the worker pool; returns the scores and
         how many items had to be degraded to master-serial scoring."""
@@ -606,11 +690,14 @@ class MultiprocessScoreProvider(CachingScoreProvider):
             sticky_load: dict[int, int] = {}
             items: dict[int, WorkItem] = {}
             for sid, (arr, prov) in enumerate(zip(arrays, provs)):
+                pid = pids[sid]
                 items[sid] = WorkItem.from_encoded(
                     sid,
                     arr,
                     batch_epoch=epoch,
                     provenance=prov if self.use_delta else None,
+                    problem_id=pid,
+                    problem=self._problems[pid] if pid is not None else None,
                 )
             pending = set(items)
             outstanding: set[int] = set()
@@ -669,7 +756,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                                 if self.fail_fast:
                                     raise
                                 degraded += self._degrade_pending(
-                                    arrays, provs, pending, results,
+                                    arrays, provs, pids, pending, results,
                                     reason=str(exc),
                                 )
                                 break
@@ -684,7 +771,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
                                     f"received; missing sequence ids {missing[:10]})"
                                 ) from None
                             degraded += self._degrade_pending(
-                                arrays, provs, pending, results,
+                                arrays, provs, pids, pending, results,
                                 reason=(
                                     f"collection stalled for {self.timeout}s "
                                     f"with {len(pending)} item(s) outstanding"
@@ -728,20 +815,25 @@ class MultiprocessScoreProvider(CachingScoreProvider):
     # -- graceful degradation ----------------------------------------------
 
     def _score_serial(
-        self, arr: np.ndarray, prov: Provenance | None
+        self,
+        arr: np.ndarray,
+        prov: Provenance | None,
+        pid: int | None = None,
     ) -> ScoreSet:
         """Score one candidate in the master, exactly as a worker would.
 
         Runs the same :func:`~repro.parallel.worker.score_candidate_with_delta`
         code path the workers run (delta re-scoring is bit-exact with the
         full sweep), so a degraded item's scores match the pool's answer
-        bit for bit.
+        bit for bit.  ``pid`` binds the item to a registered problem (the
+        fused path's degradations stay per-problem correct).
         """
         scores, stats = score_candidate_with_delta(
             self.context,
             arr,
             provenance=prov if self.use_delta else None,
             similarity_cache=self._master_similarity if self.use_delta else None,
+            problem=self._problems[pid] if pid is not None else None,
         )
         self._record_delta(stats)
         return scores
@@ -750,6 +842,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self,
         arrays: list[np.ndarray],
         provs: list[Provenance | None],
+        pids: list[int | None],
         pending: set[int],
         results: list[ScoreSet | None],
         *,
@@ -769,7 +862,9 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         )
         with self.telemetry.span("parallel.degraded_scoring"):
             for sid in sorted(pending):
-                results[sid] = self._score_serial(arrays[sid], provs[sid])
+                results[sid] = self._score_serial(
+                    arrays[sid], provs[sid], pids[sid]
+                )
                 self.degraded_items += 1
                 self.telemetry.count("parallel.degraded_items")
         pending.clear()
@@ -779,6 +874,7 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         self,
         arrays: list[np.ndarray],
         provs: list[Provenance | None],
+        pids: list[int | None],
         *,
         reason: str,
     ) -> list[ScoreSet]:
@@ -795,8 +891,8 @@ class MultiprocessScoreProvider(CachingScoreProvider):
         )
         with self.telemetry.span("parallel.degraded_scoring"):
             out: list[ScoreSet] = []
-            for arr, prov in zip(arrays, provs):
-                out.append(self._score_serial(arr, prov))
+            for arr, prov, pid in zip(arrays, provs, pids):
+                out.append(self._score_serial(arr, prov, pid))
                 self.degraded_items += 1
                 self.telemetry.count("parallel.degraded_items")
         return out

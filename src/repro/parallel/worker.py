@@ -22,7 +22,7 @@ import queue as queue_mod
 import time
 import traceback as traceback_mod
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -110,6 +110,13 @@ class WorkerContext:
     similarity structures that the delta-scoring path patches from;
     ``use_delta=False`` disables incremental re-scoring entirely (every
     candidate pays the full sweep, the pre-delta behaviour).
+
+    ``problems`` (optional) is the fabric's registered-problem table:
+    ``problem_id -> (target, non_targets)``.  Items carrying a
+    ``problem_id`` are scored against that problem instead of the context
+    default; a worker spawned after registration inherits the table at
+    spawn, and items are self-describing anyway (see
+    :class:`~repro.parallel.messages.WorkItem`).
     """
 
     engine: PipeEngine | None
@@ -120,6 +127,7 @@ class WorkerContext:
     use_delta: bool = True
     shm_handle: "SharedProteomeHandle | None" = None
     config: "PipeConfig | None" = None
+    problems: dict[int, tuple[str, tuple[str, ...]]] | None = None
 
     def __post_init__(self) -> None:
         if self.engine is None:
@@ -165,8 +173,13 @@ class WorkerContext:
 
     def warm_cache(self) -> None:
         """Precompute target/non-target similarity structures (the paper's
-        offline preprocessing of natural proteins)."""
-        self.engine.database.precompute([self.target, *self.non_targets])
+        offline preprocessing of natural proteins) — for the context
+        problem and every registered fabric problem."""
+        names = [self.target, *self.non_targets]
+        for tgt, nts in (self.problems or {}).values():
+            names.append(tgt)
+            names.extend(nts)
+        self.engine.database.precompute(list(dict.fromkeys(names)))
 
 
 def score_candidate_with_delta(
@@ -175,6 +188,7 @@ def score_candidate_with_delta(
     *,
     provenance: Provenance | None = None,
     similarity_cache: SimilarityLRU | None = None,
+    problem: tuple[str, Sequence[str]] | None = None,
 ) -> tuple[ScoreSet, DeltaStats | None]:
     """One unit of worker work: candidate vs target + all non-targets.
 
@@ -184,9 +198,18 @@ def score_candidate_with_delta(
     cached parent(s) named by ``provenance`` (re-sweeping only dirty
     windows); the returned :class:`~repro.ppi.delta.DeltaStats` reports
     which route was taken so the master can aggregate the accounting.
+
+    ``problem`` overrides the context's ``(target, non_targets)`` for
+    this one candidate (the fabric's fused-dispatch path); the similarity
+    sweep is problem-independent, so the cache and delta route are shared
+    across problems untouched.
     """
     engine = context.engine
     arr = np.asarray(encoded, dtype=np.uint8)
+    if problem is None:
+        target, non_targets = context.target, context.non_targets
+    else:
+        target, non_targets = problem[0], list(problem[1])
     if similarity_cache is not None:
         with engine.telemetry.span("pipe.window_build"):
             similarity, stats = similarity_cache.similarity_for(
@@ -194,12 +217,12 @@ def score_candidate_with_delta(
             )
     else:
         similarity, stats = engine.similarity_of(arr), None
-    names = [context.target, *context.non_targets]
+    names = [target, *non_targets]
     scored = engine.score_against(arr, names, similarity=similarity)
     return (
         ScoreSet(
-            target_score=scored[context.target],
-            non_target_scores=tuple(scored[nt] for nt in context.non_targets),
+            target_score=scored[target],
+            non_target_scores=tuple(scored[nt] for nt in non_targets),
         ),
         stats,
     )
@@ -265,6 +288,12 @@ def _worker_loop_inner(
     similarity_cache = (
         SimilarityLRU(context.similarity_cache_size) if context.use_delta else None
     )
+    # Fabric problem table: seeded from the shipped context, extended
+    # in place from self-describing items (problems registered after
+    # this worker spawned).
+    problems: dict[int, tuple[str, tuple[str, ...]]] = dict(
+        context.problems or {}
+    )
     processed = 0
     while True:
         message = None
@@ -307,11 +336,29 @@ def _worker_loop_inner(
                 raise RuntimeError(
                     f"injected failure on item {processed} of worker {worker_id}"
                 )
+            problem = None
+            if message.problem_id is not None:
+                problem = problems.get(message.problem_id)
+                if problem is None:
+                    if message.problem is None:
+                        raise RuntimeError(
+                            f"unknown problem id {message.problem_id} "
+                            "(item carries no spec)"
+                        )
+                    problem = message.problem
+                    problems[message.problem_id] = problem
+                    # One-time warm-up per newly seen problem: its
+                    # target/non-target structures enter the shared
+                    # known-protein cache.
+                    context.engine.database.precompute(
+                        [problem[0], *problem[1]]
+                    )
             scores, delta = score_candidate_with_delta(
                 context,
                 message.decode(),
                 provenance=message.provenance,
                 similarity_cache=similarity_cache,
+                problem=problem,
             )
         except Exception as exc:
             result_queue.put(

@@ -276,7 +276,7 @@ class PipeDatabase:
         if n_win == 0:
             empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
             return SequenceSimilarity(empty, 0)
-        return SequenceSimilarity(sp.csr_matrix(self._sweep_counts(seq)), n_win)
+        return SequenceSimilarity(self.kernel.sweep_sparse(self, seq), n_win)
 
     def sequence_similarity_batch(
         self, encoded: Sequence[np.ndarray]
@@ -303,7 +303,9 @@ class PipeDatabase:
             for i, seq in enumerate(arrays)
             if num_windows(seq.size, self.window_size) > 0
         ]
-        counts = self.kernel.sweep_batch(self, [arrays[i] for i in sweepable])
+        counts = self.kernel.sweep_batch_sparse(
+            self, [arrays[i] for i in sweepable]
+        )
         out: list[SequenceSimilarity] = []
         by_index = dict(zip(sweepable, counts))
         for i, seq in enumerate(arrays):
@@ -312,9 +314,7 @@ class PipeDatabase:
                 empty = sp.csr_matrix((0, self.num_proteins), dtype=np.int64)
                 out.append(SequenceSimilarity(empty, 0))
             else:
-                out.append(
-                    SequenceSimilarity(sp.csr_matrix(by_index[i]), n_win)
-                )
+                out.append(SequenceSimilarity(by_index[i], n_win))
         return out
 
     def update_similarity(
@@ -406,9 +406,9 @@ class PipeDatabase:
                 blocks.append(sources[k][0].counts[src_row[a] : src_row[a] + (j - a)])
         if dirty_seqs:
             for slot, counts in zip(
-                dirty_slots, self.kernel.sweep_batch(self, dirty_seqs)
+                dirty_slots, self.kernel.sweep_batch_sparse(self, dirty_seqs)
             ):
-                blocks[slot] = sp.csr_matrix(counts)
+                blocks[slot] = counts
         counts = sp.vstack(blocks, format="csr") if len(blocks) > 1 else blocks[0].tocsr()
         return DeltaUpdate(SequenceSimilarity(counts, n_win), rows_rescored, n_win)
 

@@ -30,10 +30,13 @@ databases and processes.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.ppi.similarity import windowed_diagonal_sums
 from repro.ppi.windows import num_windows
@@ -95,6 +98,24 @@ class SimilarityKernel(ABC):
     ) -> list[np.ndarray]:
         """Match counts for many queries; default loops over :meth:`sweep`."""
         return [self.sweep(db, np.asarray(s, dtype=np.uint8)) for s in seqs]
+
+    def sweep_sparse(self, db: ProteomeArrays, seq: np.ndarray) -> sp.csr_matrix:
+        """The sweep of one query as a CSR matrix.
+
+        The database stores similarity structures sparsely (match counts
+        are overwhelmingly zero on realistic thresholds), so kernels that
+        can skip the dense ``(num_windows, num_proteins)`` intermediate
+        override this; the default densifies via :meth:`sweep`.  Must be
+        exactly ``sp.csr_matrix(self.sweep(db, seq))`` element-for-element.
+        """
+        return sp.csr_matrix(self.sweep(db, np.asarray(seq, dtype=np.uint8)))
+
+    def sweep_batch_sparse(
+        self, db: ProteomeArrays, seqs: Sequence[np.ndarray]
+    ) -> list[sp.csr_matrix]:
+        """CSR sweeps for many queries; default loops over
+        :meth:`sweep_sparse`."""
+        return [self.sweep_sparse(db, s) for s in seqs]
 
 
 class ChunkedNumpyKernel(SimilarityKernel):
@@ -230,8 +251,16 @@ class BatchedNumpyKernel(ChunkedNumpyKernel):
         self.batch_residues = int(batch_residues)
         self.batch_elements = int(batch_elements)
         self.fast_chunk_elements = int(fast_chunk_elements)
-        # matrix-id -> int16 table, or None when the fast path is unsafe.
-        self._int_tables: dict[int, np.ndarray | None] = {}
+        # fingerprint -> int16 table, or None when the fast path is unsafe.
+        # Keyed by matrix *content* (plus window size, which the overflow
+        # decision depends on), never by object identity: ``id()`` of a
+        # GC'd matrix can be reused by a different one, which would alias
+        # a stale table.  Bounded LRU — a long-lived kernel serving many
+        # databases must not grow without limit.
+        self._int_tables: "OrderedDict[tuple, np.ndarray | None]" = OrderedDict()
+
+    #: Distinct (matrix, window_size) int16 tables kept; LRU beyond this.
+    _INT_TABLE_CACHE_SIZE = 8
 
     def _stack_limit(self, db: ProteomeArrays) -> int:
         """Stacked residues allowed per pass given the chunk width."""
@@ -242,17 +271,29 @@ class BatchedNumpyKernel(ChunkedNumpyKernel):
         """The substitution table as int16, or None when fast-path
         integer scoring would not be exact (non-integer entries) or could
         overflow (pathologically large scores x window size)."""
-        key = id(db.matrix)
-        if key not in self._int_tables:
-            table = np.asarray(db.matrix.scores)
-            ok = bool(np.all(table == np.rint(table)))
-            if ok:
-                bound = float(np.abs(table).max()) * db.window_size
-                ok = bound < np.iinfo(np.int16).max
-            self._int_tables[key] = (
-                table.astype(np.int16) if ok else None
-            )
-        return self._int_tables[key]
+        table = np.asarray(db.matrix.scores)
+        # Content fingerprint (hashing a 20x20 table costs microseconds,
+        # the sweep it guards costs milliseconds).  window_size is part
+        # of the key because the overflow verdict depends on it.
+        key = (
+            db.matrix.name,
+            int(db.window_size),
+            table.shape,
+            table.dtype.str,
+            hashlib.sha1(np.ascontiguousarray(table).tobytes()).digest(),
+        )
+        if key in self._int_tables:
+            self._int_tables.move_to_end(key)
+            return self._int_tables[key]
+        ok = bool(np.all(table == np.rint(table)))
+        if ok:
+            bound = float(np.abs(table).max()) * db.window_size
+            ok = bound < np.iinfo(np.int16).max
+        value = table.astype(np.int16) if ok else None
+        self._int_tables[key] = value
+        while len(self._int_tables) > self._INT_TABLE_CACHE_SIZE:
+            self._int_tables.popitem(last=False)
+        return value
 
     def sweep(self, db: ProteomeArrays, seq: np.ndarray) -> np.ndarray:
         table = self._int_table(db)
@@ -260,42 +301,76 @@ class BatchedNumpyKernel(ChunkedNumpyKernel):
             return super().sweep(db, seq)
         return self._sweep_int(db, seq, table)
 
+    def sweep_sparse(self, db: ProteomeArrays, seq: np.ndarray) -> sp.csr_matrix:
+        table = self._int_table(db)
+        if table is None:
+            return super().sweep_sparse(db, seq)
+        return self._sweep_int_sparse(db, seq, table)
+
     def _sweep_int(
         self, db: ProteomeArrays, seq: np.ndarray, table: np.ndarray
     ) -> np.ndarray:
+        # The dense API is kept for the kernel contract (and the
+        # bit-exactness property tests); the hot path is the sparse one.
+        return self._sweep_int_sparse(db, seq, table).toarray()
+
+    def _sweep_int_sparse(
+        self, db: ProteomeArrays, seq: np.ndarray, table: np.ndarray
+    ) -> sp.csr_matrix:
+        """The int16 sweep straight to CSR, skipping the dense matrix.
+
+        Match counts are overwhelmingly zero on realistic thresholds, so
+        instead of materialising a dense ``(n_win, num_proteins)`` int64
+        ``counts`` and converting, each chunk contributes the nonzeros of
+        its boolean mask as COO entries — the window-start column maps to
+        its protein via one ``searchsorted`` against the chunk's segment
+        starts, and the COO→CSR conversion sums duplicates (several
+        matching windows on one protein) exactly in int64.  Identical
+        element-for-element to ``sp.csr_matrix(dense counts)``.
+        """
         seq = np.asarray(seq, dtype=np.uint8)
         w = db.window_size
         n_win = num_windows(seq.size, w)
-        total_cols = db.valid_columns.size
-        counts = np.zeros((n_win, db.num_proteins), dtype=np.int64)
+        shape = (n_win, db.num_proteins)
         if n_win == 0:
-            return counts
+            return sp.csr_matrix(shape, dtype=np.int64)
         # Integer window sums reach the same >= verdict at ceil(threshold).
         ithr = int(np.ceil(db.threshold))
         # Tile columns so the int16 score matrix stays cache-resident.
         chunk = max(64, min(db.chunk_residues, self.fast_chunk_elements // n_win))
         offsets = db.offsets
         sidx = seq.astype(np.intp)[:, None]
+        total_cols = db.valid_columns.size
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
         start = 0
         while start < total_cols:
             stop = min(start + chunk, total_cols)
             segment = db.concatenated[start : stop + w - 1].astype(np.intp)
             scores = table[sidx, segment[None, :]]
-            cols = stop - start
-            sums = _diag_window_sums_int(scores, w, n_win, cols)
+            sums = _diag_window_sums_int(scores, w, n_win, stop - start)
             mask = sums >= ithr
             mask[:, ~db.valid_columns[start:stop]] = False
-            first_protein = int(np.searchsorted(offsets, start, side="right")) - 1
-            inner = offsets[(offsets > start) & (offsets < stop)]
-            seg_starts = np.concatenate([[0], inner - start]).astype(np.intp)
-            chunk_counts = np.add.reduceat(
-                mask, seg_starts, axis=1, dtype=np.int64
-            )
-            counts[
-                :, first_protein : first_protein + seg_starts.size
-            ] += chunk_counts
+            r, c = np.nonzero(mask)
+            if r.size:
+                inner = offsets[(offsets > start) & (offsets < stop)]
+                seg_starts = np.concatenate([[0], inner - start]).astype(np.intp)
+                first_protein = (
+                    int(np.searchsorted(offsets, start, side="right")) - 1
+                )
+                rows.append(r)
+                cols.append(
+                    first_protein
+                    + np.searchsorted(seg_starts, c, side="right")
+                    - 1
+                )
             start = stop
-        return counts
+        if not rows:
+            return sp.csr_matrix(shape, dtype=np.int64)
+        rr = np.concatenate(rows)
+        cc = np.concatenate(cols)
+        data = np.ones(rr.size, dtype=np.int64)
+        return sp.coo_matrix((data, (rr, cc)), shape=shape).tocsr()
 
     def sweep_batch(
         self, db: ProteomeArrays, seqs: Sequence[np.ndarray]
@@ -350,6 +425,55 @@ class BatchedNumpyKernel(ChunkedNumpyKernel):
             n_win = num_windows(arrays[i].size, w)
             # Copy so the (much larger) stacked matrix is freed promptly.
             out[i] = stacked_counts[start : start + n_win].copy()
+
+    def sweep_batch_sparse(
+        self, db: ProteomeArrays, seqs: Sequence[np.ndarray]
+    ) -> list[sp.csr_matrix]:
+        arrays = [np.asarray(s, dtype=np.uint8) for s in seqs]
+        if len(arrays) < 2:
+            return [self.sweep_sparse(db, a) for a in arrays]
+        if self._int_table(db) is None:
+            return super().sweep_batch_sparse(db, arrays)
+        limit = self._stack_limit(db)
+        out: list[sp.csr_matrix | None] = [None] * len(arrays)
+        group: list[int] = []
+        group_len = 0
+        for i, arr in enumerate(arrays):
+            if group and group_len + arr.size > limit:
+                self._sweep_group_sparse(db, arrays, group, out)
+                group, group_len = [], 0
+            group.append(i)
+            group_len += arr.size
+        if group:
+            self._sweep_group_sparse(db, arrays, group, out)
+        assert all(o is not None for o in out)
+        return out  # type: ignore[return-value]
+
+    def _sweep_group_sparse(
+        self,
+        db: ProteomeArrays,
+        arrays: list[np.ndarray],
+        group: list[int],
+        out: list[sp.csr_matrix | None],
+    ) -> None:
+        """Sparse variant of :meth:`_sweep_group`: one stacked CSR sweep,
+        then per-query row slices (slicing a CSR copies, so the stacked
+        matrix is freed promptly; seam rows are simply never retained)."""
+        w = db.window_size
+        if len(group) == 1:
+            i = group[0]
+            out[i] = self.sweep_sparse(db, arrays[i])
+            return
+        starts: list[int] = []
+        pos = 0
+        for i in group:
+            starts.append(pos)
+            pos += arrays[i].size
+        stacked = np.concatenate([arrays[i] for i in group])
+        stacked_counts = self.sweep_sparse(db, stacked)
+        for i, start in zip(group, starts):
+            n_win = num_windows(arrays[i].size, w)
+            out[i] = stacked_counts[start : start + n_win]
 
 
 DEFAULT_KERNEL = BatchedNumpyKernel.name

@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 #: Recognised ``backend=`` names of :func:`make_score_provider`.
-BACKENDS = ("serial", "process", "thread")
+BACKENDS = ("serial", "process", "thread", "fabric")
 
 
 def make_engine(
@@ -155,7 +155,10 @@ def make_score_provider(
         engine/world is passed — it already has a config).
     backend:
         ``"serial"`` (reference, in-process), ``"process"`` (master/worker
-        multiprocessing with the shared-memory proteome) or ``"thread"``.
+        multiprocessing with the shared-memory proteome), ``"thread"``, or
+        ``"fabric"`` (a client on a shared
+        :class:`~repro.fabric.ScoringFabric` — pass the fabric as
+        ``source``; many campaigns coalesce onto its one pool).
     workers:
         Worker count for the parallel backends; rejected for
         ``backend="serial"``.
@@ -180,6 +183,29 @@ def make_score_provider(
     ):
         raise ValueError(
             "scaling/min_workers/max_workers only apply to backend='process'"
+        )
+    if backend == "fabric":
+        from repro.fabric import ScoringFabric
+
+        fabric = backend_kwargs.pop("fabric", None)
+        if fabric is None and isinstance(source, ScoringFabric):
+            fabric = source
+        if not isinstance(fabric, ScoringFabric):
+            raise TypeError(
+                "backend='fabric' needs a ScoringFabric as source (or "
+                f"fabric=), got {type(source).__name__}"
+            )
+        if workers is not None:
+            raise ValueError(
+                "workers is configured on the ScoringFabric, not per client"
+            )
+        if config is not None:
+            raise ValueError(
+                "config cannot be applied through a fabric client; the "
+                "fabric's engine is already built"
+            )
+        return fabric.client(
+            target, non_targets, telemetry=telemetry, **backend_kwargs
         )
     engine = make_engine(source, config, telemetry=telemetry)
     if backend == "serial":

@@ -1,0 +1,67 @@
+"""Unit tests for the coalescer's pure planning rule.
+
+``plan_fused_take`` is the whole fairness story of the fabric: one item
+per client per round, in client-id order, until the dispatch budget is
+spent.  Being a pure function, its bounds are checked here without any
+threads or pools.
+"""
+
+import math
+
+import pytest
+
+from repro.fabric import plan_fused_take
+
+
+def test_round_robin_split_even():
+    assert plan_fused_take({0: 10, 1: 10}, 8) == {0: 4, 1: 4}
+
+
+def test_small_client_never_starved():
+    # A 10x-larger backlog still only gets an equal share per dispatch.
+    assert plan_fused_take({0: 40, 1: 4}, 8) == {0: 4, 1: 4}
+
+
+def test_leftover_budget_goes_round_robin():
+    # 5 items across two clients, budget 8: everything is taken.
+    assert plan_fused_take({0: 3, 1: 2}, 8) == {0: 3, 1: 2}
+
+
+def test_uneven_budget_favours_lower_ids_by_at_most_one():
+    take = plan_fused_take({0: 10, 1: 10, 2: 10}, 8)
+    assert sum(take.values()) == 8
+    assert max(take.values()) - min(take.values()) <= 1
+    assert take[0] >= take[1] >= take[2]
+
+
+def test_single_client_takes_whole_budget():
+    assert plan_fused_take({7: 100}, 16) == {7: 16}
+
+
+def test_empty_and_zero_pending():
+    assert plan_fused_take({}, 8) == {}
+    assert plan_fused_take({0: 0, 1: 3}, 8) == {1: 3}
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError, match="max_items"):
+        plan_fused_take({0: 1}, 0)
+
+
+def test_fairness_bound_holds():
+    # A client with k pending items is fully served within
+    # ceil(k * n_clients / max_items) dispatches, whatever the other
+    # backlogs look like.
+    max_items = 8
+    pending = {0: 5, 1: 100, 2: 37, 3: 64}
+    k = pending[0]
+    bound = math.ceil(k * len(pending) / max_items)
+    dispatches = 0
+    while pending.get(0):
+        take = plan_fused_take(pending, max_items)
+        dispatches += 1
+        for cid, n in take.items():
+            pending[cid] -= n
+            if pending[cid] == 0:
+                del pending[cid]
+    assert dispatches <= bound

@@ -1,0 +1,223 @@
+"""Scoring-fabric behaviour: bit-exactness, lifecycle, wiring.
+
+The contract under test is the one API.md states: a GA campaign run
+through a :class:`~repro.fabric.FabricClient` is bit-exact (scores,
+history, RNG trajectory) with the same campaign on a dedicated
+:class:`~repro.parallel.mp_backend.MultiprocessScoreProvider`, including
+under delta re-scoring and an elastic resize — however its batches were
+fused with other campaigns'.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import GAParams, InSiPSEngine
+from repro.fabric import ClientClosedError, FabricClient, FabricClosedError, ScoringFabric
+from repro.parallel import LatencyTargetScaling, MultiprocessScoreProvider
+from repro.parallel.worker import FaultPlan
+from repro.providers import make_score_provider
+from repro.telemetry import MetricsRegistry
+
+POPULATION = 10
+LENGTH = 20
+SEED = 2015
+GENERATIONS = 3
+
+
+def _campaign(provider, generations=GENERATIONS):
+    engine = InSiPSEngine(
+        provider,
+        GAParams(),
+        population_size=POPULATION,
+        candidate_length=LENGTH,
+        seed=SEED,
+    )
+    return engine.run(generations)
+
+
+def _payload(result):
+    return json.dumps(result.history.to_payload())
+
+
+@pytest.fixture(scope="module")
+def problems(tiny_world, tiny_problem):
+    target, non_targets = tiny_problem
+    spare = [
+        n for n in tiny_world.non_targets_for(target, limit=12)
+        if n not in non_targets
+    ]
+    return [
+        (target, non_targets),
+        (spare[0], tiny_world.non_targets_for(spare[0], limit=8)),
+        (spare[1], tiny_world.non_targets_for(spare[1], limit=8)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def dedicated_results(tiny_engine, problems):
+    out = []
+    for target, non_targets in problems:
+        with MultiprocessScoreProvider(
+            tiny_engine, target, non_targets, num_workers=1, timeout=120.0
+        ) as provider:
+            out.append(_campaign(provider))
+    return out
+
+
+def test_single_client_campaign_bit_exact(tiny_engine, problems, dedicated_results):
+    target, non_targets = problems[0]
+    with ScoringFabric(tiny_engine, num_workers=1) as fabric:
+        result = _campaign(fabric.client(target, non_targets))
+    ref = dedicated_results[0]
+    assert result.best.sequence == ref.best.sequence
+    assert _payload(result) == _payload(ref)
+
+
+def test_concurrent_campaigns_bit_exact(tiny_engine, problems, dedicated_results):
+    results = {}
+    with ScoringFabric(tiny_engine, num_workers=1, max_items=16) as fabric:
+        clients = [fabric.client(t, nts) for t, nts in problems]
+
+        def run(i):
+            results[i] = _campaign(clients[i])
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = fabric.fabric_stats()
+    for i, ref in enumerate(dedicated_results):
+        assert results[i].best.sequence == ref.best.sequence
+        assert _payload(results[i]) == _payload(ref)
+    assert stats["fused_batches"] > 0
+    assert stats["fused_items"] == sum(
+        stats["per_client"][c]["items"] for c in stats["per_client"]
+    )
+
+
+def test_campaign_uses_delta_rescoring(tiny_engine, problems):
+    # The delta/provenance path must ride through the fabric exactly as
+    # on a dedicated provider (sticky dispatch is keyed by sequence
+    # bytes, not by problem).
+    target, non_targets = problems[0]
+    with ScoringFabric(tiny_engine, num_workers=1) as fabric:
+        _campaign(fabric.client(target, non_targets))
+        delta = fabric.provider.delta_stats()
+    assert delta["hits"] > 0
+
+
+def test_campaign_bit_exact_under_elastic_resize(
+    tiny_engine, problems, dedicated_results
+):
+    target, non_targets = problems[0]
+    with ScoringFabric(
+        tiny_engine,
+        num_workers=1,
+        scaling=LatencyTargetScaling(1, 3, target_s=0.08),
+        poll_interval=0.05,
+        faults=FaultPlan(delay=0.03),  # inflate latency to force scale-up
+    ) as fabric:
+        result = _campaign(fabric.client(target, non_targets))
+        stats = fabric.provider.elastic_stats()
+    ref = dedicated_results[0]
+    assert stats["scale_ups"] > 0
+    assert result.best.sequence == ref.best.sequence
+    assert _payload(result) == _payload(ref)
+
+
+def test_direct_scores_match_dedicated(tiny_engine, problems, rng):
+    target, non_targets = problems[0]
+    arrays = [rng.integers(0, 20, size=LENGTH).astype(np.uint8) for _ in range(5)]
+    with MultiprocessScoreProvider(
+        tiny_engine, target, non_targets, num_workers=1, timeout=120.0
+    ) as dedicated:
+        ref = dedicated.scores([a.copy() for a in arrays])
+    with ScoringFabric(tiny_engine, num_workers=1) as fabric:
+        client = fabric.client(target, non_targets)
+        got = client.scores([a.copy() for a in arrays])
+        again = client.scores([a.copy() for a in arrays])  # LRU path
+    assert got == ref
+    assert again == ref
+
+
+def test_make_score_provider_fabric_backend(tiny_engine, problems):
+    target, non_targets = problems[0]
+    with ScoringFabric(tiny_engine, num_workers=1) as fabric:
+        client = make_score_provider(
+            fabric, target, non_targets, backend="fabric"
+        )
+        assert isinstance(client, FabricClient)
+        assert client.target == target
+        assert client.non_targets == list(non_targets)
+        with pytest.raises(TypeError, match="needs a ScoringFabric"):
+            make_score_provider(tiny_engine, target, non_targets, backend="fabric")
+        with pytest.raises(ValueError, match="configured on the ScoringFabric"):
+            make_score_provider(
+                fabric, target, non_targets, backend="fabric", workers=2
+            )
+
+
+def test_client_close_is_final(tiny_engine, problems, rng):
+    target, non_targets = problems[0]
+    with ScoringFabric(tiny_engine, num_workers=1) as fabric:
+        client = fabric.client(target, non_targets)
+        arr = rng.integers(0, 20, size=LENGTH).astype(np.uint8)
+        client.scores([arr])
+        client.close()
+        client.close()  # idempotent
+        with pytest.raises(ClientClosedError):
+            client.scores([arr])
+        # the fabric keeps serving other clients
+        other = fabric.client(target, non_targets)
+        assert other.scores([arr.copy()])
+
+
+def test_fabric_close_idempotent_and_final(tiny_engine, problems, rng):
+    fabric = ScoringFabric(tiny_engine, num_workers=1)
+    target, non_targets = problems[0]
+    client = fabric.client(target, non_targets)
+    client.scores([rng.integers(0, 20, size=LENGTH).astype(np.uint8)])
+    fabric.close()
+    fabric.close()
+    with pytest.raises(FabricClosedError):
+        fabric.client(target, non_targets)
+    with pytest.raises((FabricClosedError, ClientClosedError)):
+        client.scores([rng.integers(0, 20, size=LENGTH).astype(np.uint8)])
+
+
+def test_fabric_validation(tiny_engine):
+    with pytest.raises(ValueError, match="max_items"):
+        ScoringFabric(tiny_engine, max_items=0)
+    with pytest.raises(ValueError, match="max_wait_ms"):
+        ScoringFabric(tiny_engine, max_wait_ms=-1.0)
+
+
+def test_fabric_telemetry(tiny_engine, problems, rng):
+    registry = MetricsRegistry()
+    target, non_targets = problems[0]
+    with ScoringFabric(tiny_engine, num_workers=1, telemetry=registry) as fabric:
+        client = fabric.client(target, non_targets)
+        assert registry.gauge("fabric.clients").value == 1
+        arrays = [
+            rng.integers(0, 20, size=LENGTH).astype(np.uint8) for _ in range(4)
+        ]
+        client.scores(arrays)
+        stats = fabric.fabric_stats()
+        client.close()
+        assert registry.gauge("fabric.clients").value == 0
+    assert registry.counter("fabric.fused_items").value == stats["fused_items"] == 4
+    assert registry.counter("fabric.fused_batches").value == stats["fused_batches"]
+    assert registry.counter("fabric.client.0.items").value == 4
+    assert registry.histogram("fabric.queue_wait").count == 4
+    assert stats["mean_fused_size"] > 0
+
+
+def test_empty_batch(tiny_engine, problems):
+    target, non_targets = problems[0]
+    with ScoringFabric(tiny_engine, num_workers=1) as fabric:
+        client = fabric.client(target, non_targets)
+        assert client.scores([]) == []

@@ -1,0 +1,141 @@
+"""Fabric fairness and failure behaviour (the ``faults`` tier).
+
+Two guarantees that only show up under contention or mid-flight client
+loss: a 10x-larger campaign cannot delay a small client's generation
+beyond the round-robin fairness bound, and a client crashing with a
+submission in flight leaves the fabric serving every remaining client.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.fabric import ClientClosedError, ScoringFabric
+from repro.ga.fitness import SerialScoreProvider
+from repro.parallel.worker import FaultPlan
+
+pytestmark = pytest.mark.faults
+
+LENGTH = 20
+
+
+def _candidates(seed, n):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 20, size=LENGTH).astype(np.uint8) for _ in range(n)]
+
+
+def test_large_client_cannot_starve_small_one(tiny_engine, tiny_problem):
+    # One client submits a 10x-larger batch than the other, with a
+    # per-item delay fault making service time dominate.  Round-robin
+    # interleaving must finish the small batch in the first couple of
+    # fused dispatches — long before the large one.
+    target, non_targets = tiny_problem
+    small_items, big_items, max_items = 4, 40, 8
+    done: dict[str, float] = {}
+    with ScoringFabric(
+        tiny_engine,
+        num_workers=1,
+        max_items=max_items,
+        max_wait_ms=500.0,
+        faults=FaultPlan(delay=0.02),
+    ) as fabric:
+        small = fabric.client(target, non_targets)
+        big = fabric.client(target, non_targets)
+
+        def run(name, client, items):
+            client.scores(_candidates(hash(name) % 1000, items))
+            done[name] = time.monotonic()
+
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=run, args=("small", small, small_items)),
+            threading.Thread(target=run, args=("big", big, big_items)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = fabric.fabric_stats()
+    t_small = done["small"] - start
+    t_big = done["big"] - start
+    # Fairness bound: the small batch rides in the first dispatch the
+    # coalescer plans after both are pending (ceil(4 * 2 / 8) = 1), so
+    # it must finish well before the large one's ~6 dispatches; the
+    # factor is generous against scheduler noise.
+    assert t_small < t_big * 0.6, (t_small, t_big)
+    assert stats["fused_batches"] >= (small_items + big_items) // max_items
+
+
+def test_client_crash_mid_batch_leaves_fabric_serving(
+    tiny_engine, tiny_problem, rng
+):
+    # Client B's submission sits pending (the coalescing window is held
+    # open by idle client A); closing B mid-flight must abandon exactly
+    # B's items, release B's waiter with ClientClosedError, and leave A
+    # fully served and bit-exact.
+    target, non_targets = tiny_problem
+    arrays = _candidates(99, 4)
+    ref = SerialScoreProvider(tiny_engine, target, non_targets).scores(
+        [a.copy() for a in arrays]
+    )
+    with ScoringFabric(
+        tiny_engine, num_workers=1, max_items=64, max_wait_ms=10_000.0
+    ) as fabric:
+        client_a = fabric.client(target, non_targets)
+        client_b = fabric.client(target, non_targets)
+
+        b_error: list[BaseException] = []
+
+        def run_b():
+            try:
+                client_b.scores(_candidates(7, 4))
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                b_error.append(exc)
+
+        thread = threading.Thread(target=run_b)
+        thread.start()
+        # Wait until B's submission is pending in the coalescer: with A
+        # idle and the window at 10 s, it cannot flush on its own.
+        deadline = time.monotonic() + 30.0
+        while not fabric._inbox.empty() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.05)
+        client_b.close()  # the crash: abandons B's pending submission
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert b_error and isinstance(b_error[0], ClientClosedError)
+
+        # A is served normally afterwards, bit-exact with the reference.
+        got = client_a.scores([a.copy() for a in arrays])
+        stats = fabric.fabric_stats()
+    assert got == ref
+    assert stats["abandoned_items"] == 4
+    assert stats["per_client"][client_b.client_id]["closed"]
+
+
+def test_fabric_close_releases_inflight_waiters(tiny_engine, tiny_problem):
+    # Closing the whole fabric with a submission parked in the coalescer
+    # must fail that waiter promptly instead of wedging it.
+    target, non_targets = tiny_problem
+    fabric = ScoringFabric(
+        tiny_engine, num_workers=1, max_items=64, max_wait_ms=10_000.0
+    )
+    client = fabric.client(target, non_targets)
+    fabric.client(target, non_targets)  # idle second client holds the window
+    errors: list[BaseException] = []
+
+    def run():
+        try:
+            client.scores(_candidates(3, 2))
+        except BaseException as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    time.sleep(0.2)
+    fabric.close()
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+    assert errors, "waiter was not released by fabric.close()"

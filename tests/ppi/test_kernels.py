@@ -8,6 +8,7 @@ whole population in a handful of stacked passes.
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.ppi.database import PipeDatabase
 from repro.ppi.graph import InteractionGraph
@@ -23,6 +24,7 @@ from repro.ppi.kernels import (
 from repro.sequences.encoding import decode
 from repro.sequences.protein import Protein
 from repro.substitution import PAM120
+from repro.substitution.matrix import SubstitutionMatrix
 
 W = 3
 THRESHOLD = 15.0
@@ -144,6 +146,99 @@ def test_default_sweep_batch_loops(database):
     got = chunked.sweep_batch(database, seqs)
     for g, s in zip(got, seqs):
         assert np.array_equal(g, chunked.sweep(database, s))
+
+
+# ------------------------------------------------------------ sparse API
+
+
+def test_sweep_sparse_matches_dense(database):
+    rng = np.random.default_rng(41)
+    seqs = _population(rng, 8, lo=1, hi=30)  # includes shorter-than-window
+    for kernel in (ChunkedNumpyKernel(), BatchedNumpyKernel()):
+        for seq in seqs:
+            dense = kernel.sweep(database, seq)
+            sparse = kernel.sweep_sparse(database, seq)
+            assert sp.issparse(sparse) and sparse.format == "csr"
+            assert sparse.dtype == np.int64
+            assert sparse.shape == dense.shape
+            assert (sparse != sp.csr_matrix(dense)).nnz == 0
+
+
+def test_sweep_batch_sparse_matches_dense(database):
+    rng = np.random.default_rng(43)
+    seqs = _population(rng, 10)
+    reference = [
+        sp.csr_matrix(c) for c in BatchedNumpyKernel().sweep_batch(database, seqs)
+    ]
+    # Grouping limits change wall time only, never results — also on the
+    # sparse path.
+    for kernel in (
+        BatchedNumpyKernel(),
+        BatchedNumpyKernel(batch_residues=8),
+        ChunkedNumpyKernel(),
+    ):
+        got = kernel.sweep_batch_sparse(database, seqs)
+        assert len(got) == len(reference)
+        for r, g in zip(reference, got):
+            assert (r != g).nnz == 0
+
+
+def test_sweep_sparse_non_integer_matrix_falls_back(database):
+    # A non-integer matrix disables the int16 fast path; the sparse API
+    # must fall back to the dense reference and still match it exactly.
+    scores = np.asarray(PAM120.scores) + 0.5
+    matrix = SubstitutionMatrix("half", scores)
+    db = PipeDatabase(database.graph, matrix, W, THRESHOLD, kernel="batched")
+    kernel = BatchedNumpyKernel()
+    assert kernel._int_table(db) is None
+    seq = np.random.default_rng(47).integers(0, 20, size=20).astype(np.uint8)
+    dense = kernel.sweep(db, seq)
+    assert (kernel.sweep_sparse(db, seq) != sp.csr_matrix(dense)).nnz == 0
+
+
+# ------------------------------------------------------- int-table cache
+
+
+def test_int_table_never_aliased_across_matrix_lifetimes(database):
+    """Two different matrices at a reused ``id()`` never share a table.
+
+    The old cache keyed by ``id(db.matrix)``: once a matrix was GC'd, a
+    new matrix allocated at the same address silently inherited its int16
+    table.  Create-and-drop matrices of *different* content in a loop so
+    CPython reuses addresses, checking bit-exactness against the
+    reference each time — under id-keying the first address reuse yields
+    a stale (wrongly scaled) table and the assertion fires.
+    """
+    kernel = BatchedNumpyKernel()
+    chunked = ChunkedNumpyKernel()
+    rng = np.random.default_rng(31)
+    seq = rng.integers(0, 20, size=18).astype(np.uint8)
+    for i in range(20):
+        scores = np.asarray(PAM120.scores) * (i + 1)  # integer, distinct
+        matrix = SubstitutionMatrix(f"scaled-{i}", scores)
+        db = PipeDatabase(database.graph, matrix, W, THRESHOLD, kernel=kernel)
+        assert np.array_equal(kernel.sweep(db, seq), chunked.sweep(db, seq))
+        del db, matrix, scores
+    # ... and a long-lived kernel's table cache stays bounded.
+    assert len(kernel._int_tables) <= kernel._INT_TABLE_CACHE_SIZE
+
+
+def test_int_table_key_includes_window_size(database):
+    # The overflow verdict depends on window_size: a matrix safe at w=1
+    # can overflow int16 at w=3.  One shared kernel must not let the
+    # first database's cached verdict leak into the second's.
+    scores = np.where(np.eye(20, dtype=bool), 20_000.0, -1.0)
+    matrix = SubstitutionMatrix("huge", scores)
+    kernel = BatchedNumpyKernel()
+    chunked = ChunkedNumpyKernel()
+    db1 = PipeDatabase(database.graph, matrix, 1, 10.0, kernel=kernel)
+    db3 = PipeDatabase(database.graph, matrix, 3, 10.0, kernel=kernel)
+    assert kernel._int_table(db1) is not None  # 20000 * 1 fits int16
+    assert kernel._int_table(db3) is None  # 20000 * 3 overflows
+    rng = np.random.default_rng(37)
+    for db in (db1, db3):
+        seq = rng.integers(0, 20, size=12).astype(np.uint8)
+        assert np.array_equal(kernel.sweep(db, seq), chunked.sweep(db, seq))
 
 
 # -------------------------------------------------- database integration

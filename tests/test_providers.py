@@ -72,7 +72,7 @@ def test_factory_unknown_backend(tiny_engine, tiny_problem):
     target, non_targets = tiny_problem
     with pytest.raises(ValueError, match="unknown backend"):
         make_score_provider(tiny_engine, target, non_targets, backend="mpi")
-    assert BACKENDS == ("serial", "process", "thread")
+    assert BACKENDS == ("serial", "process", "thread", "fabric")
 
 
 def test_factory_serial_rejects_workers(tiny_engine, tiny_problem):
