@@ -28,18 +28,26 @@ traceback:
    campaign must surface ``ClientClosedError`` instead of wedging the
    fabric.
 
+5. **Service SIGKILL.**  A ``python -m repro serve`` process is
+   SIGKILLed mid-job — no shutdown hook, no eviction, nothing but the
+   durable ``jobs/<id>/`` artifacts survive.  A restarted service must
+   re-admit the interrupted job from its status/spec files, resume from
+   the newest snapshot, and finish bit-exact against a dedicated serial
+   run of the same JobSpec.
+
 Every fault is scheduled deterministically (no timing races, no random
 kill points), so a failure here is a regression, not flake.  (The fabric
-scenario's injected crash lands at a wall-clock point, but every outcome
-it checks holds wherever in the campaign the close lands.)  Exit status
-0 when the selected scenarios hold, 1 otherwise.
+and service scenarios' injected crashes land at a wall-clock point, but
+every outcome they check holds wherever in the campaign the kill lands.)
+Exit status 0 when the selected scenarios hold, 1 otherwise.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python scripts/chaos_smoke.py [--only NAME ...]
 
 ``--only`` limits the run to named scenarios (``pool-loss``,
-``checkpoint``, ``elastic``, ``fabric``); default is all of them.
+``checkpoint``, ``elastic``, ``fabric``, ``service``); default is all of
+them.
 """
 
 from __future__ import annotations
@@ -301,11 +309,164 @@ def _scenario_fabric(world, non_targets, reference) -> bool:
     return _check(checks)
 
 
+def _scenario_service(world, non_targets, reference) -> bool:
+    """Scenario 5: SIGKILL ``repro serve`` mid-job; a restart resumes."""
+    import os
+    import signal
+    import subprocess
+    import time
+
+    from repro import SerialScoreProvider
+    from repro.service import (
+        JobSpec,
+        history_digest,
+        read_result,
+        read_status,
+        write_submit_request,
+    )
+
+    print("scenario 5: design service SIGKILL mid-job ...", flush=True)
+    generations = GENERATIONS * 3
+    job_id = "job-chaos"
+
+    # A SIGKILLed master cannot unlink its shared-memory proteome
+    # segment (that is the point of the drill); sweep the orphans this
+    # scenario creates so the environment stays hermetic for whatever
+    # runs next.
+    import glob
+
+    segments_before = set(glob.glob("/dev/shm/repro-proteome-*"))
+
+    def sweep_orphaned_segments() -> None:
+        for path in set(glob.glob("/dev/shm/repro-proteome-*")) - segments_before:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    with tempfile.TemporaryDirectory(prefix="chaos-service-") as tmp:
+        root = Path(tmp) / "svc"
+        write_submit_request(
+            root,
+            JobSpec(
+                tenant="chaos",
+                target=TARGET,
+                non_targets=tuple(non_targets),
+                seed=SEED,
+                generations=generations,
+                population_size=POPULATION,
+                candidate_length=LENGTH,
+                checkpoint_every=1,
+                job_id=job_id,
+            ),
+        )
+
+        def serve() -> subprocess.Popen:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            # Own process group: SIGKILLing the master would otherwise
+            # orphan its forked workers (they block on the task queue
+            # forever), so the drill kills the whole group.
+            return subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--root", str(root),
+                    "--workers", "1",
+                    "--max-concurrent", "1",
+                    "--poll-s", "0.05",
+                    "--idle-exit-s", "3.0",
+                    # Slow each item ~20 ms so the kill window is wide.
+                    "--inject-delay-ms", "20",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+                start_new_session=True,
+            )
+
+        def kill_group(proc, sig=signal.SIGKILL) -> None:
+            try:
+                os.killpg(proc.pid, sig)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+        # Run until the job is mid-flight with at least one durable
+        # snapshot, then SIGKILL the whole service process.
+        proc = serve()
+        checkpoints = root / "jobs" / job_id / "checkpoints"
+        killed_mid_job = False
+        deadline = time.monotonic() + 180.0
+        while time.monotonic() < deadline and proc.poll() is None:
+            if list(checkpoints.glob("ckpt-*.json")):
+                try:
+                    state = read_status(root, job_id)["state"]
+                except (FileNotFoundError, ValueError):
+                    state = None
+                if state == "RUNNING":
+                    kill_group(proc)
+                    proc.wait(timeout=30.0)
+                    killed_mid_job = True
+                    break
+            time.sleep(0.02)
+        if not killed_mid_job and proc.poll() is None:
+            kill_group(proc)
+            proc.wait(timeout=30.0)
+        sweep_orphaned_segments()
+
+        # The restarted service must recover the job from disk alone.
+        proc = serve()
+        finished = False
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            try:
+                if read_status(root, job_id)["state"] == "DONE":
+                    finished = True
+                    break
+            except (FileNotFoundError, ValueError):
+                pass
+            if proc.poll() is not None:
+                break
+            time.sleep(0.1)
+        # Let the restarted service take its idle exit (a clean close()
+        # unlinks its segment); only escalate if it hangs around.
+        try:
+            proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            kill_group(proc, signal.SIGTERM)
+            try:
+                proc.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                kill_group(proc)
+                proc.wait(timeout=30.0)
+        sweep_orphaned_segments()
+
+        status = read_status(root, job_id)
+        result = read_result(root, job_id) if finished else {}
+        ref = _engine(
+            SerialScoreProvider(world.engine, TARGET, non_targets)
+        ).run(generations)
+        checks = {
+            "SIGKILL landed mid-job": killed_mid_job,
+            "restart recovered and finished": status["state"] == "DONE",
+            "second attempt recorded": status.get("attempts", 0) >= 2,
+            "resume trail in status": "recovered" in (status.get("reason") or "")
+            or status.get("attempts", 0) >= 2,
+            "history bit-exact vs dedicated run": (
+                result.get("history_digest") == history_digest(ref.history)
+            ),
+            "best sequence bit-exact": (
+                result.get("sequence") == ref.best.sequence
+            ),
+        }
+    return _check(checks)
+
+
 SCENARIOS = {
     "pool-loss": _scenario_pool_loss,
     "checkpoint": _scenario_checkpoint_corruption,
     "elastic": _scenario_elastic_resize,
     "fabric": _scenario_fabric,
+    "service": _scenario_service,
 }
 
 

@@ -6,12 +6,15 @@ design      run InSiPS against a target and print/save the design
 profiles    list the scale profiles
 evaluate    measure PIPE prediction accuracy on a world (ROC / FPR)
 stats       run an instrumented design and report runtime telemetry
+serve       run the multi-tenant design service over a job directory
+jobs        submit/inspect/cancel design jobs (file control plane)
 experiments shortcut to ``python -m repro.experiments``
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -44,6 +47,36 @@ def _validate_run_args(args: argparse.Namespace) -> int | None:
             check_positive(args.deadline_s, "--deadline-s")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
+def _check_backend_flags(args: argparse.Namespace, backend: str) -> int | None:
+    """Reject flags that only apply to the process backend.
+
+    The CLI used to forward elastic/shared-memory/degradation flags only
+    when ``--backend process`` was chosen and silently drop them
+    otherwise — ``--scaling queue-depth --backend thread`` ran happily,
+    unscaled.  Now every ignored flag is named with exit code 2.
+    """
+    offending = []
+    if backend != "process":
+        if getattr(args, "scaling", "fixed") != "fixed":
+            offending.append("--scaling")
+        if getattr(args, "min_workers", None) is not None:
+            offending.append("--min-workers")
+        if getattr(args, "max_workers", None) is not None:
+            offending.append("--max-workers")
+        if getattr(args, "no_shm", False):
+            offending.append("--no-shm")
+        if getattr(args, "fail_fast", None) is not None:
+            offending.append("--fail-fast" if args.fail_fast else "--degrade")
+    if offending:
+        print(
+            f"error: {', '.join(offending)} only apply to the process "
+            f"backend, not --backend {backend}",
+            file=sys.stderr,
+        )
         return 2
     return None
 
@@ -89,6 +122,9 @@ def _cmd_design(args: argparse.Namespace) -> int:
     backend = args.backend
     if backend == "serial" and args.workers:
         backend = "process"  # bare --workers keeps its pre---backend meaning
+    bad = _check_backend_flags(args, backend)
+    if bad is not None:
+        return bad
     if backend != "serial":
         from repro.providers import make_score_provider
 
@@ -111,7 +147,8 @@ def _cmd_design(args: argparse.Namespace) -> int:
                     telemetry=registry,
                 )
             if backend == "process":
-                extra["fail_fast"] = args.fail_fast
+                if args.fail_fast is not None:
+                    extra["fail_fast"] = args.fail_fast
                 extra["share_memory"] = not args.no_shm
                 if args.scaling != "fixed" or args.min_workers or args.max_workers:
                     extra["scaling"] = args.scaling
@@ -192,6 +229,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     backend = args.backend
     if backend == "serial" and args.workers:
         backend = "process"
+    bad = _check_backend_flags(args, backend)
+    if bad is not None:
+        return bad
     if backend != "serial":
         from repro.providers import make_score_provider
 
@@ -342,6 +382,151 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant design service over a durable job directory.
+
+    The loop polls ``<root>/queue/`` for submit requests and honours
+    ``cancel.request`` markers — ``python -m repro jobs ...`` is the
+    matching client.  SIGKILL-safe: on restart, jobs found mid-flight are
+    re-admitted and resume from their newest snapshot, bit-exact.
+    """
+    from repro import get_profile
+    from repro.service import DesignService, TenantQuota
+    from repro.util.validation import check_int_range, check_positive
+
+    try:
+        check_int_range(args.max_concurrent, "--max-concurrent", lo=1)
+        check_int_range(args.max_queue, "--max-queue", lo=1)
+        check_int_range(args.quota_running, "--quota-running", lo=1)
+        if args.quota_demand is not None:
+            check_int_range(args.quota_demand, "--quota-demand", lo=1)
+        if args.workers:
+            check_int_range(args.workers, "--workers", lo=1, hi=256)
+        check_positive(args.poll_s, "--poll-s")
+        if args.max_seconds is not None:
+            check_positive(args.max_seconds, "--max-seconds")
+        if args.idle_exit_s is not None:
+            check_positive(args.idle_exit_s, "--idle-exit-s")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fabric_kwargs: dict[str, object] = {}
+    if args.workers:
+        fabric_kwargs["num_workers"] = args.workers
+    if args.inject_delay_ms:
+        from repro.parallel.worker import FaultPlan
+
+        fabric_kwargs["faults"] = FaultPlan(delay=args.inject_delay_ms / 1000.0)
+    world = get_profile(args.profile).build_world()
+    service = DesignService(
+        world,
+        args.root,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        default_quota=TenantQuota(
+            max_running=args.quota_running, max_demand=args.quota_demand
+        ),
+        **fabric_kwargs,
+    )
+    stats = service.service_stats()
+    print(
+        f"serving design jobs under {args.root} "
+        f"(profile {args.profile!r}, {args.max_concurrent} engine threads, "
+        f"{stats['recovered']} jobs recovered)",
+        flush=True,
+    )
+    try:
+        service.serve_forever(
+            poll_s=args.poll_s,
+            max_seconds=args.max_seconds,
+            idle_exit_s=args.idle_exit_s,
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    stats = service.service_stats()
+    print(f"service stopped: {stats['jobs']}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """Client side of the service: file-control-plane submit/inspect.
+
+    ``status``/``result``/``list`` read the job artifacts directly, so
+    they work with or without a live ``serve`` process; ``submit`` and
+    ``cancel`` drop requests a running service picks up at its next
+    poll.  ``status``/``result`` print the artifact JSON verbatim — the
+    schemas are stable, so the output round-trips through ``json.loads``.
+    """
+    import json
+    import os
+    import time
+
+    from repro import service as service_mod
+
+    if args.jobs_command == "submit":
+        job_id = args.job_id or f"job-{time.time_ns():x}-{os.getpid()}"
+        non_targets = tuple(args.non_target) if args.non_target else None
+        try:
+            spec = service_mod.JobSpec(
+                tenant=args.tenant,
+                target=args.target,
+                non_targets=non_targets,
+                non_target_limit=args.non_target_limit,
+                seed=args.seed,
+                generations=args.generations,
+                population_size=args.population,
+                candidate_length=args.length,
+                checkpoint_every=args.checkpoint_every,
+                deadline_s=args.deadline_s,
+                demand=args.demand,
+                job_id=job_id,
+            )
+            service_mod.write_submit_request(args.root, spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(job_id)
+        return 0
+    if args.jobs_command in ("status", "result"):
+        reader = (
+            service_mod.read_status
+            if args.jobs_command == "status"
+            else service_mod.read_result
+        )
+        try:
+            payload = reader(args.root, args.job_id)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.jobs_command == "cancel":
+        try:
+            service_mod.write_cancel_request(args.root, args.job_id)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"cancel requested for {args.job_id}")
+        return 0
+    # list
+    rows = service_mod.list_statuses(args.root, tenant=args.tenant)
+    if not rows:
+        print("no jobs")
+        return 0
+    print(f"{'JOB':<28} {'TENANT':<12} {'STATE':<10} {'GEN':>7} {'BEST':>10}")
+    for row in rows:
+        gens = f"{row.get('generations_done', 0)}/{row.get('generations_total', '?')}"
+        best = row.get("best_fitness")
+        best_s = f"{best:.4f}" if isinstance(best, (int, float)) else "-"
+        print(
+            f"{row.get('job_id', '?'):<28} {row.get('tenant', '?'):<12} "
+            f"{row.get('state', '?'):<10} {gens:>7} {best_s:>10}"
+        )
+    return 0
+
+
 def _add_elastic_flags(parser: argparse.ArgumentParser) -> None:
     """Elastic-pool flags shared by the ``design`` and ``stats`` commands."""
     parser.add_argument(
@@ -429,7 +614,9 @@ def main(argv: list[str] | None = None) -> int:
         help="abort the run when the parallel runtime exhausts its "
         "retry budget (pre-supervisor behaviour)",
     )
-    p_design.set_defaults(func=_cmd_design, fail_fast=False)
+    # fail_fast defaults to a sentinel so _check_backend_flags can tell
+    # an explicit --fail-fast/--degrade from the (process-only) default.
+    p_design.set_defaults(func=_cmd_design, fail_fast=None)
 
     p_stats = sub.add_parser(
         "stats", help="run an instrumented design and report telemetry"
@@ -457,6 +644,96 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("--format", choices=("jsonl", "csv"), default="jsonl")
     p_stats.set_defaults(func=_cmd_stats)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant design service"
+    )
+    p_serve.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="durable service directory (jobs/, queue/, rejected/)",
+    )
+    p_serve.add_argument("--profile", default="tiny")
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes of the shared scoring fabric (0 = auto)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent", type=int, default=2, metavar="N",
+        help="engine threads = jobs that may RUN at once (default: 2)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=32, metavar="N",
+        help="bound of the PENDING run queue (default: 32)",
+    )
+    p_serve.add_argument(
+        "--quota-running", type=int, default=1, metavar="N",
+        help="per-tenant concurrent-job quota (default: 1)",
+    )
+    p_serve.add_argument(
+        "--quota-demand", type=int, default=None, metavar="N",
+        help="per-tenant cap on summed job demand (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--poll-s", type=float, default=0.2, metavar="S",
+        help="control-plane poll interval (default: 0.2)",
+    )
+    p_serve.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="stop serving after S seconds (smoke tests/CI)",
+    )
+    p_serve.add_argument(
+        "--idle-exit-s", type=float, default=None, metavar="S",
+        help="exit after S seconds with no jobs or requests (CI)",
+    )
+    p_serve.add_argument(
+        "--inject-delay-ms", type=float, default=0.0, help=argparse.SUPPRESS
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="submit/inspect/cancel design jobs"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+    j_submit = jobs_sub.add_parser(
+        "submit", help="queue one design job (prints its id)"
+    )
+    j_submit.add_argument("--root", required=True, metavar="DIR")
+    j_submit.add_argument("target", help="target protein name")
+    j_submit.add_argument("--tenant", default="default")
+    j_submit.add_argument(
+        "--non-target", action="append", default=[], metavar="NAME",
+        help="explicit non-target (repeatable; default: resolved from "
+        "the target's cellular component, capped by --non-target-limit)",
+    )
+    j_submit.add_argument("--non-target-limit", type=int, default=8)
+    j_submit.add_argument("--seed", type=int, default=0)
+    j_submit.add_argument("--generations", type=int, default=10)
+    j_submit.add_argument("--population", type=int, default=12)
+    j_submit.add_argument("--length", type=int, default=20)
+    j_submit.add_argument("--checkpoint-every", type=int, default=1)
+    j_submit.add_argument("--deadline-s", type=float, default=None)
+    j_submit.add_argument(
+        "--demand", type=int, default=1,
+        help="declared workers'-worth of load (tenant demand quota)",
+    )
+    j_submit.add_argument(
+        "--job-id", default=None,
+        help="client-chosen id (default: generated, printed on stdout)",
+    )
+    j_submit.set_defaults(func=_cmd_jobs)
+    for name, what in (
+        ("status", "print a job's status.json"),
+        ("result", "print a DONE job's result.json"),
+        ("cancel", "request cancellation of a job"),
+    ):
+        j = jobs_sub.add_parser(name, help=what)
+        j.add_argument("--root", required=True, metavar="DIR")
+        j.add_argument("job_id")
+        j.set_defaults(func=_cmd_jobs)
+    j_list = jobs_sub.add_parser("list", help="list all jobs under a root")
+    j_list.add_argument("--root", required=True, metavar="DIR")
+    j_list.add_argument("--tenant", default=None)
+    j_list.set_defaults(func=_cmd_jobs)
+
     p_profiles = sub.add_parser("profiles", help="list scale profiles")
     p_profiles.set_defaults(func=_cmd_profiles)
 
@@ -467,7 +744,14 @@ def main(argv: list[str] | None = None) -> int:
     p_eval.set_defaults(func=_cmd_evaluate)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `... jobs status | head`);
+        # exit quietly instead of dumping a traceback.  Re-point stdout
+        # at devnull so the interpreter's final flush stays silent too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

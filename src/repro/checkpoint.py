@@ -321,11 +321,25 @@ class CheckpointManager:
         self.writes = 0
         self.bytes_written = 0
         self._last_save_monotonic: float | None = None
+        self._force_next = False
 
     # -- policy -------------------------------------------------------------
 
+    def request_save(self) -> None:
+        """Force a snapshot at the next barrier regardless of policy.
+
+        Thread-safe enough for its purpose (a single boolean set by a
+        controller thread, consumed by the run loop): the design
+        service's cancel/evict path uses it so the job's resume point is
+        exactly the barrier the stop request landed on, even when the
+        generation policy would have skipped that barrier.
+        """
+        self._force_next = True
+
     def should_save(self, generation: int) -> bool:
         """Whether the barrier of ``generation`` is due a snapshot."""
+        if self._force_next:
+            return True
         if self.every is not None and generation % self.every == 0:
             return True
         if self.interval_s is not None:
@@ -381,6 +395,7 @@ class CheckpointManager:
         self.telemetry.count("checkpoint.writes")
         self.telemetry.count("checkpoint.bytes", nbytes)
         self._last_save_monotonic = time.monotonic()
+        self._force_next = False
         self._prune(keep=path)
         return path
 

@@ -224,6 +224,7 @@ class ScoringFabric:
         self.fused_batches = 0
         self.fused_items = 0
         self.abandoned_items = 0
+        self.pending_items = 0
 
     # -- client lifecycle ----------------------------------------------------
 
@@ -470,6 +471,20 @@ class ScoringFabric:
                     self.telemetry.event(
                         "fabric.client_abandoned", client=cid, items=dropped
                     )
+        # Reconcile the pending gauge from the structure itself rather
+        # than incrementally: a client close racing the flush used to
+        # leave its abandoned items counted as pending forever.  This
+        # runs after every inbox drain and every fused dispatch, so the
+        # gauge always reflects exactly what is still awaiting dispatch.
+        self._reconcile_pending(pending)
+
+    def _reconcile_pending(
+        self, pending: "Mapping[int, deque[_Submission]]"
+    ) -> None:
+        count = sum(sub.remaining for q in pending.values() for sub in q)
+        self.pending_items = count
+        with self._lock:
+            self.telemetry.set_gauge("fabric.pending_items", count)
 
     def _execute_dispatch(
         self, pending: "OrderedDict[int, deque[_Submission]]"
@@ -564,6 +579,7 @@ class ScoringFabric:
             for sub in q:
                 sub.fail(exc)
         pending.clear()
+        self._reconcile_pending(pending)
         while True:
             try:
                 msg = self._inbox.get_nowait()
@@ -597,6 +613,7 @@ class ScoringFabric:
                 fused_items / fused_batches if fused_batches else 0.0
             ),
             "abandoned_items": self.abandoned_items,
+            "pending": self.pending_items,
             "max_items": self.max_items,
             "max_wait_ms": self.max_wait_s * 1000.0,
             "per_client": per_client,

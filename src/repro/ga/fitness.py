@@ -12,9 +12,13 @@ Provider lifecycle
 ------------------
 Every provider is a context manager: ``with provider: ...`` guarantees
 ``close()`` runs (reaping worker processes in the multiprocessing
-backend) even when the GA raises.  ``close()`` is idempotent and
-providers may be reused after closing — the next scoring call re-acquires
-whatever resources were released.
+backend) even when the GA raises.  ``close()`` is idempotent.  Whether
+it is *final* depends on the backend: the serial and multiprocessing
+providers may be reused after closing (the next scoring call re-acquires
+whatever resources were released), while the thread provider and the
+fabric client treat ``close()`` as final and raise ``RuntimeError`` /
+``ClientClosedError`` on further scoring — a released thread pool or
+fabric registration must never silently resurrect.
 
 Caching
 -------

@@ -56,6 +56,87 @@ __all__ = [
 #: Recognised ``backend=`` names of :func:`make_score_provider`.
 BACKENDS = ("serial", "process", "thread", "fabric")
 
+# kwarg-name -> accepting-backends tables, built lazily from the actual
+# constructor signatures (so a new backend parameter is accepted here the
+# moment it exists, with no second list to keep in sync).
+_KWARG_TABLES: tuple[dict[str, frozenset[str]], frozenset[str]] | None = None
+
+# Parameters spelled explicitly in make_score_provider's own signature (or
+# supplied by it), never via **backend_kwargs.
+_EXCLUDED_PARAMS = {
+    "self",
+    "engine",
+    "target",
+    "non_targets",
+    "num_workers",
+    "telemetry",
+    "config",
+    "source",
+}
+
+
+def _kwarg_tables() -> tuple[dict[str, frozenset[str]], frozenset[str]]:
+    """(backend -> allowed backend_kwargs, fabric-constructor settings)."""
+    global _KWARG_TABLES
+    if _KWARG_TABLES is None:
+        import inspect
+
+        from repro.fabric import ScoringFabric
+        from repro.parallel.mp_backend import MultiprocessScoreProvider
+
+        def params(func) -> frozenset[str]:
+            return frozenset(
+                name
+                for name, p in inspect.signature(func).parameters.items()
+                if name not in _EXCLUDED_PARAMS
+                and p.kind is not inspect.Parameter.VAR_KEYWORD
+            )
+
+        allowed = {
+            "serial": params(SerialScoreProvider.__init__),
+            "thread": params(ThreadScoreProvider.__init__),
+            "process": params(MultiprocessScoreProvider.__init__),
+            "fabric": params(ScoringFabric.client) | {"fabric"},
+        }
+        _KWARG_TABLES = (allowed, params(ScoringFabric.__init__))
+    return _KWARG_TABLES
+
+
+def _check_backend_kwargs(backend: str, kwargs: dict[str, object]) -> None:
+    """Reject kwargs the chosen backend does not accept.
+
+    Silently dropping (or TypeError-ing deep inside a constructor) a
+    kwarg meant for another backend hid real configuration mistakes —
+    e.g. ``scaling=`` with ``backend="serial"`` ran unscaled without a
+    word.  Every offending kwarg is now named, along with the backends
+    that do accept it.
+    """
+    allowed, fabric_ctor = _kwarg_tables()
+    for name in kwargs:
+        if name in allowed[backend]:
+            continue
+        if name == "num_workers":
+            raise ValueError(
+                "pass workers=, not num_workers= (it is translated per "
+                "backend)"
+            )
+        owners = sorted(b for b, names in allowed.items() if name in names)
+        if name in fabric_ctor:
+            raise ValueError(
+                f"{name!r} does not apply to backend={backend!r}; it is a "
+                "ScoringFabric setting — configure it when building the "
+                "fabric, not per provider"
+            )
+        if owners:
+            raise ValueError(
+                f"{name!r} does not apply to backend={backend!r}; it is "
+                f"only valid for backend "
+                + " or ".join(repr(b) for b in owners)
+            )
+        raise ValueError(
+            f"unknown keyword {name!r} for backend {backend!r}"
+        )
+
 
 def make_engine(
     source: "PipeEngine | PipeDatabase | InteractionGraph | object",
@@ -184,6 +265,7 @@ def make_score_provider(
         raise ValueError(
             "scaling/min_workers/max_workers only apply to backend='process'"
         )
+    _check_backend_kwargs(backend, backend_kwargs)
     if backend == "fabric":
         from repro.fabric import ScoringFabric
 
@@ -285,6 +367,7 @@ class ThreadScoreProvider(CachingScoreProvider):
         self._local = threading.local()
         self._executor: ThreadPoolExecutor | None = None
         self._warmed = False
+        self._shutdown = False
 
     def _thread_engine(self) -> PipeEngine:
         engine = getattr(self._local, "engine", None)
@@ -297,7 +380,26 @@ class ThreadScoreProvider(CachingScoreProvider):
             self._local.engine = engine
         return engine
 
+    def scores_with_provenance(
+        self,
+        arrays: "list[np.ndarray]",
+        provenances: "list[Provenance | None] | None",
+    ) -> list[ScoreSet]:
+        # Checked at the public entry, not just the uncached path: close
+        # is final, so a closed provider must not keep answering out of
+        # its LRU either.
+        if self._shutdown:
+            raise RuntimeError(
+                "ThreadScoreProvider is closed; close() is final — build "
+                "a new provider instead of reusing this one"
+            )
+        return super().scores_with_provenance(arrays, provenances)
+
     def _ensure_started(self) -> ThreadPoolExecutor:
+        if self._shutdown:
+            # Belt and braces for subclasses calling the uncached path
+            # directly: never resurrect the executor after close().
+            raise RuntimeError("ThreadScoreProvider is closed")
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_workers,
@@ -326,6 +428,14 @@ class ThreadScoreProvider(CachingScoreProvider):
             return list(executor.map(score_one, arrays))
 
     def close(self) -> None:
+        """Shut the pool down; final — see :meth:`scores_with_provenance`.
+
+        Silently re-creating the executor after close (the old
+        behaviour) leaked thread pools from code that kept scoring
+        through a handle it believed released; now that is a
+        :class:`RuntimeError`, matching the fabric client's lifecycle.
+        """
+        self._shutdown = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

@@ -38,6 +38,20 @@ Metric namespaces in use:
                             ``parallel.degraded_batches``), breaker
                             probes (``parallel.breaker_probes``) and
                             ``parallel.force_killed`` workers at close
+``fabric.*``                scoring-fabric coalescer: ``fused_batches`` /
+                            ``fused_items`` / ``abandoned_items``
+                            counters, the ``fabric.clients`` and
+                            ``fabric.pending_items`` gauges (the latter
+                            reconciled when a client abandons mid-flight)
+                            and the ``fabric.queue_wait`` histogram
+``service.*``               design-service job orchestration: the
+                            ``service.jobs.{queued,running,evicted}``
+                            gauges, lifecycle counters
+                            (``service.submitted`` / ``rejected`` /
+                            ``resumed`` / ``recovered`` / ``done`` /
+                            ``failed`` / ``cancelled`` / ``evicted``), a
+                            ``service.job`` timing per finished job and
+                            ``service.{rejected,job_finished}`` events
 ``checkpoint.*``            snapshot writes/bytes/restores, plus
                             ``checkpoint.corrupt_skipped`` (snapshots
                             quarantined during recovery) and one

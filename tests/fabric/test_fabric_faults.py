@@ -102,6 +102,14 @@ def test_client_crash_mid_batch_leaves_fabric_serving(
         while not fabric._inbox.empty() and time.monotonic() < deadline:
             time.sleep(0.01)
         time.sleep(0.05)
+        # B's 4 items are now held in the coalescer and counted pending.
+        deadline = time.monotonic() + 30.0
+        while (
+            fabric.fabric_stats()["pending"] != 4
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert fabric.fabric_stats()["pending"] == 4
         client_b.close()  # the crash: abandons B's pending submission
         thread.join(timeout=30.0)
         assert not thread.is_alive()
@@ -112,6 +120,9 @@ def test_client_crash_mid_batch_leaves_fabric_serving(
         stats = fabric.fabric_stats()
     assert got == ref
     assert stats["abandoned_items"] == 4
+    # Regression: abandoning B's submission must reconcile the pending
+    # gauge — the abandoned items used to stay counted forever.
+    assert stats["pending"] == 0
     assert stats["per_client"][client_b.client_id]["closed"]
 
 

@@ -114,3 +114,91 @@ def test_unknown_command_rejected():
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+@pytest.mark.parametrize(
+    "argv, flag",
+    [
+        (["design", "YBL051C", "--backend", "thread", "--workers", "2",
+          "--scaling", "queue-depth"], "--scaling"),
+        (["design", "YBL051C", "--fail-fast"], "--fail-fast"),
+        (["design", "YBL051C", "--backend", "fabric", "--no-shm"], "--no-shm"),
+        (["stats", "--backend", "thread", "--workers", "2",
+          "--min-workers", "1"], "--min-workers"),
+    ],
+)
+def test_process_only_flags_rejected_for_other_backends(capsys, argv, flag):
+    # Regression: these flags were silently dropped for non-process
+    # backends; now they are named with exit code 2.
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert flag in err
+    assert "process" in err
+
+
+def test_jobs_cli_round_trip(capsys, tmp_path):
+    # submit -> serve (in-process, bounded) -> status/result/list: the
+    # status and result schemas must round-trip through the CLI as JSON.
+    import json
+
+    root = tmp_path / "svc"
+    assert (
+        main(
+            [
+                "jobs", "submit", "--root", str(root), "YBL051C",
+                "--tenant", "alice", "--generations", "2",
+                "--population", "8", "--length", "20",
+                "--job-id", "job-cli-1",
+            ]
+        )
+        == 0
+    )
+    assert capsys.readouterr().out.strip() == "job-cli-1"
+
+    assert (
+        main(
+            [
+                "serve", "--root", str(root), "--workers", "1",
+                "--max-concurrent", "1", "--poll-s", "0.05",
+                "--idle-exit-s", "1",
+            ]
+        )
+        == 0
+    )
+    assert "service stopped" in capsys.readouterr().out
+
+    assert main(["jobs", "status", "--root", str(root), "job-cli-1"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["format"] == "repro-job-status"
+    assert status["state"] == "DONE"
+    assert status["tenant"] == "alice"
+    assert status["generations_done"] == 2
+
+    assert main(["jobs", "result", "--root", str(root), "job-cli-1"]) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["format"] == "repro-job-result"
+    assert result["job_id"] == "job-cli-1"
+    assert len(result["sequence"]) == 20
+    assert result["history_digest"]
+
+    assert main(["jobs", "list", "--root", str(root)]) == 0
+    listing = capsys.readouterr().out
+    assert "job-cli-1" in listing and "DONE" in listing
+
+
+def test_jobs_cli_errors(capsys, tmp_path):
+    root = tmp_path / "svc"
+    assert main(["jobs", "status", "--root", str(root), "job-nope"]) == 2
+    assert "not found" in capsys.readouterr().err
+    assert main(["jobs", "cancel", "--root", str(root), "job-nope"]) == 2
+    assert "no such job" in capsys.readouterr().err
+    assert (
+        main(
+            ["jobs", "submit", "--root", str(root), "YBL051C",
+             "--generations", "0"]
+        )
+        == 2
+    )
+    assert "generations" in capsys.readouterr().err
+    assert main(["jobs", "list", "--root", str(root)]) == 0
+    assert "no jobs" in capsys.readouterr().out

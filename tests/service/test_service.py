@@ -1,0 +1,337 @@
+"""End-to-end :class:`~repro.service.DesignService` behaviour.
+
+The acceptance contract of the multi-tenant service: fair quota-bounded
+admission (a quota-blocked job *stays PENDING*), cancel/evict at a
+generation barrier, resume bit-exact with an uninterrupted run of the
+same spec on a dedicated provider, durable artifacts with stable
+schemas, and crash recovery from the on-disk state alone.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.ga.engine import InSiPSEngine
+from repro.ga.fitness import SerialScoreProvider
+from repro.parallel.worker import FaultPlan
+from repro.service import (
+    DesignService,
+    JobSpec,
+    JobState,
+    QuotaError,
+    TenantQuota,
+    history_digest,
+    read_result,
+    read_status,
+    write_cancel_request,
+    write_submit_request,
+)
+
+TARGET = "YBL051C"
+POPULATION = 8
+LENGTH = 20
+SEED = 7
+
+
+def _wait(predicate, timeout=120.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _spec(**overrides):
+    base = dict(
+        tenant="alice",
+        target=TARGET,
+        seed=SEED,
+        generations=3,
+        population_size=POPULATION,
+        candidate_length=LENGTH,
+        checkpoint_every=1,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _reference(tiny_world, spec):
+    """The same JobSpec run uninterrupted on a dedicated serial provider."""
+    non_targets = tiny_world.non_targets_for(
+        spec.target, limit=spec.non_target_limit
+    )
+    engine = InSiPSEngine(
+        SerialScoreProvider(tiny_world.engine, spec.target, non_targets),
+        spec.params,
+        population_size=spec.population_size,
+        candidate_length=spec.candidate_length,
+        seed=spec.seed,
+    )
+    return engine.run(spec.generations)
+
+
+def _service(tiny_world, root, **overrides):
+    kwargs = dict(max_concurrent=2, fsync=False, num_workers=1)
+    kwargs.update(overrides)
+    return DesignService(tiny_world, root, **kwargs)
+
+
+def test_submit_runs_to_done_with_stable_artifacts(tiny_world, tmp_path):
+    spec = _spec()
+    with _service(tiny_world, tmp_path / "svc") as service:
+        job_id = service.submit(spec)
+        assert _wait(
+            lambda: service.status(job_id)["state"] == JobState.DONE
+        ), service.status(job_id)
+        status = service.status(job_id)
+        result = service.result(job_id)
+
+        # In-memory status equals the durable artifact, field for field.
+        assert read_status(service.root, job_id) == status
+        assert read_result(service.root, job_id) == result
+        assert status["format"] == "repro-job-status"
+        assert status["attempts"] == 1
+        assert status["generations_done"] == spec.generations
+        assert status["error"] is None
+
+        job_directory = service.root / "jobs" / job_id
+        assert (job_directory / "spec.json").exists()
+        assert (job_directory / "telemetry.jsonl").exists()
+        assert list((job_directory / "checkpoints").glob("ckpt-*.json"))
+
+    # Bit-exact with a dedicated uninterrupted provider (the fabric
+    # guarantee carried through the service layer).
+    reference = _reference(tiny_world, spec)
+    assert result["format"] == "repro-job-result"
+    assert result["fitness"] == reference.best_fitness
+    assert result["sequence"] == reference.best.sequence
+    assert result["history_digest"] == history_digest(reference.history)
+    assert result["completed"] is True
+
+
+def test_quota_blocked_job_stays_pending_and_runs_after_cancel(
+    tiny_world, tmp_path
+):
+    # 3 jobs across 2 tenants with a per-tenant quota of 1 concurrent
+    # job: alice's second job must sit PENDING while her first runs,
+    # even with a free engine thread; cancelling the first mid-run frees
+    # the slot and the pending job completes.
+    with _service(
+        tiny_world,
+        tmp_path / "svc",
+        default_quota=TenantQuota(max_running=1),
+        faults=FaultPlan(delay=0.01),
+    ) as service:
+        long_a = service.submit(
+            _spec(tenant="alice", generations=400, job_id="job-a-long")
+        )
+        short_b = service.submit(
+            _spec(tenant="bob", generations=2, job_id="job-b-short")
+        )
+        blocked_a = service.submit(
+            _spec(tenant="alice", generations=2, job_id="job-a-blocked")
+        )
+
+        # Both tenants run concurrently; bob's short job finishes.
+        assert _wait(
+            lambda: service.status(short_b)["state"] == JobState.DONE
+        ), service.status(short_b)
+        # alice's first job is still mid-run and her second still queued:
+        # the quota, not thread availability, is what blocks it.
+        assert service.status(long_a)["state"] == JobState.RUNNING
+        assert service.status(blocked_a)["state"] == JobState.PENDING
+
+        # Cancel mid-run: stops at the next barrier, stays resumable.
+        assert _wait(lambda: service.status(long_a)["generations_done"] >= 1)
+        service.cancel(long_a)
+        assert _wait(
+            lambda: service.status(long_a)["state"] == JobState.CANCELLED
+        ), service.status(long_a)
+        cancelled = service.status(long_a)
+        assert cancelled["generations_done"] < 400
+        assert "cancel" in cancelled["reason"]
+        assert list(
+            (service.root / "jobs" / long_a / "checkpoints").glob("ckpt-*")
+        ), "cancel must leave a resume point"
+
+        # The quota slot freed: the blocked job now runs to completion.
+        assert _wait(
+            lambda: service.status(blocked_a)["state"] == JobState.DONE
+        ), service.status(blocked_a)
+        stats = service.service_stats()
+        assert stats["jobs"][JobState.CANCELLED] == 1
+        assert stats["jobs"][JobState.DONE] == 2
+
+
+def test_evicted_job_resumes_bit_exact(tiny_world, tmp_path):
+    # The acceptance gate: evict mid-run (checkpoint + release client),
+    # resume through the service, and the final GAResult must be
+    # bit-exact with the same JobSpec run uninterrupted on a dedicated
+    # serial provider.
+    spec = _spec(generations=8, job_id="job-evictee")
+    with _service(
+        tiny_world, tmp_path / "svc", faults=FaultPlan(delay=0.01)
+    ) as service:
+        job_id = service.submit(spec)
+        assert _wait(lambda: service.status(job_id)["generations_done"] >= 2)
+        service.evict(job_id)
+        assert _wait(
+            lambda: service.status(job_id)["state"] == JobState.EVICTED
+        ), service.status(job_id)
+        evicted = service.status(job_id)
+        assert evicted["generations_done"] < spec.generations
+
+        service.resume(job_id)
+        assert _wait(
+            lambda: service.status(job_id)["state"] == JobState.DONE
+        ), service.status(job_id)
+        assert service.status(job_id)["attempts"] == 2
+        result = service.result(job_id)
+
+    reference = _reference(tiny_world, spec)
+    assert result["history_digest"] == history_digest(reference.history)
+    assert result["sequence"] == reference.best.sequence
+    assert result["fitness"] == reference.best_fitness
+    assert result["generations"] == spec.generations
+
+
+def test_quota_rejections_are_deterministic_with_tenant_and_reason(
+    tiny_world, tmp_path
+):
+    with _service(
+        tiny_world,
+        tmp_path / "svc",
+        max_concurrent=1,
+        max_queue=1,
+        quotas={"carol": TenantQuota(max_running=1, max_demand=2)},
+        faults=FaultPlan(delay=0.01),
+    ) as service:
+        service.submit(
+            _spec(tenant="carol", generations=200, demand=2, job_id="job-c1")
+        )
+        # Let the engine thread claim it so the run queue is empty and
+        # the *demand* quota (RUNNING jobs count too) is what rejects.
+        assert _wait(
+            lambda: service.status("job-c1")["state"] == JobState.RUNNING
+        )
+        with pytest.raises(QuotaError) as excinfo:
+            service.submit(_spec(tenant="carol", demand=1, job_id="job-c2"))
+        assert excinfo.value.tenant == "carol"
+        assert "demand quota" in excinfo.value.reason
+
+        # Other tenants are unaffected by carol's quota but bounded by
+        # the global queue: one pending job fills it.
+        service.submit(_spec(tenant="dave", job_id="job-d1"))
+        with pytest.raises(QuotaError) as excinfo:
+            service.submit(_spec(tenant="erin", job_id="job-e1"))
+        assert excinfo.value.tenant == "erin"
+        assert "queue full" in excinfo.value.reason
+        assert service.service_stats()["rejected"] == 2
+        service.cancel("job-c1")
+
+
+def test_cancel_pending_job_and_lifecycle_validation(tiny_world, tmp_path):
+    with _service(
+        tiny_world,
+        tmp_path / "svc",
+        max_concurrent=1,
+        default_quota=TenantQuota(max_running=1),
+        faults=FaultPlan(delay=0.01),
+    ) as service:
+        running = service.submit(_spec(generations=400, job_id="job-run"))
+        queued = service.submit(_spec(job_id="job-queued"))
+        assert _wait(
+            lambda: service.status(running)["state"] == JobState.RUNNING
+        )
+        # Cancelling a job that never ran is immediate.
+        assert service.cancel(queued) == JobState.CANCELLED
+        assert service.status(queued)["attempts"] == 0
+
+        with pytest.raises(KeyError):
+            service.status("job-unknown")
+        with pytest.raises(ValueError, match="CANCELLED"):
+            service.cancel(queued)
+        # A cancelled job resumes (fresh from its seed: no snapshot yet).
+        service.resume(queued)
+        service.cancel(running)
+        assert _wait(
+            lambda: service.status(queued)["state"] == JobState.DONE
+        ), service.status(queued)
+        with pytest.raises(ValueError, match="DONE"):
+            service.resume(queued)
+        with pytest.raises(ValueError, match="already exists"):
+            service.submit(_spec(job_id="job-queued"))
+
+
+def test_file_control_plane_submit_cancel_and_rejection(tiny_world, tmp_path):
+    root = tmp_path / "svc"
+    with _service(
+        tiny_world, root, faults=FaultPlan(delay=0.01)
+    ) as service:
+        # Submit requests are admitted in FIFO order at the next poll.
+        write_submit_request(root, _spec(job_id="job-file-1"))
+        write_submit_request(
+            root, _spec(target="NOPE-not-a-protein", job_id="job-file-bad")
+        )
+        service.poll_control_plane()
+        assert service.status("job-file-1")["state"] in (
+            JobState.PENDING,
+            JobState.RUNNING,
+            JobState.DONE,
+        )
+        # The invalid request is rejected loudly, not silently dropped.
+        with pytest.raises(KeyError):
+            service.status("job-file-bad")
+        rejected = list((root / "rejected").glob("*.json"))
+        assert len(rejected) == 1
+        assert "NOPE-not-a-protein" in rejected[0].read_text()
+        assert not list((root / "queue").glob("*.json"))
+
+        # Cancel markers are honoured for live jobs.
+        write_submit_request(
+            root, _spec(generations=400, job_id="job-file-2")
+        )
+        service.poll_control_plane()
+        assert _wait(lambda: service.status("job-file-2")["generations_done"] >= 1)
+        write_cancel_request(root, "job-file-2")
+        service.poll_control_plane()
+        assert _wait(
+            lambda: service.status("job-file-2")["state"] == JobState.CANCELLED
+        ), service.status("job-file-2")
+        assert not (root / "jobs" / "job-file-2" / "cancel.request").exists()
+
+
+def test_recovery_readmits_interrupted_jobs_bit_exact(tiny_world, tmp_path):
+    # Simulate a SIGKILL: run a job partway, evict it (leaving durable
+    # snapshots), then forge its on-disk state back to RUNNING — exactly
+    # what a crashed service leaves behind.  A new service over the same
+    # root must re-admit it and finish bit-exact.
+    root = tmp_path / "svc"
+    spec = _spec(generations=6, job_id="job-crash")
+    with _service(
+        tiny_world, root, faults=FaultPlan(delay=0.01)
+    ) as service:
+        service.submit(spec)
+        assert _wait(lambda: service.status("job-crash")["generations_done"] >= 2)
+        service.evict("job-crash")
+        assert _wait(
+            lambda: service.status("job-crash")["state"] == JobState.EVICTED
+        )
+
+    status_path = root / "jobs" / "job-crash" / "status.json"
+    forged = json.loads(status_path.read_text())
+    forged["state"] = JobState.RUNNING
+    status_path.write_text(json.dumps(forged))
+
+    with _service(tiny_world, root) as service:
+        assert service.service_stats()["recovered"] == 1
+        assert _wait(
+            lambda: service.status("job-crash")["state"] == JobState.DONE
+        ), service.status("job-crash")
+        result = service.result("job-crash")
+
+    reference = _reference(tiny_world, spec)
+    assert result["history_digest"] == history_digest(reference.history)
+    assert result["sequence"] == reference.best.sequence

@@ -119,6 +119,78 @@ def test_factory_process_backend_kwargs(tiny_engine, tiny_problem, rng):
         )
 
 
+def test_thread_provider_close_is_final(tiny_engine, tiny_problem, rng):
+    # Regression: _ensure_started used to silently re-create the
+    # executor after close(), resurrecting a thread pool from a handle
+    # the caller believed released.  Close is final now, like the
+    # fabric client's lifecycle.
+    target, non_targets = tiny_problem
+    provider = make_score_provider(
+        tiny_engine, target, non_targets, backend="thread", workers=2
+    )
+    seqs = [rng.integers(0, 20, size=20).astype(np.uint8)]
+    provider.scores(seqs)
+    provider.close()
+    assert provider.closed
+    with pytest.raises(RuntimeError, match="closed"):
+        provider.scores(seqs)
+    # Even a cache hit must not answer through a closed provider.
+    with pytest.raises(RuntimeError, match="closed"):
+        provider.scores([seqs[0].copy()])
+    provider.close()  # idempotent
+    assert provider._executor is None
+
+
+@pytest.mark.parametrize(
+    "backend, kwargs, match",
+    [
+        ("serial", {"scaling": "queue-depth"}, "scaling"),
+        ("thread", {"min_workers": 1}, "min_workers"),
+        ("serial", {"share_memory": False}, "share_memory"),
+        ("thread", {"use_delta": False}, "use_delta"),
+        ("process", {"max_wait_ms": 5.0}, "ScoringFabric setting"),
+        ("serial", {"max_items": 8}, "ScoringFabric setting"),
+        ("process", {"num_workers": 2}, "workers="),
+        ("serial", {"definitely_not_a_kwarg": 1}, "unknown keyword"),
+    ],
+)
+def test_factory_rejects_backend_foreign_kwargs(
+    tiny_engine, tiny_problem, backend, kwargs, match
+):
+    # Regression: kwargs meant for another backend were silently dropped
+    # (scaling= with the serial backend ran unscaled without a word).
+    # Each offending kwarg is now named, with the backends that take it.
+    target, non_targets = tiny_problem
+    with pytest.raises(ValueError, match=match):
+        make_score_provider(
+            tiny_engine, target, non_targets, backend=backend, **kwargs
+        )
+
+
+def test_factory_names_owning_backend_in_rejection(tiny_engine, tiny_problem):
+    target, non_targets = tiny_problem
+    with pytest.raises(ValueError) as excinfo:
+        make_score_provider(
+            tiny_engine, target, non_targets, backend="serial", faults=None
+        )
+    # The message points at the backends that do accept the kwarg.
+    assert "'process'" in str(excinfo.value)
+
+
+def test_factory_still_accepts_native_kwargs(tiny_engine, tiny_problem):
+    # The validation table is built from the real constructor signatures,
+    # so every backend's own kwargs keep flowing through.
+    target, non_targets = tiny_problem
+    serial = make_score_provider(
+        tiny_engine, target, non_targets, backend="serial", use_delta=False
+    )
+    assert serial.use_delta is False
+    with make_score_provider(
+        tiny_engine, target, non_targets, backend="thread", cache_size=16
+    ) as threaded:
+        assert isinstance(threaded, ThreadScoreProvider)
+
+
 def test_thread_provider_validates_problem(tiny_engine, tiny_problem):
     target, non_targets = tiny_problem
     with pytest.raises(KeyError):
